@@ -1,0 +1,96 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper.  Sweeps
+are expensive, so results are cached per scenario at module level and
+shared between the figure benchmarks and the Table-I benchmark.
+
+The assertions check the *shape* of the paper's results, not absolute
+numbers (our substrate is a simulator, not the authors' testbed):
+
+* both of our methods keep global connectivity in every run,
+* our stable link ratio dominates the Hungarian baseline everywhere
+  and direct translation on average,
+* every method's total distance converges to the Hungarian optimum as
+  the M1-M2 separation grows 10x -> 100x communication ranges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import (
+    DEFAULT_METHODS,
+    SweepResult,
+    get_scenario,
+    sweep_separations,
+)
+
+SEPARATIONS = (10.0, 40.0, 70.0, 100.0)
+RUN_KWARGS = dict(
+    foi_target_points=320,
+    lloyd_grid_target=1400,
+    resolution=24,
+)
+
+_SWEEPS: dict[int, SweepResult] = {}
+
+
+def get_sweep(scenario_id: int) -> SweepResult:
+    """Run (or fetch) the Fig. 3-style sweep for a scenario."""
+    if scenario_id not in _SWEEPS:
+        _SWEEPS[scenario_id] = sweep_separations(
+            get_scenario(scenario_id),
+            separation_factors=SEPARATIONS,
+            **RUN_KWARGS,
+        )
+    return _SWEEPS[scenario_id]
+
+
+def assert_paper_shape(sweep: SweepResult) -> None:
+    """The qualitative claims of Figs. 3-5 that must hold."""
+    ours = ("ours (a)", "ours (b)")
+    for pt in sweep.points:
+        # Table-I guarantee: our methods never lose global connectivity.
+        for method in ours:
+            assert pt.connected[method], (
+                f"scenario {sweep.scenario_id}: {method} lost connectivity "
+                f"at separation {pt.separation_factor}"
+            )
+        # Fifth-row claim: ours preserves more links than Hungarian.
+        assert (
+            pt.stable_link_ratio["ours (a)"]
+            > pt.stable_link_ratio["Hungarian"]
+        ), f"scenario {sweep.scenario_id} @ {pt.separation_factor}x"
+
+    # Ours beats direct translation on link preservation on average.
+    mean_a = float(np.mean(sweep.series("stable_link_ratio", "ours (a)")))
+    mean_direct = float(
+        np.mean(sweep.series("stable_link_ratio", "direct translation"))
+    )
+    assert mean_a > mean_direct - 0.02
+
+    # Fourth-row claim: distances converge to the Hungarian optimum.
+    last = sweep.points[-1]
+    first = sweep.points[0]
+    for method in ("ours (a)", "ours (b)", "direct translation"):
+        assert last.distance_ratio[method] < 1.2, (
+            f"{method} ratio {last.distance_ratio[method]:.3f} at 100x"
+        )
+        assert last.distance_ratio[method] <= first.distance_ratio[method] + 0.05
+
+    # Method (b) targets distance: never much worse than method (a).
+    for pt in sweep.points:
+        assert pt.distance_ratio["ours (b)"] <= pt.distance_ratio["ours (a)"] + 0.03
+
+
+def print_sweep(sweep: SweepResult) -> None:
+    """Print the sweep table and save the two SVG figure panels."""
+    from pathlib import Path
+
+    from repro.experiments import render_sweep, write_sweep_figures
+
+    print()
+    print(render_sweep(sweep, list(DEFAULT_METHODS)))
+    out_dir = Path(__file__).parent / "output" / "figures"
+    for path in write_sweep_figures(sweep, out_dir):
+        print(f"figure: {path}")

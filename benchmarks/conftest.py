@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Benchmarks regenerate the paper's tables and figures; each prints its
+rows to stdout (run pytest with ``-s`` or check the captured output)
+and times the underlying computation once via ``benchmark.pedantic`` -
+these are experiment harnesses, not micro-benchmarks, so a single round
+is the honest measurement.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow `import _shared` from sibling benchmark modules regardless of
+# how pytest sets up sys.path (rootdir vs benchmarks/).
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,86 @@
+"""A4/A5 - ablations: boundary parameterization mode and extraction rule.
+
+A4: the paper's distributed boundary rule spaces boundary vertices
+*uniformly* by hop count; the library defaults to chord-length spacing.
+Both are measured end to end (stable links after the march) on
+scenario 1.
+
+A5: the centralized Delaunay-restricted extraction vs the localized
+one-hop agreement rule: triangle overlap and wall-clock cost.
+"""
+
+import time
+
+import numpy as np
+
+from repro.experiments import format_table, get_scenario
+from repro.coverage import LloydConfig
+from repro.marching import MarchingConfig, MarchingPlanner
+from repro.metrics import stable_link_ratio
+from repro.network import extract_triangulation, extract_triangulation_localized
+from repro.robots import RadioSpec, Swarm
+
+
+def _swarm():
+    spec = get_scenario(1)
+    radio = RadioSpec.from_comm_range(spec.comm_range)
+    m1, m2 = spec.build(separation_factor=20.0)
+    return spec, Swarm.deploy_lattice(m1, spec.robot_count, radio), m2
+
+
+def test_ablation_boundary_mode(benchmark):
+    def run():
+        spec, swarm, m2 = _swarm()
+        out = {}
+        for mode in ("chord", "uniform"):
+            cfg = MarchingConfig(
+                boundary_mode=mode,
+                foi_target_points=320,
+                lloyd=LloydConfig(grid_target=1400, max_iterations=50),
+            )
+            result = MarchingPlanner(cfg).plan(swarm, m2)
+            out[mode] = stable_link_ratio(result.links, result.trajectory)
+        return out
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nAblation A4 - boundary parameterization (scenario 1):")
+    print(format_table(
+        ["mode", "stable link ratio"],
+        [[m, f"{r:.3f}"] for m, r in ratios.items()],
+    ))
+    # Both parameterizations must deliver the paper's headline quality;
+    # chord can only help (lower metric distortion).
+    assert ratios["uniform"] > 0.8
+    assert ratios["chord"] >= ratios["uniform"] - 0.05
+
+
+def test_ablation_extraction_rule(benchmark):
+    def run():
+        _, swarm, _ = _swarm()
+        rc = swarm.radio.comm_range
+        t0 = time.perf_counter()
+        central, _ = extract_triangulation(swarm.positions, rc)
+        t_central = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        local, _ = extract_triangulation_localized(swarm.positions, rc)
+        t_local = time.perf_counter() - t0
+        c_tris = {tuple(sorted(t)) for t in central.triangles.tolist()}
+        l_tris = {tuple(sorted(t)) for t in local.triangles.tolist()}
+        return c_tris, l_tris, t_central, t_local
+
+    c_tris, l_tris, t_central, t_local = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    overlap = len(c_tris & l_tris) / len(c_tris)
+    print("\nAblation A5 - triangulation extraction (144 robots):")
+    print(format_table(
+        ["rule", "triangles", "time"],
+        [
+            ["centralized Delaunay|links", len(c_tris), f"{t_central * 1e3:.1f} ms"],
+            ["localized one-hop agreement", len(l_tris), f"{t_local * 1e3:.1f} ms"],
+        ],
+    ))
+    print(f"triangle agreement: {overlap:.1%}")
+    # The localized rule never invents triangles and keeps almost all.
+    assert l_tris <= c_tris
+    assert overlap > 0.9

@@ -1,0 +1,79 @@
+"""E13 - robustness: failure injection and replanning (ours).
+
+Sweeps the number of simultaneous robot failures injected mid-march on
+scenario 1 and measures the recovery: survivors connected, replanned
+transition keeps the Definition-2 guarantee, and the marginal cost of
+recovery stays bounded.  Backs the paper's reliability motivation with
+a measured experiment.
+"""
+
+import numpy as np
+
+from repro.coverage import LloydConfig
+from repro.experiments import format_table, get_scenario
+from repro.marching import (
+    FailureEvent,
+    MarchingConfig,
+    MarchingPlanner,
+    replan_after_failure,
+)
+from repro.metrics import connectivity_report, stable_link_ratio
+from repro.robots import RadioSpec, Swarm
+
+CFG = MarchingConfig(
+    foi_target_points=320, lloyd=LloydConfig(grid_target=1400, max_iterations=40)
+)
+FAILURE_COUNTS = (1, 4, 8, 16)
+
+
+def _run():
+    spec = get_scenario(1)
+    radio = RadioSpec.from_comm_range(spec.comm_range)
+    m1, m2 = spec.build(separation_factor=20.0)
+    swarm = Swarm.deploy_lattice(m1, spec.robot_count, radio)
+    original = MarchingPlanner(CFG).plan(swarm, m2)
+    rng = np.random.default_rng(42)
+    rows = []
+    for k in FAILURE_COUNTS:
+        failed = tuple(int(i) for i in rng.choice(swarm.size, size=k, replace=False))
+        outcome = replan_after_failure(
+            original, FailureEvent(time=0.5, failed=failed), m2,
+            spec.comm_range, config=CFG, require_connected=False,
+        )
+        new = outcome.result
+        rep = connectivity_report(
+            new.trajectory, spec.comm_range, new.boundary_anchors
+        )
+        rows.append(
+            (
+                k,
+                outcome.survivors_connected,
+                rep.connected,
+                stable_link_ratio(new.links, new.trajectory),
+                new.total_distance,
+            )
+        )
+    return rows
+
+
+def test_failure_recovery(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\nE13 - mid-march failure injection (scenario 1, t = 0.5):")
+    print(format_table(
+        ["failures", "survivors connected", "recovery C", "recovery L", "recovery D"],
+        [
+            [k, "Y" if sc else "N", "Y" if c else "N", f"{L:.3f}", f"{d / 1000:.1f} km"]
+            for k, sc, c, L, d in rows
+        ],
+    ))
+    for k, survivors_connected, connected, L, _d in rows:
+        # The guarantee chain: C=1 before failure -> survivors connected
+        # -> recovery plan again has C=1.
+        assert survivors_connected, f"{k} failures split the survivors"
+        assert connected, f"recovery after {k} failures lost connectivity"
+        # L is measured against the *mid-march* link set, which is much
+        # denser than a lattice (straight-line motion under a rotated
+        # map compresses the formation mid-flight), so the attainable
+        # ratio is bounded by roughly final/initial links (~0.3 here);
+        # we assert the recovery approaches that bound.
+        assert L > 0.25

@@ -1,0 +1,56 @@
+"""E10 - Fig. 2: the six-panel pipeline figure, regenerated end to end.
+
+Runs the full pipeline on the paper's M1 -> flower-pond scenario and
+writes the six SVG panels next to the benchmark output, asserting each
+stage's structural invariant (the pipeline figure's implicit claims):
+T is a triangulation of the full swarm, its disk map is a fold-free
+embedding, and the final deployment covers the target FoI.
+"""
+
+from pathlib import Path
+
+from repro.coverage import LloydConfig, coverage_fraction
+from repro.experiments import get_scenario
+from repro.marching import MarchingConfig, run_pipeline
+from repro.robots import RadioSpec, Swarm
+from repro.viz import render_pipeline_figure
+
+CFG = MarchingConfig(
+    foi_target_points=320, lloyd=LloydConfig(grid_target=1400, max_iterations=50)
+)
+OUTPUT_DIR = Path(__file__).parent / "output" / "fig2"
+
+
+def _run():
+    spec = get_scenario(3)
+    radio = RadioSpec.from_comm_range(spec.comm_range)
+    m1, m2 = spec.build(separation_factor=15.0)
+    swarm = Swarm.deploy_lattice(m1, spec.robot_count, radio)
+    stages = run_pipeline(swarm, m2, config=CFG)
+    paths = render_pipeline_figure(stages, OUTPUT_DIR, spec.comm_range)
+    return stages, paths
+
+
+def test_fig2_pipeline(benchmark):
+    stages, paths = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print(f"\nFig. 2 panels written to {OUTPUT_DIR}:")
+    for p in paths:
+        print(f"  {p.name}")
+    assert len(paths) == 6 and all(p.exists() for p in paths)
+
+    # Panel invariants.
+    assert stages.t_mesh.vertex_count == stages.m1_graph.node_count
+    assert stages.t_mesh.is_topological_disk()
+    assert stages.disk_map_t.is_embedding()
+    assert stages.disk_map_m2.is_embedding()
+    m2 = stages.foi_mesh.foi
+    result = stages.result
+    assert m2.contains(result.final_positions).all()
+    # Blue links exist: the march preserves a meaningful link majority.
+    assert stages.preserved_link_mask().mean() > 0.5
+    # The final deployment actually covers the FoI (Kershner optimality
+    # is about full coverage; the reproduced layout should approach it).
+    radio = RadioSpec.from_comm_range(80.0)
+    assert coverage_fraction(
+        m2, result.final_positions, radio.sensing_range
+    ) > 0.9

@@ -1,0 +1,17 @@
+"""E1 - Fig. 3(a) rows 4-5: scenario 1 (non-hole -> non-hole blob).
+
+Regenerates the distance-ratio and stable-link-ratio series over the
+10x-100x communication-range separation sweep and asserts the paper's
+qualitative shape (ours converge to Hungarian's distance while
+preserving far more links; global connectivity always holds).
+"""
+
+from _shared import assert_paper_shape, get_sweep, print_sweep
+
+
+def test_fig3a_scenario1(benchmark):
+    sweep = benchmark.pedantic(get_sweep, args=(1,), rounds=1, iterations=1)
+    print_sweep(sweep)
+    assert_paper_shape(sweep)
+    # Scenario-1 specific: similar blob shapes keep L very high for ours.
+    assert min(sweep.series("stable_link_ratio", "ours (a)")) > 0.9

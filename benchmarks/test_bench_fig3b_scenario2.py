@@ -1,0 +1,36 @@
+"""E2 - Fig. 3(b) rows 4-5: scenario 2 (non-hole blob -> slim FoI).
+
+The slim target differs strongly from M1 ("the boundary shapes ...
+differ a lot"), which the paper notes increases the direct-translation
+moving distance relative to scenario 1.
+"""
+
+import numpy as np
+
+from _shared import assert_paper_shape, get_sweep, print_sweep
+
+
+def test_fig3b_scenario2(benchmark):
+    sweep = benchmark.pedantic(get_sweep, args=(2,), rounds=1, iterations=1)
+    print_sweep(sweep)
+    assert_paper_shape(sweep)
+
+
+def test_fig3b_direct_translation_suffers_vs_scenario1(benchmark):
+    """Paper: 'we can see an increased total moving distance for direct
+    translation method in the second scenario' (shape mismatch makes the
+    post-translation Hungarian adjustment long)."""
+
+    def compare():
+        s1 = get_sweep(1)
+        s2 = get_sweep(2)
+        # The short-separation point, where the adjustment dominates.
+        return (
+            s1.points[0].distance_ratio["direct translation"],
+            s2.points[0].distance_ratio["direct translation"],
+        )
+
+    ratio_1, ratio_2 = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print(f"\ndirect translation D-ratio at 10x: scenario 1 {ratio_1:.3f} "
+          f"vs scenario 2 {ratio_2:.3f}")
+    assert ratio_2 > ratio_1

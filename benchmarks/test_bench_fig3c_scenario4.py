@@ -1,0 +1,9 @@
+"""E4 - Fig. 3(c) rows 4-5: scenario 4 (non-hole -> big convex hole)."""
+
+from _shared import assert_paper_shape, get_sweep, print_sweep
+
+
+def test_fig3c_scenario4(benchmark):
+    sweep = benchmark.pedantic(get_sweep, args=(4,), rounds=1, iterations=1)
+    print_sweep(sweep)
+    assert_paper_shape(sweep)

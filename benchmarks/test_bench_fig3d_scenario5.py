@@ -1,0 +1,9 @@
+"""E5 - Fig. 3(d) rows 4-5: scenario 5 (non-hole -> multiple small holes)."""
+
+from _shared import assert_paper_shape, get_sweep, print_sweep
+
+
+def test_fig3d_scenario5(benchmark):
+    sweep = benchmark.pedantic(get_sweep, args=(5,), rounds=1, iterations=1)
+    print_sweep(sweep)
+    assert_paper_shape(sweep)

@@ -1,0 +1,16 @@
+"""E3 - Fig. 4: scenario 3 (non-hole -> the concave flower-pond FoI).
+
+The target is Fig. 2(d): a blob with a strongly concave flower-shaped
+pond.  Fig. 4 compares total moving distance (a) and stable link ratio
+(b) for all four methods.
+"""
+
+from _shared import assert_paper_shape, get_sweep, print_sweep
+
+
+def test_fig4_scenario3(benchmark):
+    sweep = benchmark.pedantic(get_sweep, args=(3,), rounds=1, iterations=1)
+    print_sweep(sweep)
+    assert_paper_shape(sweep)
+    # Even with the concave hole, ours preserves a solid majority of links.
+    assert min(sweep.series("stable_link_ratio", "ours (a)")) > 0.6

@@ -1,0 +1,9 @@
+"""E6 - Fig. 5(a) rows 4-5: scenario 6 (hole-bearing M1 -> hole-bearing M2)."""
+
+from _shared import assert_paper_shape, get_sweep, print_sweep
+
+
+def test_fig5a_scenario6(benchmark):
+    sweep = benchmark.pedantic(get_sweep, args=(6,), rounds=1, iterations=1)
+    print_sweep(sweep)
+    assert_paper_shape(sweep)

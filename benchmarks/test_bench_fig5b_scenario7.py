@@ -1,0 +1,9 @@
+"""E7 - Fig. 5(b) rows 4-5: scenario 7 (two-hole M1 -> flower-hole M2)."""
+
+from _shared import assert_paper_shape, get_sweep, print_sweep
+
+
+def test_fig5b_scenario7(benchmark):
+    sweep = benchmark.pedantic(get_sweep, args=(7,), rounds=1, iterations=1)
+    print_sweep(sweep)
+    assert_paper_shape(sweep)

@@ -1,0 +1,40 @@
+"""E11 - Fig. 1 / Lemmas 1-2: the impossibility constructions, measured.
+
+Lemma 1 (Fig. 1(a)): on the seven-robot slim-lattice example, the
+minimum-distance assignment and the link-preserving assignment differ,
+and each is strictly better on its own metric - the trade-off the whole
+paper is built on.
+
+Lemma 2 (Fig. 1(b)): on the hexagon-to-line example, *no* assignment
+preserves all 12 links - verified exhaustively over all 5040
+assignments, a stronger statement than the paper's prose proof.
+"""
+
+from repro.experiments import format_table, lemma1_example, lemma2_example
+
+
+def test_lemma1_tradeoff(benchmark):
+    ex = benchmark.pedantic(lemma1_example, rounds=1, iterations=1)
+    print("\nLemma 1 (Fig. 1a) - the D vs L trade-off:")
+    print(
+        format_table(
+            ["assignment", "total distance D", "links preserved"],
+            [
+                ["link-preserving", f"{ex.preserving_distance:.3f}", ex.preserving_links],
+                ["minimum-distance", f"{ex.min_distance:.3f}", ex.min_distance_links],
+            ],
+        )
+    )
+    assert ex.tradeoff_holds
+    assert ex.min_distance < ex.preserving_distance
+    assert ex.min_distance_links < ex.preserving_links
+
+
+def test_lemma2_impossibility(benchmark):
+    ex = benchmark.pedantic(lemma2_example, rounds=1, iterations=1)
+    print(f"\nLemma 2 (Fig. 1b) - best of all 5040 assignments keeps "
+          f"{ex.best_preserved}/{ex.total_links} links")
+    assert ex.full_preservation_impossible
+    assert ex.total_links == 12
+    # The paper: some robots must break at least two links each.
+    assert ex.total_links - ex.best_preserved >= 2

@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the performance-critical kernels.
+
+These are conventional pytest-benchmark timings (multiple rounds) for
+the kernels the experiment harness leans on: the Hungarian assignment
+at the paper's problem size (144 robots), the sparse harmonic solve,
+the unit-disk graph build, and one Lloyd iteration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import solve_assignment
+from repro.coverage.lloyd import lloyd_iteration
+from repro.foi import m1_base
+from repro.geometry import pairwise_distances
+from repro.harmonic import boundary_parameterization, circle_positions
+from repro.harmonic.solvers import solve_linear
+from repro.mesh import triangulate_foi
+from repro.network import UnitDiskGraph
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(7)
+
+
+def test_perf_hungarian_144(benchmark, rng):
+    p = rng.uniform(0, 1000, (144, 2))
+    q = rng.uniform(0, 1000, (144, 2))
+    cost = pairwise_distances(p, q)
+    result = benchmark(solve_assignment, cost)
+    assert sorted(result.tolist()) == list(range(144))
+
+
+def test_perf_harmonic_solve(benchmark):
+    mesh = triangulate_foi(m1_base(), target_points=600).mesh
+    loop, angles = boundary_parameterization(mesh)
+    bpos = circle_positions(angles)
+    out = benchmark(solve_linear, mesh, loop, bpos)
+    assert np.hypot(out[:, 0], out[:, 1]).max() <= 1.0 + 1e-9
+
+
+def test_perf_udg_build(benchmark, rng):
+    pts = rng.uniform(0, 2000, (144, 2))
+
+    def build():
+        return UnitDiskGraph(pts, 80.0).edges
+
+    edges = benchmark(build)
+    assert edges.ndim == 2
+
+
+def test_perf_lloyd_iteration(benchmark, rng):
+    foi = m1_base()
+    grid = foi.grid_points(np.sqrt(foi.area / 2000))
+    weights = np.ones(len(grid))
+    sites = foi.sample_free_points(144, rng)
+    out = benchmark(lloyd_iteration, sites, foi, grid, weights)
+    assert out.shape == (144, 2)

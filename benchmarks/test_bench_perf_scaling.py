@@ -1,0 +1,47 @@
+"""Planner wall-clock scaling with swarm size (ours).
+
+Plans scenario-1-style transitions at 49/100/169 robots and reports the
+end-to-end planning time, backing the complexity discussion: every
+stage is near-linear or ``O(n^2)`` with small constants at the paper's
+144-robot scale.
+"""
+
+import time
+
+from repro.coverage import LloydConfig
+from repro.experiments import format_table
+from repro.foi import m1_base, m2_scenario1
+from repro.marching import MarchingConfig, MarchingPlanner
+from repro.robots import RadioSpec, Swarm
+
+CFG = MarchingConfig(
+    foi_target_points=320, lloyd=LloydConfig(grid_target=1400, max_iterations=40)
+)
+# 49 robots would need a lattice pitch above the 80 m range on M1.
+SIZES = (64, 100, 169)
+
+
+def _run():
+    radio = RadioSpec.from_comm_range(80.0)
+    m1 = m1_base()
+    m2 = m2_scenario1()
+    m2 = m2.translated(m1.centroid - m2.centroid + [1600.0, 0.0])
+    timings = []
+    for n in SIZES:
+        swarm = Swarm.deploy_lattice(m1, n, radio)
+        t0 = time.perf_counter()
+        result = MarchingPlanner(CFG).plan(swarm, m2)
+        dt = time.perf_counter() - t0
+        timings.append((n, dt, result.total_distance))
+    return timings
+
+
+def test_perf_planner_scaling(benchmark):
+    timings = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\nPlanner scaling (scenario-1 shapes, 20x r_c separation):")
+    print(format_table(
+        ["robots", "plan time", "D"],
+        [[n, f"{dt:.2f} s", f"{d / 1000:.0f} km"] for n, dt, d in timings],
+    ))
+    # Sanity: planning 169 robots stays within interactive budgets.
+    assert timings[-1][1] < 60.0

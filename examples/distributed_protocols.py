@@ -1,0 +1,74 @@
+"""The paper's distributed protocols running as real message passing.
+
+Sec. III describes everything as distributed algorithms; this example
+executes three of them on the synchronous message-passing runtime over
+an actual swarm triangulation and cross-checks each against the
+centralized computation used elsewhere in the library:
+
+1. boundary-loop hop counting -> unit-circle angles (Sec. III-B),
+2. Jacobi averaging -> the harmonic disk embedding (Sec. III-B),
+3. boundary flooding -> isolated-subgroup detection (Sec. III-D1).
+
+Run:  python examples/distributed_protocols.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import RadioSpec, Swarm
+from repro.distributed import (
+    run_boundary_loop_protocol,
+    run_distributed_harmonic,
+    run_subgroup_detection,
+)
+from repro.foi import m1_base
+from repro.harmonic import boundary_parameterization, circle_positions, solve_linear
+from repro.network import adjacency_from_edges, bfs_hops, extract_triangulation
+
+
+def main() -> None:
+    radio = RadioSpec.from_comm_range(80.0)
+    swarm = Swarm.deploy_lattice(m1_base(), 64, radio)
+    mesh, vmap = extract_triangulation(swarm.positions, radio.comm_range)
+    print(f"Swarm of {swarm.size}; triangulation T has {len(mesh.edges)} edges, "
+          f"{len(mesh.outer_boundary_loop)} boundary robots")
+
+    # -- Protocol 1: boundary loop hop counting ------------------------
+    loop = mesh.outer_boundary_loop
+    angles = run_boundary_loop_protocol(loop, mesh.vertex_count, mesh.adjacency)
+    c_loop, c_angles = boundary_parameterization(mesh, mode="uniform")
+    central = dict(zip(c_loop.tolist(), c_angles.tolist()))
+    mismatch = max(
+        min(abs(angles[v] - central[v]), abs((-angles[v]) % (2 * np.pi) - central[v]))
+        for v in angles
+    )
+    print(f"\n[boundary loop] {len(angles)} circle angles assigned; "
+          f"max deviation from centralized: {mismatch:.2e} rad")
+
+    # -- Protocol 2: distributed harmonic averaging --------------------
+    bpos = circle_positions(c_angles)
+    pinned = {int(v): bpos[k] for k, v in enumerate(c_loop)}
+    distributed = run_distributed_harmonic(mesh.adjacency, pinned, rounds=600)
+    exact = solve_linear(mesh, c_loop, bpos)
+    err = float(np.abs(distributed - exact).max())
+    print(f"[harmonic map ] 600 averaging rounds; max error vs direct "
+          f"solver: {err:.2e}")
+
+    # -- Protocol 3: isolated-subgroup detection -----------------------
+    # Break all links of three interior robots to fake a torn plan.
+    torn = [int(v) for v in mesh.interior_vertices[:3]]
+    adjacency = [
+        [] if v in torn else [w for w in mesh.adjacency[v] if w not in torn]
+        for v in range(mesh.vertex_count)
+    ]
+    isolated, hops = run_subgroup_detection(loop, adjacency)
+    oracle = bfs_hops(adjacency, loop)
+    oracle_isolated = [i for i in range(mesh.vertex_count) if oracle[i] < 0]
+    print(f"[subgroups    ] torn robots {torn} -> protocol found isolated "
+          f"{isolated} (oracle: {oracle_isolated})")
+    assert isolated == oracle_isolated
+
+
+if __name__ == "__main__":
+    main()

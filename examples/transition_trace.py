@@ -1,0 +1,56 @@
+"""Tracing how a transition unfolds: link survival over time.
+
+Records the time series of link state for the same scenario under our
+method (a) and under the Hungarian baseline, then renders both as SVG
+time-series charts.  The trace shows *why* the scalar metrics come out
+the way they do: under the harmonic-map march the "stable so far" curve
+stays near 1.0, while under the distance-optimal assignment it
+collapses early and the swarm transiently bunches up (total links well
+above the initial count mid-flight).
+
+Run:  python examples/transition_trace.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MarchingConfig, MarchingPlanner, RadioSpec, Swarm
+from repro.baselines import hungarian_plan
+from repro.coverage import optimal_coverage_positions
+from repro.experiments import record_trace, render_trace_chart
+from repro.foi import m1_base, m2_scenario1
+from repro.network import LinkTable
+
+
+def main() -> None:
+    radio = RadioSpec.from_comm_range(80.0)
+    m1 = m1_base()
+    swarm = Swarm.deploy_lattice(m1, 100, radio)
+    m2 = m2_scenario1()
+    m2 = m2.translated(m1.centroid + np.array([1600.0, 0.0]) - m2.centroid)
+
+    ours = MarchingPlanner(MarchingConfig(method="a")).plan(swarm, m2)
+    q = optimal_coverage_positions(m2, swarm.size, radio.comm_range)
+    baseline = hungarian_plan(swarm.positions, q)
+    links = LinkTable.from_graph(swarm.communication_graph())
+
+    for name, trajectory, anchors in (
+        ("ours_a", ours.trajectory, ours.boundary_anchors),
+        ("hungarian", baseline.trajectory, None),
+    ):
+        trace = record_trace(trajectory, links, boundary_anchors=anchors)
+        path = render_trace_chart(
+            trace,
+            f"examples/output/trace_{name}.svg",
+            title=f"Link survival over time - {name}",
+        )
+        print(
+            f"{name:10s} stable ratio {trace.final_stable_ratio:.3f}, "
+            f"peak compression {trace.peak_compression:.2f}x, "
+            f"max isolated {trace.isolated.max()} -> {path}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""repro: a reproduction of "Optimal Marching of Autonomous Networked Robots".
+
+Ban, Jin, Wu - ICDCS 2016.  A swarm of networked mobile robots covering
+a Field of Interest (FoI) must relocate to a new FoI - possibly far
+away, concave, and holed - while (1) keeping every robot multi-hop
+connected to the network at all times, (2) preserving as many of its
+initial communication links as possible, and (3) not travelling much
+further than the distance-optimal assignment.
+
+The package layers:
+
+* ``repro.geometry``  - planar geometry kernel
+* ``repro.foi``       - FoI models, scenario shapes, hole detours
+* ``repro.mesh``      - triangle meshes, Delaunay builders, hole filling
+* ``repro.harmonic``  - harmonic disk embeddings, induced maps, rotation search
+* ``repro.network``   - unit-disk graphs, links, triangulation extraction
+* ``repro.distributed`` - synchronous message-passing runtime + protocols
+* ``repro.robots``    - robots, swarms, timed motion
+* ``repro.coverage``  - bounded Voronoi / Lloyd / densities
+* ``repro.marching``  - the paper's planner (methods (a) and (b))
+* ``repro.baselines`` - Hungarian, direct translation, greedy
+* ``repro.metrics``   - D, L, C (Definitions 1-2)
+* ``repro.experiments`` - the 7 scenarios and the sweep harness
+* ``repro.viz``       - dependency-free SVG figures
+
+Quickstart::
+
+    from repro import MarchingPlanner, RadioSpec, Swarm
+    from repro.foi import m1_base, m2_scenario1
+
+    radio = RadioSpec.from_comm_range(80.0)
+    swarm = Swarm.deploy_lattice(m1_base(), 144, radio)
+    target = m2_scenario1().translated((2000.0, 0.0))
+    result = MarchingPlanner().plan(swarm, target)
+    print(result.total_distance, result.repair.escort_count)
+"""
+
+from repro.errors import (
+    CoverageError,
+    GeometryError,
+    MappingError,
+    MeshError,
+    PlanningError,
+    ProtocolError,
+    ReproError,
+    ScenarioError,
+)
+from repro.foi import FieldOfInterest
+from repro.marching import (
+    DistributedMarchingPlanner,
+    FailureEvent,
+    MarchingConfig,
+    MarchingPlanner,
+    MarchingResult,
+    replan_after_failure,
+    run_pipeline,
+)
+from repro.metrics import (
+    connectivity_report,
+    global_connectivity,
+    stable_link_ratio,
+    total_moving_distance,
+)
+from repro.robots import RadioSpec, Robot, Swarm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoverageError",
+    "DistributedMarchingPlanner",
+    "FailureEvent",
+    "FieldOfInterest",
+    "GeometryError",
+    "MappingError",
+    "MarchingConfig",
+    "MarchingPlanner",
+    "MarchingResult",
+    "MeshError",
+    "PlanningError",
+    "ProtocolError",
+    "RadioSpec",
+    "ReproError",
+    "Robot",
+    "ScenarioError",
+    "Swarm",
+    "__version__",
+    "connectivity_report",
+    "global_connectivity",
+    "replan_after_failure",
+    "run_pipeline",
+    "stable_link_ratio",
+    "total_moving_distance",
+]

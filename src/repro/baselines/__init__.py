@@ -1,0 +1,18 @@
+"""Comparison methods: Hungarian, direct translation, greedy matching."""
+
+from repro.baselines.direct import direct_translation_plan
+from repro.baselines.greedy import greedy_matching, greedy_plan
+from repro.baselines.hungarian import matching_cost, min_cost_matching, solve_assignment
+from repro.baselines.hungarian_plan import hungarian_plan
+from repro.baselines.plans import BaselinePlan
+
+__all__ = [
+    "BaselinePlan",
+    "direct_translation_plan",
+    "greedy_matching",
+    "greedy_plan",
+    "hungarian_plan",
+    "matching_cost",
+    "min_cost_matching",
+    "solve_assignment",
+]

@@ -1,0 +1,57 @@
+"""Greedy nearest-target matching (extra baseline, not in the paper).
+
+A cheap O(n^2 log n) alternative to the Hungarian matching: repeatedly
+match the globally closest (robot, target) pair.  Used by the ablation
+benchmarks to quantify how much optimality the exact matching buys, and
+by tests as a sanity upper bound on the Hungarian cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.baselines.plans import BaselinePlan
+from repro.errors import PlanningError
+from repro.geometry.vec import as_points, pairwise_distances
+from repro.robots.transition import straight_transition
+
+__all__ = ["greedy_matching", "greedy_plan"]
+
+
+def greedy_matching(starts, targets) -> np.ndarray:
+    """Assignment built by repeatedly taking the closest unmatched pair."""
+    p = as_points(starts)
+    q = as_points(targets)
+    if len(p) != len(q):
+        raise PlanningError("starts and targets must have equal size")
+    n = len(p)
+    d = pairwise_distances(p, q)
+    heap = [(float(d[i, j]), i, j) for i in range(n) for j in range(n)]
+    heapq.heapify(heap)
+    assignment = -np.ones(n, dtype=int)
+    used_targets = np.zeros(n, dtype=bool)
+    matched = 0
+    while heap and matched < n:
+        _, i, j = heapq.heappop(heap)
+        if assignment[i] >= 0 or used_targets[j]:
+            continue
+        assignment[i] = j
+        used_targets[j] = True
+        matched += 1
+    return assignment
+
+
+def greedy_plan(starts, target_positions, t_end: float = 1.0) -> BaselinePlan:
+    """Straight-line transition along the greedy matching."""
+    p = as_points(starts)
+    q = as_points(target_positions)
+    assignment = greedy_matching(p, q)
+    finals = q[assignment]
+    return BaselinePlan(
+        name="greedy matching",
+        assignment=assignment,
+        final_positions=finals,
+        trajectory=straight_transition(p, finals, 0.0, t_end),
+    )

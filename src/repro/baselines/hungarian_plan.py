@@ -1,0 +1,30 @@
+"""The Hungarian baseline: straight to matched targets (paper Sec. IV).
+
+"The other method, represented by Hungarian method, directly applies
+Hungarian algorithm to find the moving path of the group of mobile
+robots from M1 to the optimal coverage positions in M2, which should
+achieve the minimum total moving distance among all possible methods."
+"""
+
+from __future__ import annotations
+
+from repro.baselines.hungarian import min_cost_matching
+from repro.baselines.plans import BaselinePlan
+from repro.geometry.vec import as_points
+from repro.robots.transition import straight_transition
+
+__all__ = ["hungarian_plan"]
+
+
+def hungarian_plan(starts, target_positions, t_end: float = 1.0) -> BaselinePlan:
+    """Straight-line transition along the minimum-distance matching."""
+    p = as_points(starts)
+    q = as_points(target_positions)
+    assignment = min_cost_matching(p, q)
+    finals = q[assignment]
+    return BaselinePlan(
+        name="Hungarian",
+        assignment=assignment,
+        final_positions=finals,
+        trajectory=straight_transition(p, finals, 0.0, t_end),
+    )

@@ -1,0 +1,37 @@
+"""Common result type for baseline transition planners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.robots.motion import SwarmTrajectory
+
+__all__ = ["BaselinePlan"]
+
+
+@dataclass(frozen=True)
+class BaselinePlan:
+    """A baseline's complete answer to a marching problem.
+
+    Attributes
+    ----------
+    name : str
+        Method label as used in the paper's plots.
+    assignment : (n,) int ndarray
+        ``targets[assignment[i]]`` is robot ``i``'s final position.
+    final_positions : (n, 2) ndarray
+        Per-robot final positions (already permuted by assignment).
+    trajectory : SwarmTrajectory
+        The full timed motion plan.
+    """
+
+    name: str
+    assignment: np.ndarray
+    final_positions: np.ndarray
+    trajectory: SwarmTrajectory
+
+    @property
+    def total_distance(self) -> float:
+        return self.trajectory.total_distance()

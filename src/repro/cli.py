@@ -1,0 +1,203 @@
+"""Command-line interface: run scenarios, sweeps and figure generation.
+
+Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+
+    python -m repro scenario 3 --separation 20
+    python -m repro sweep 1 --separations 10 40 70 100 --figures out/
+    python -m repro table1
+    python -m repro lemmas
+    python -m repro pipeline 3 --output out/fig2
+
+Every command prints the same rows the paper reports and exits non-zero
+on failure, so the CLI doubles as a smoke test in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Optimal Marching of Autonomous "
+        "Networked Robots' (ICDCS 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_scenario = sub.add_parser(
+        "scenario", help="run all four methods on one scenario instance"
+    )
+    p_scenario.add_argument("scenario_id", type=int, choices=range(1, 8))
+    p_scenario.add_argument("--separation", type=float, default=20.0,
+                            help="M1-M2 distance in communication ranges")
+    p_scenario.add_argument("--points", type=int, default=400,
+                            help="target FoI grid resolution")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="Fig. 3-style separation sweep for one scenario"
+    )
+    p_sweep.add_argument("scenario_id", type=int, choices=range(1, 8))
+    p_sweep.add_argument("--separations", type=float, nargs="+",
+                         default=[10.0, 40.0, 70.0, 100.0])
+    p_sweep.add_argument("--figures", metavar="DIR", default=None,
+                         help="also write the two SVG figure panels here")
+
+    sub.add_parser("table1", help="Table I: global connectivity per scenario")
+    sub.add_parser("lemmas", help="the Fig. 1 / Lemma 1-2 constructions")
+
+    p_report = sub.add_parser(
+        "report", help="run all scenarios and write a markdown report"
+    )
+    p_report.add_argument("--output", default="reproduction_report.md")
+    p_report.add_argument("--separation", type=float, default=20.0)
+    p_report.add_argument("--scenarios", type=int, nargs="+", default=None,
+                          help="subset of scenario ids (default: all)")
+
+    p_pipe = sub.add_parser(
+        "pipeline", help="run the Fig. 2 pipeline and write its six panels"
+    )
+    p_pipe.add_argument("scenario_id", type=int, choices=range(1, 8))
+    p_pipe.add_argument("--output", default="output/fig2")
+    p_pipe.add_argument("--separation", type=float, default=15.0)
+    return parser
+
+
+def _cmd_scenario(args) -> int:
+    from repro.experiments import (
+        DEFAULT_METHODS,
+        format_table,
+        get_scenario,
+        run_scenario,
+    )
+
+    run = run_scenario(
+        get_scenario(args.scenario_id),
+        separation_factor=args.separation,
+        foi_target_points=args.points,
+    )
+    rows = []
+    for method in DEFAULT_METHODS:
+        e = run.evaluations[method]
+        rows.append([
+            method,
+            f"{e.total_distance / 1000:.1f} km",
+            f"{e.stable_link_ratio:.3f}",
+            e.connectivity_flag,
+        ])
+    print(f"Scenario {args.scenario_id} at {args.separation:g}x r_c:")
+    print(format_table(["method", "D", "L", "C"], rows))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments import (
+        DEFAULT_METHODS,
+        get_scenario,
+        render_sweep,
+        sweep_separations,
+        write_sweep_figures,
+    )
+
+    sweep = sweep_separations(
+        get_scenario(args.scenario_id),
+        separation_factors=tuple(args.separations),
+    )
+    print(render_sweep(sweep, list(DEFAULT_METHODS)))
+    if args.figures:
+        for path in write_sweep_figures(sweep, args.figures):
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.experiments import (
+        DEFAULT_METHODS,
+        get_scenario,
+        render_table1,
+        run_scenario,
+    )
+
+    runs = {
+        sid: run_scenario(get_scenario(sid), separation_factor=20.0)
+        for sid in range(1, 8)
+    }
+    print(render_table1(runs, list(DEFAULT_METHODS)))
+    ours_ok = all(
+        runs[sid].evaluations[m].globally_connected
+        for sid in runs
+        for m in ("ours (a)", "ours (b)")
+    )
+    return 0 if ours_ok else 1
+
+
+def _cmd_lemmas(args) -> int:
+    from repro.experiments import format_table, lemma1_example, lemma2_example
+
+    l1 = lemma1_example()
+    print("Lemma 1 (Fig. 1a):")
+    print(format_table(
+        ["assignment", "D", "links kept"],
+        [
+            ["link-preserving", f"{l1.preserving_distance:.3f}", l1.preserving_links],
+            ["minimum-distance", f"{l1.min_distance:.3f}", l1.min_distance_links],
+        ],
+    ))
+    l2 = lemma2_example()
+    print(f"\nLemma 2 (Fig. 1b): best of 5040 assignments keeps "
+          f"{l2.best_preserved}/{l2.total_links} links")
+    ok = l1.tradeoff_holds and l2.full_preservation_impossible
+    return 0 if ok else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import write_report
+
+    path = write_report(
+        args.output,
+        separation_factor=args.separation,
+        scenario_ids=args.scenarios,
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    from repro.experiments import get_scenario
+    from repro.marching import run_pipeline
+    from repro.robots import RadioSpec, Swarm
+    from repro.viz import render_pipeline_figure
+
+    spec = get_scenario(args.scenario_id)
+    radio = RadioSpec.from_comm_range(spec.comm_range)
+    m1, m2 = spec.build(separation_factor=args.separation)
+    swarm = Swarm.deploy_lattice(m1, spec.robot_count, radio)
+    stages = run_pipeline(swarm, m2)
+    for path in render_pipeline_figure(stages, args.output, spec.comm_range):
+        print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "scenario": _cmd_scenario,
+    "sweep": _cmd_sweep,
+    "table1": _cmd_table1,
+    "lemmas": _cmd_lemmas,
+    "report": _cmd_report,
+    "pipeline": _cmd_pipeline,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

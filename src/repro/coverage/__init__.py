@@ -1,0 +1,47 @@
+"""Coverage control: Voronoi cells, Lloyd adjustment, densities, lattices."""
+
+from repro.coverage.density import (
+    DensityFunction,
+    gaussian_hotspot_density,
+    hole_proximity_density,
+    uniform_density,
+    validate_density,
+)
+from repro.coverage.lattice import lattice_positions, optimal_coverage_positions
+from repro.coverage.lloyd import LloydConfig, LloydResult, lloyd_iteration, run_lloyd
+from repro.coverage.metrics import (
+    coverage_fraction,
+    density_concentration,
+    kershner_bound,
+    nearest_robot_distances,
+)
+from repro.coverage.voronoi import (
+    cell_area,
+    cell_centroid,
+    clipped_voronoi_cells,
+    voronoi_cell,
+    voronoi_cells,
+)
+
+__all__ = [
+    "DensityFunction",
+    "LloydConfig",
+    "LloydResult",
+    "cell_area",
+    "cell_centroid",
+    "clipped_voronoi_cells",
+    "coverage_fraction",
+    "density_concentration",
+    "gaussian_hotspot_density",
+    "hole_proximity_density",
+    "kershner_bound",
+    "lattice_positions",
+    "lloyd_iteration",
+    "nearest_robot_distances",
+    "optimal_coverage_positions",
+    "run_lloyd",
+    "uniform_density",
+    "validate_density",
+    "voronoi_cell",
+    "voronoi_cells",
+]

@@ -1,0 +1,102 @@
+"""Density functions for density-aware coverage (paper Sec. IV-E).
+
+The centroid of a Voronoi region can be computed "with respect to a
+given density function", letting the swarm concentrate where the task
+demands ("more robots will be deployed near the center of a fire with
+higher temperature").  A density function maps an ``(m, 2)`` array of
+points to an ``(m,)`` array of positive weights.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CoverageError
+from repro.foi.region import FieldOfInterest
+from repro.geometry.vec import as_points
+
+__all__ = [
+    "DensityFunction",
+    "uniform_density",
+    "gaussian_hotspot_density",
+    "hole_proximity_density",
+    "validate_density",
+]
+
+DensityFunction = Callable[[np.ndarray], np.ndarray]
+
+
+def uniform_density() -> DensityFunction:
+    """The constant density 1 (plain centroidal Voronoi)."""
+
+    def density(points: np.ndarray) -> np.ndarray:
+        return np.ones(len(as_points(points)))
+
+    return density
+
+
+def gaussian_hotspot_density(
+    center, sigma: float, peak: float = 4.0, floor: float = 1.0
+) -> DensityFunction:
+    """Density peaking at ``center`` (e.g. the centre of a fire).
+
+    ``floor + peak * exp(-|x - c|^2 / (2 sigma^2))``.
+    """
+    c = np.asarray(center, dtype=float)
+    if sigma <= 0:
+        raise CoverageError("sigma must be positive")
+    if peak < 0 or floor <= 0:
+        raise CoverageError("peak must be >= 0 and floor > 0")
+
+    def density(points: np.ndarray) -> np.ndarray:
+        pts = as_points(points)
+        d2 = ((pts - c) ** 2).sum(axis=1)
+        return floor + peak * np.exp(-d2 / (2.0 * sigma * sigma))
+
+    return density
+
+
+def hole_proximity_density(
+    foi: FieldOfInterest, sigma: float, peak: float = 4.0, floor: float = 1.0
+) -> DensityFunction:
+    """Density increasing toward the FoI's holes (Fig. 6's requirement).
+
+    The paper's modified scenario 4 asks that "the closer to the hole,
+    the more mobile robots are needed"; the weight decays exponentially
+    with distance to the nearest hole boundary.
+
+    Raises
+    ------
+    CoverageError
+        If the FoI has no hole (the density would be constant).
+    """
+    if not foi.has_holes:
+        raise CoverageError("hole_proximity_density needs a FoI with holes")
+    if sigma <= 0:
+        raise CoverageError("sigma must be positive")
+
+    def density(points: np.ndarray) -> np.ndarray:
+        pts = as_points(points)
+        d = foi.hole_distances(pts)
+        return floor + peak * np.exp(-d / sigma)
+
+    return density
+
+
+def validate_density(density: DensityFunction, points) -> np.ndarray:
+    """Evaluate a density and verify the output contract.
+
+    Returns the weights; raises :class:`CoverageError` on shape
+    mismatch, non-finite values, or non-positive weights.
+    """
+    pts = as_points(points)
+    w = np.asarray(density(pts), dtype=float)
+    if w.shape != (len(pts),):
+        raise CoverageError(f"density returned shape {w.shape}, expected ({len(pts)},)")
+    if not np.all(np.isfinite(w)):
+        raise CoverageError("density returned non-finite weights")
+    if np.any(w <= 0):
+        raise CoverageError("density weights must be strictly positive")
+    return w

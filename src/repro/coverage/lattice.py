@@ -1,0 +1,80 @@
+"""Triangular-lattice deployments and canonical coverage positions.
+
+The triangular lattice is the coverage-optimal pattern the paper (via
+Kershner's theorem) assumes as both the starting deployment in M1 and
+the end state in M2.  :func:`optimal_coverage_positions` computes the
+canonical ``Q`` used by the baselines, which "have computed the optimal
+coverage positions in M2 before the transition procedure": a lattice
+seeding refined by (connectivity-unconstrained) Lloyd iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CoverageError
+from repro.coverage.density import DensityFunction
+from repro.coverage.lloyd import LloydConfig, run_lloyd
+from repro.foi.region import FieldOfInterest
+from repro.robots.swarm import Swarm, _triangular_lattice_points
+from repro.robots.robot import RadioSpec
+
+__all__ = ["lattice_positions", "optimal_coverage_positions"]
+
+
+def lattice_positions(foi: FieldOfInterest, count: int, comm_range: float) -> np.ndarray:
+    """``count`` triangular-lattice sites inside ``foi``.
+
+    Thin wrapper over the swarm deployment used when only positions
+    (not a full swarm) are needed.
+    """
+    radio = RadioSpec.from_comm_range(comm_range)
+    return Swarm.deploy_lattice(foi, count, radio).positions
+
+
+def optimal_coverage_positions(
+    foi: FieldOfInterest,
+    count: int,
+    comm_range: float,
+    density: DensityFunction | None = None,
+    grid_target: int = 2500,
+    max_iterations: int = 80,
+) -> np.ndarray:
+    """Canonical optimal-coverage positions ``Q`` in a FoI.
+
+    A centroidal Voronoi configuration computed by Lloyd refinement
+    from deterministic pseudo-random seeding.  The seeding is
+    intentionally *independent of any deployment* (in particular of the
+    axis-aligned lattice generator used for M1 start states): the
+    paper's comparison methods are merely "assumed to have computed the
+    optimal coverage positions in M2", and an optimal configuration
+    carries no memory of the swarm's previous orientation or lattice
+    phase.  Seeding both from the same lattice generator would secretly
+    hand the baselines a pre-aligned target and inflate their stable
+    link ratios.
+
+    Deterministic: the same FoI, count and density always produce the
+    same ``Q`` (the seed derives from the count and the FoI's hole
+    structure only).
+
+    Raises
+    ------
+    CoverageError
+        If ``count`` is not positive.
+    """
+    if count < 1:
+        raise CoverageError("need at least one robot")
+    rng = np.random.default_rng(7919 * count + 31 * len(foi.holes) + 1)
+    seeds = foi.sample_free_points(count, rng)
+    result = run_lloyd(
+        seeds,
+        foi,
+        comm_range=comm_range,
+        density=density,
+        config=LloydConfig(
+            grid_target=grid_target,
+            max_iterations=max_iterations,
+            connectivity_safe=False,
+        ),
+    )
+    return result.positions

@@ -1,0 +1,102 @@
+"""Exact bounded Voronoi cells via half-plane clipping.
+
+Each site's Voronoi cell is the intersection of the perpendicular-
+bisector half-planes against every other site; clipping a bounding box
+through them yields the cell as a convex polygon.  Intersecting with a
+*convex* field of interest stays exact.  (For concave or holed FoIs the
+Lloyd iteration uses the grid-based discretisation in
+:mod:`repro.coverage.lloyd`; the exact cells here serve convex regions
+and act as the test oracle for the discretised version.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CoverageError
+from repro.geometry.clipping import bounding_box_polygon, clip_convex, clip_halfplane
+from repro.geometry.polygon import Polygon, polygon_centroid, signed_area
+from repro.geometry.vec import as_points
+
+__all__ = ["voronoi_cell", "voronoi_cells", "clipped_voronoi_cells"]
+
+
+def voronoi_cell(sites, index: int, window) -> np.ndarray:
+    """Voronoi cell of ``sites[index]`` clipped to polygon ``window``.
+
+    Parameters
+    ----------
+    sites : (n, 2) array-like
+    index : int
+    window : (m, 2) array-like
+        Convex CCW clip polygon bounding the diagram.
+
+    Returns
+    -------
+    (k, 2) ndarray
+        The cell polygon (possibly empty if the site lies far outside
+        the window).
+    """
+    pts = as_points(sites)
+    if not 0 <= index < len(pts):
+        raise CoverageError(f"site index {index} out of range")
+    cell = as_points(window)
+    site = pts[index]
+    order = np.argsort(np.hypot(*(pts - site).T))
+    for j in order:
+        if j == index:
+            continue
+        other = pts[j]
+        midpoint = (site + other) / 2.0
+        normal = other - site  # points away from `site`; cell keeps <= 0 side
+        cell = clip_halfplane(cell, midpoint, normal)
+        if len(cell) == 0:
+            break
+    return cell
+
+
+def voronoi_cells(sites, window) -> list[np.ndarray]:
+    """All Voronoi cells clipped to ``window`` (convex CCW polygon)."""
+    pts = as_points(sites)
+    if len(pts) == 0:
+        raise CoverageError("need at least one site")
+    return [voronoi_cell(pts, i, window) for i in range(len(pts))]
+
+
+def clipped_voronoi_cells(sites, region: Polygon) -> list[np.ndarray]:
+    """Voronoi cells intersected with a convex region polygon.
+
+    Raises
+    ------
+    CoverageError
+        If ``region`` is not convex (use the grid-based Lloyd for
+        concave or holed FoIs).
+    """
+    if not region.is_convex:
+        raise CoverageError(
+            "exact Voronoi clipping requires a convex region; "
+            "use grid-based Lloyd for concave/holed FoIs"
+        )
+    box = bounding_box_polygon(region.vertices, margin=region.perimeter)
+    out = []
+    for cell in voronoi_cells(sites, box):
+        if len(cell) == 0:
+            out.append(cell)
+            continue
+        clipped = clip_convex(cell, region.vertices)
+        out.append(clipped)
+    return out
+
+
+def cell_centroid(cell: np.ndarray) -> np.ndarray:
+    """Area centroid of a cell polygon (mean of vertices when degenerate)."""
+    if len(cell) < 3:
+        raise CoverageError("centroid of a degenerate cell")
+    return polygon_centroid(cell)
+
+
+def cell_area(cell: np.ndarray) -> float:
+    """Unsigned area of a cell polygon (0 for degenerate cells)."""
+    if len(cell) < 3:
+        return 0.0
+    return abs(signed_area(cell))

@@ -1,0 +1,162 @@
+"""Distributed boundary-loop parameterization (paper Sec. III-B).
+
+"A boundary vertex with the smallest ID initiates a message with a
+counter that records how many hops the message has travelled along the
+boundary.  ...  The message will come back to the starting vertex as
+the boundary vertices form a closed loop.  The starting vertex notifies
+other boundary vertices the size of the boundary.  Based on the
+recorded hop number and the size of the boundary vertices, each
+boundary vertex then computes a position along the boundary of a unit
+disk."
+
+Implemented as an honest message-passing protocol on the
+:class:`~repro.distributed.runtime.SyncNetwork`: a node knows only its
+ID, whether it is a boundary vertex, and its boundary neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.distributed.runtime import Message, Node, NodeApi, SyncNetwork
+
+__all__ = ["BoundaryLoopNode", "run_boundary_loop_protocol"]
+
+
+class BoundaryLoopNode(Node):
+    """Participant in the boundary hop-counting protocol.
+
+    Parameters
+    ----------
+    node_id : int
+    boundary_neighbors : tuple[int, int] or ()
+        The node's two neighbours along the boundary loop (empty for
+        interior vertices, which merely idle).
+    """
+
+    def __init__(self, node_id: int, boundary_neighbors: tuple[int, ...]) -> None:
+        super().__init__(node_id)
+        if boundary_neighbors and len(boundary_neighbors) != 2:
+            raise ProtocolError("a boundary vertex has exactly two loop neighbours")
+        self.boundary_neighbors = boundary_neighbors
+        self.state["hop"] = None  # my hop number from the initiator
+        self.state["loop_size"] = None
+        self.state["angle"] = None
+        self.state["is_initiator"] = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_boundary(self) -> bool:
+        return bool(self.boundary_neighbors)
+
+    def on_start(self, api: NodeApi) -> None:
+        if not self.is_boundary:
+            self.halt()
+            return
+        # Initiator election: a boundary vertex whose ID is smaller than
+        # both loop neighbours' IDs starts a token.  (IDs are unique, so
+        # exactly one vertex per loop qualifies for the global minimum;
+        # local minima that are not global get suppressed when a token
+        # from a smaller ID passes through them.)
+        if self.node_id < min(self.boundary_neighbors):
+            self.state["is_initiator"] = True
+            self.state["hop"] = 0
+            self.state["token_origin"] = self.node_id
+            successor = min(self.boundary_neighbors)
+            api.send(successor, "token", {"origin": self.node_id, "hop": 1})
+
+    def on_round(self, api: NodeApi, inbox) -> None:
+        for msg in inbox:
+            if msg.kind == "token":
+                self._handle_token(api, msg)
+            elif msg.kind == "size":
+                self._handle_size(api, msg)
+
+    # ------------------------------------------------------------------
+
+    def _handle_token(self, api: NodeApi, msg: Message) -> None:
+        origin = msg.payload["origin"]
+        hop = msg.payload["hop"]
+        if origin == self.node_id:
+            # The token returned: hop now equals the loop size.
+            size = hop
+            self.state["loop_size"] = size
+            self._compute_angle()
+            successor = self._other_neighbor(msg.sender)
+            api.send(successor, "size", {"origin": origin, "size": size, "ttl": size - 1})
+            self.halt()
+            return
+        current = self.state.get("token_origin")
+        if current is not None and current <= origin:
+            return  # already carrying a token from a smaller or equal ID
+        self.state["token_origin"] = origin
+        self.state["hop"] = hop
+        successor = self._other_neighbor(msg.sender)
+        api.send(successor, "token", {"origin": origin, "hop": hop + 1})
+
+    def _handle_size(self, api: NodeApi, msg: Message) -> None:
+        if self.state["loop_size"] is None:
+            self.state["loop_size"] = msg.payload["size"]
+            self._compute_angle()
+            ttl = msg.payload["ttl"]
+            if ttl > 1:
+                successor = self._other_neighbor(msg.sender)
+                api.send(
+                    successor,
+                    "size",
+                    {"origin": msg.payload["origin"], "size": msg.payload["size"], "ttl": ttl - 1},
+                )
+        self.halt()
+
+    def _other_neighbor(self, sender: int) -> int:
+        a, b = self.boundary_neighbors
+        return b if sender == a else a
+
+    def _compute_angle(self) -> None:
+        size = self.state["loop_size"]
+        hop = self.state["hop"]
+        if size and hop is not None:
+            self.state["angle"] = 2.0 * np.pi * (hop % size) / size
+
+
+def run_boundary_loop_protocol(
+    loop: list[int], total_nodes: int, adjacency
+) -> dict[int, float]:
+    """Run the protocol over a known boundary loop and return angles.
+
+    Parameters
+    ----------
+    loop : list of int
+        Boundary vertex IDs in loop order (as extracted from the mesh;
+        each node is only told its two loop neighbours).
+    total_nodes : int
+        Total node count (interior nodes idle).
+    adjacency : sequence of sequences
+        Communication topology (must contain the loop edges).
+
+    Returns
+    -------
+    dict node_id -> angle
+        One entry per boundary vertex; uniform spacing by hop count,
+        starting at the smallest ID - bitwise identical to the
+        centralized ``boundary_parameterization(mode="uniform")``.
+    """
+    loop_neighbors: dict[int, tuple[int, ...]] = {}
+    m = len(loop)
+    for k, v in enumerate(loop):
+        loop_neighbors[v] = (loop[(k - 1) % m], loop[(k + 1) % m])
+    nodes = [
+        BoundaryLoopNode(i, loop_neighbors.get(i, ()))
+        for i in range(total_nodes)
+    ]
+    net = SyncNetwork(nodes, adjacency)
+    net.run(max_rounds=20 * max(m, 1) + 20)
+    out: dict[int, float] = {}
+    for v in loop:
+        angle = nodes[v].state["angle"]
+        if angle is None:
+            raise ProtocolError(f"boundary vertex {v} never learned its angle")
+        out[v] = float(angle)
+    return out

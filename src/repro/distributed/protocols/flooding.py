@@ -1,0 +1,109 @@
+"""Flooding-based aggregation (used by the rotation-angle search).
+
+In Sec. III-B every robot computes its own stable-link count for a
+candidate rotation angle and "floods the information to other mobile
+robots" so all robots agree on the aggregate score.  This module
+implements that pattern: each node contributes a value; after the
+protocol, every node knows the sum (or min/max) over all contributions.
+
+The implementation floods ``(origin, value)`` records with duplicate
+suppression, which terminates within diameter-many rounds and delivers
+every record to every node on a connected topology.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ProtocolError
+from repro.distributed.runtime import Node, NodeApi, SyncNetwork
+
+__all__ = ["FloodSumNode", "flood_aggregate"]
+
+
+class FloodSumNode(Node):
+    """Node that floods its value and collects everyone else's.
+
+    Parameters
+    ----------
+    node_id : int
+    value : float
+        This node's contribution to the aggregate.
+    expected_count : int
+        Total number of participants; the node halts once it holds a
+        record from each.
+    """
+
+    def __init__(self, node_id: int, value: float, expected_count: int) -> None:
+        super().__init__(node_id)
+        self.state["records"] = {node_id: float(value)}
+        self._expected = int(expected_count)
+
+    def on_start(self, api: NodeApi) -> None:
+        api.broadcast("record", (self.node_id, self.state["records"][self.node_id]))
+        if self._expected == 1:
+            self.halt()
+
+    def on_round(self, api: NodeApi, inbox) -> None:
+        records = self.state["records"]
+        fresh = []
+        for msg in inbox:
+            origin, value = msg.payload
+            if origin not in records:
+                records[origin] = value
+                fresh.append((origin, value))
+        for rec in fresh:
+            api.broadcast("record", rec)
+        if len(records) >= self._expected:
+            self.halt()
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.state["records"].values()))
+
+
+def flood_aggregate(
+    values,
+    adjacency,
+    combine: Callable[[list[float]], float] = sum,
+    max_rounds: int | None = None,
+) -> list[float]:
+    """Every node floods its value; return each node's combined view.
+
+    Parameters
+    ----------
+    values : sequence of float
+        Per-node contributions.
+    adjacency : sequence of sequences
+        Connected communication topology.
+    combine : callable
+        Aggregation over the collected values (default: sum).
+    max_rounds : int, optional
+        Livelock guard; defaults to ``2 * n + 4`` rounds.
+
+    Returns
+    -------
+    list of float
+        ``combine`` over all contributions, from each node's own
+        records (identical across nodes when the topology is
+        connected).
+
+    Raises
+    ------
+    ProtocolError
+        If some node failed to collect all records (disconnected
+        topology).
+    """
+    n = len(values)
+    nodes = [FloodSumNode(i, float(values[i]), n) for i in range(n)]
+    net = SyncNetwork(nodes, adjacency)
+    net.run(max_rounds=max_rounds or (2 * n + 4))
+    out = []
+    for node in nodes:
+        if len(node.state["records"]) != n:
+            raise ProtocolError(
+                f"node {node.node_id} collected {len(node.state['records'])}/{n} "
+                "records; topology disconnected?"
+            )
+        out.append(float(combine(list(node.state["records"].values()))))
+    return out

@@ -1,0 +1,139 @@
+"""Loss-tolerant flooding: periodic re-broadcast until quiescence.
+
+The plain :class:`~repro.distributed.protocols.flooding.FloodSumNode`
+broadcasts each record exactly once, which is correct over reliable
+links but silently loses records when messages can drop - a neighbour
+that missed the single transmission never hears it again.
+
+The reliable variant re-broadcasts its *entire* record set (tagged with
+a completeness flag) every round.  A node may halt only once it is
+complete **and** has seen every neighbour report completeness - halting
+earlier could starve a neighbour that still depends on this node's
+echoes, a race the fault-injection tests exercise explicitly.
+Duplicate suppression keeps the semantics identical to plain flooding;
+the redundancy buys loss tolerance at a bandwidth cost the tests
+measure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ProtocolError
+from repro.distributed.runtime import Node, NodeApi, SyncNetwork
+
+__all__ = ["ReliableFloodNode", "reliable_flood_aggregate"]
+
+
+class ReliableFloodNode(Node):
+    """Flooding participant that keeps re-broadcasting its knowledge.
+
+    Parameters
+    ----------
+    node_id : int
+    value : float
+    expected_count : int
+        Total participants.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        value: float,
+        expected_count: int,
+        farewell_rounds: int = 4,
+    ) -> None:
+        super().__init__(node_id)
+        self.state["records"] = {node_id: float(value)}
+        self._expected = int(expected_count)
+        self._neighbor_complete: dict[int, bool] = {}
+        self._farewell_target = int(farewell_rounds)
+        self._farewells = 0
+
+    @property
+    def complete(self) -> bool:
+        return len(self.state["records"]) >= self._expected
+
+    def _broadcast_all(self, api: NodeApi) -> None:
+        api.broadcast(
+            "records",
+            (self.complete, tuple(sorted(self.state["records"].items()))),
+        )
+
+    def on_start(self, api: NodeApi) -> None:
+        if self._expected == 1:
+            self.halt()
+            return
+        self._broadcast_all(api)
+
+    def on_round(self, api: NodeApi, inbox) -> None:
+        records = self.state["records"]
+        for msg in inbox:
+            sender_complete, items = msg.payload
+            self._neighbor_complete[msg.sender] = sender_complete
+            for origin, value in items:
+                if origin not in records:
+                    records[origin] = value
+        neighbors_done = all(
+            self._neighbor_complete.get(w, False) for w in api.neighbors
+        )
+        if self.complete and neighbors_done and api.neighbors:
+            # Farewell phase: keep echoing the completeness flag for a
+            # few rounds so a neighbour whose copy of our flag was lost
+            # almost surely hears a retransmission, then retire.  (The
+            # residual deadlock probability decays as loss^farewells; a
+            # lossless run needs exactly one farewell.)
+            self._farewells += 1
+            self._broadcast_all(api)
+            if self._farewells >= self._farewell_target:
+                self.halt()
+            return
+        self._farewells = 0
+        self._broadcast_all(api)
+
+
+def reliable_flood_aggregate(
+    values,
+    adjacency,
+    combine: Callable[[list[float]], float] = sum,
+    loss_rate: float = 0.0,
+    seed: int = 0,
+    max_rounds: int | None = None,
+) -> list[float]:
+    """Loss-tolerant version of :func:`flood_aggregate`.
+
+    Parameters
+    ----------
+    values : sequence of float
+    adjacency : sequence of sequences
+        Connected communication topology.
+    combine : callable
+    loss_rate : float
+        Per-message drop probability injected by the runtime.
+    seed : int
+        Loss-process seed.
+    max_rounds : int, optional
+        Defaults to a bound scaled by the loss rate.
+
+    Raises
+    ------
+    ProtocolError
+        If some node still misses records when the round budget runs
+        out (loss too extreme), or the protocol fails to go quiet.
+    """
+    n = len(values)
+    nodes = [ReliableFloodNode(i, float(values[i]), n) for i in range(n)]
+    if max_rounds is None:
+        max_rounds = int((6 * n + 30) / max(1e-6, (1.0 - loss_rate)) ** 3)
+    net = SyncNetwork(nodes, adjacency, loss_rate=loss_rate, seed=seed)
+    net.run(max_rounds=max_rounds)
+    out = []
+    for node in nodes:
+        if not node.complete:
+            raise ProtocolError(
+                f"node {node.node_id} holds "
+                f"{len(node.state['records'])}/{n} records after "
+                f"{max_rounds} rounds (loss rate {loss_rate})"
+            )
+        out.append(float(combine(list(node.state["records"].values()))))
+    return out

@@ -1,0 +1,183 @@
+"""Distributed rotation-angle search (paper Sec. III-B / III-D2).
+
+"At each step, a mobile robot divides current search interval of angle
+into two and rotates its mapped position in unit disk with the midpoint
+angle of the interval.  The mobile robot computes its mapped position
+in M2 and exchanges the position with its one-range neighbors.  After
+calculating its own stable link ratio, the mobile robot then floods the
+information to other mobile robots."
+
+Each robot here:
+
+* holds only its own disk position and the (shared, static) target-FoI
+  disk mesh - exactly what the paper loads onto every robot,
+* evaluates a candidate angle *locally*: it rotates its own disk point,
+  maps it into M2, exchanges mapped positions with its one-range
+  neighbours, and counts its own surviving links (method (a)) or its
+  own moving distance (method (b)),
+* flood-sums the local scores so every robot holds the same global
+  score, then all robots apply the identical deterministic
+  interval-halving step - keeping the swarm's search state consistent
+  without a leader.
+
+The protocol result is bit-identical to the centralized
+:func:`repro.harmonic.rotation.hierarchical_angle_search` over the
+matching objective, which is what the equivalence test asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributed.protocols.flooding import flood_aggregate
+from repro.errors import ProtocolError
+from repro.geometry.vec import rotate
+from repro.harmonic.rotation import TWO_PI, AngleSearchResult
+from repro.harmonic.transfer import InducedMap
+
+__all__ = ["DistributedRotationSearch", "distributed_rotation_search"]
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """One angle evaluation: per-robot mapped positions and local scores."""
+
+    angle: float
+    targets: np.ndarray
+    global_score: float
+
+
+class DistributedRotationSearch:
+    """Coordinates the swarm-wide angle search over a message topology.
+
+    Parameters
+    ----------
+    induced : InducedMap
+        The target FoI's disk embedding (known to every robot).
+    disk_positions : (n, 2) ndarray
+        Each robot's own position in T's disk embedding.
+    start_positions : (n, 2) ndarray
+        Geographic positions in M1 (for method (b)'s distances).
+    links : (m, 2) int ndarray
+        Communication links in M1.
+    comm_range : float
+    adjacency : sequence of sequences
+        The communication topology used for the score flooding.
+    """
+
+    def __init__(
+        self,
+        induced: InducedMap,
+        disk_positions: np.ndarray,
+        start_positions: np.ndarray,
+        links: np.ndarray,
+        comm_range: float,
+        adjacency: Sequence[Sequence[int]],
+    ) -> None:
+        self.induced = induced
+        self.disk = np.asarray(disk_positions, dtype=float)
+        self.starts = np.asarray(start_positions, dtype=float)
+        self.links = np.asarray(links, dtype=int).reshape(-1, 2)
+        self.comm_range = float(comm_range)
+        self.adjacency = adjacency
+        n = len(self.disk)
+        if len(self.starts) != n or len(adjacency) != n:
+            raise ProtocolError("inconsistent robot counts")
+        # Per-robot incident-link lists for the local score.
+        self._incident: list[list[int]] = [[] for _ in range(n)]
+        for idx, (u, v) in enumerate(self.links):
+            self._incident[int(u)].append(idx)
+            self._incident[int(v)].append(idx)
+        self.flood_rounds = 0
+
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, angle: float, maximize: bool) -> _Candidate:
+        """One candidate angle: local scores flooded to a global one."""
+        # Every robot maps its own rotated disk point (local computation).
+        rotated = rotate(self.disk, angle)
+        targets = np.array([self.induced.map_point(p) for p in rotated])
+        if maximize:
+            # Local score: my surviving incident links (each link is seen
+            # by both endpoints; the global flood sum therefore counts
+            # every link twice, uniformly - the argmax is unaffected,
+            # mirroring the double-sum in Definition 1).
+            d = targets[self.links[:, 0]] - targets[self.links[:, 1]]
+            alive = np.hypot(d[:, 0], d[:, 1]) <= self.comm_range
+            local = [
+                float(sum(alive[k] for k in self._incident[i]))
+                for i in range(len(self.disk))
+            ]
+        else:
+            # Local score: my own moving distance (negated: flooding
+            # computes a sum, the halving step always maximises).
+            d = targets - self.starts
+            local = (-np.hypot(d[:, 0], d[:, 1])).tolist()
+        totals = flood_aggregate(local, self.adjacency)
+        self.flood_rounds += 1
+        if max(totals) - min(totals) > 1e-6 * max(1.0, abs(totals[0])):
+            raise ProtocolError("robots disagree on the flooded score")
+        return _Candidate(angle=angle, targets=targets, global_score=totals[0])
+
+    def run(
+        self,
+        depth: int = 4,
+        initial_samples: int = 4,
+        maximize: bool = True,
+    ) -> tuple[AngleSearchResult, np.ndarray]:
+        """Execute the search; returns the result and the winning targets."""
+        if depth < 0:
+            raise ProtocolError("depth must be non-negative")
+        best: _Candidate | None = None
+        evaluations = 0
+        width = TWO_PI / max(1, initial_samples)
+        for i in range(max(1, initial_samples)):
+            cand = self._evaluate(((i + 0.5) * width) % TWO_PI, maximize)
+            evaluations += 1
+            if best is None or cand.global_score > best.global_score:
+                best = cand
+        assert best is not None
+        lo = best.angle - width / 2.0
+        hi = best.angle + width / 2.0
+        for _ in range(depth):
+            mid = 0.5 * (lo + hi)
+            left = self._evaluate((0.5 * (lo + mid)) % TWO_PI, maximize)
+            right = self._evaluate((0.5 * (mid + hi)) % TWO_PI, maximize)
+            evaluations += 2
+            if left.global_score >= right.global_score:
+                hi = mid
+                if left.global_score > best.global_score:
+                    best = left
+            else:
+                lo = mid
+                if right.global_score > best.global_score:
+                    best = right
+        result = AngleSearchResult(
+            angle=best.angle % TWO_PI,
+            score=best.global_score,
+            evaluations=evaluations,
+        )
+        return result, best.targets
+
+
+def distributed_rotation_search(
+    induced: InducedMap,
+    disk_positions,
+    start_positions,
+    links,
+    comm_range: float,
+    adjacency,
+    depth: int = 4,
+    initial_samples: int = 4,
+    maximize: bool = True,
+) -> tuple[AngleSearchResult, np.ndarray]:
+    """Convenience wrapper around :class:`DistributedRotationSearch`."""
+    search = DistributedRotationSearch(
+        induced, np.asarray(disk_positions, float),
+        np.asarray(start_positions, float),
+        links, comm_range, adjacency,
+    )
+    return search.run(depth=depth, initial_samples=initial_samples, maximize=maximize)

@@ -1,0 +1,92 @@
+"""Distributed isolated-subgroup detection (paper Sec. III-D1).
+
+"A boundary vertex of T compares the mapped positions of its one-range
+neighbors with itself and initiates a packet with a counter set to zero
+to its one-range neighbors with communication links still preserved in
+M2.  ...  When a vertex receives a packet from a boundary vertex that
+is further away from its current nearest boundary vertex, it stops
+forwarding this packet.  Otherwise, the vertex updates the counter and
+record the number."
+
+The protocol is a distributed BFS from the boundary set over the
+*preserved-link* topology: after quiescence every reached vertex knows
+its hop distance to the nearest boundary vertex, and vertices that
+never received a packet know they belong to an isolated subgroup.  The
+centralized oracle is :func:`repro.network.graphs.bfs_hops`.
+"""
+
+from __future__ import annotations
+
+from repro.distributed.runtime import Node, NodeApi, SyncNetwork
+
+__all__ = ["SubgroupDetectionNode", "run_subgroup_detection"]
+
+
+class SubgroupDetectionNode(Node):
+    """Participant in the boundary-flood isolation check.
+
+    Parameters
+    ----------
+    node_id : int
+    is_boundary : bool
+        Whether this robot lies on the boundary loop of ``T``.
+    """
+
+    def __init__(self, node_id: int, is_boundary: bool) -> None:
+        super().__init__(node_id)
+        self.state["hops"] = 0 if is_boundary else None
+        self.state["is_boundary"] = bool(is_boundary)
+
+    def on_start(self, api: NodeApi) -> None:
+        if self.state["is_boundary"]:
+            api.broadcast("bfs", {"hops": 1})
+
+    def on_round(self, api: NodeApi, inbox) -> None:
+        best = None
+        for msg in inbox:
+            if msg.kind != "bfs":
+                continue
+            hops = int(msg.payload["hops"])
+            if best is None or hops < best:
+                best = hops
+        if best is None:
+            return
+        current = self.state["hops"]
+        if current is not None and current <= best:
+            return  # packet from a boundary vertex further than the known one
+        self.state["hops"] = best
+        api.broadcast("bfs", {"hops": best + 1})
+
+    @property
+    def reached(self) -> bool:
+        return self.state["hops"] is not None
+
+
+def run_subgroup_detection(
+    boundary_ids, preserved_adjacency, max_rounds: int | None = None
+) -> tuple[list[int], list[int | None]]:
+    """Detect robots with no preserved path to the boundary.
+
+    Parameters
+    ----------
+    boundary_ids : iterable of int
+        Robot indices on the boundary loop of ``T``.
+    preserved_adjacency : sequence of sequences
+        Adjacency over links that survive the planned motion.
+    max_rounds : int, optional
+
+    Returns
+    -------
+    (isolated, hops)
+        ``isolated`` - sorted indices the flood never reached;
+        ``hops`` - per-robot hop distance to the boundary (None when
+        isolated).
+    """
+    n = len(preserved_adjacency)
+    boundary = {int(b) for b in boundary_ids}
+    nodes = [SubgroupDetectionNode(i, i in boundary) for i in range(n)]
+    net = SyncNetwork(nodes, preserved_adjacency)
+    net.run(max_rounds=max_rounds or (2 * n + 4))
+    hops = [node.state["hops"] for node in nodes]
+    isolated = sorted(i for i, h in enumerate(hops) if h is None)
+    return isolated, hops

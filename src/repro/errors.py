@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library-level failures with a
+single ``except`` clause while still letting programming errors
+(``TypeError``, ``ValueError`` from numpy, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GeometryError(ReproError):
+    """A geometric primitive received degenerate or invalid input."""
+
+
+class MeshError(ReproError):
+    """A triangle mesh violates a structural invariant.
+
+    Raised, for example, when a mesh that is required to be a topological
+    disk has zero or several boundary loops, or when a triangulation
+    references vertices that do not exist.
+    """
+
+
+class MappingError(ReproError):
+    """A harmonic map could not be computed or failed validation."""
+
+
+class PlanningError(ReproError):
+    """A marching plan could not be constructed for the given scenario."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol reached an inconsistent state."""
+
+
+class CoverageError(ReproError):
+    """A coverage computation (Voronoi / Lloyd) received invalid input."""
+
+
+class ScenarioError(ReproError):
+    """An experiment scenario is mis-specified."""

@@ -1,0 +1,56 @@
+"""Scenario registry, evaluation harness and table rendering."""
+
+from repro.experiments.harness import (
+    DEFAULT_METHODS,
+    ScenarioRun,
+    SweepPoint,
+    SweepResult,
+    TransitionEvaluation,
+    evaluate_trajectory,
+    run_scenario,
+    sweep_separations,
+)
+from repro.experiments.figures import write_sweep_figures
+from repro.experiments.generator import RandomScenario, random_foi, random_scenario
+from repro.experiments.report import build_report, write_report
+from repro.experiments.lemmas import (
+    Lemma1Example,
+    Lemma2Example,
+    lemma1_example,
+    lemma2_example,
+)
+from repro.experiments.scenarios import COMM_RANGE, ROBOT_COUNT, SCENARIOS, ScenarioSpec, get_scenario
+from repro.experiments.trace import TransitionTrace, record_trace, render_trace_chart
+from repro.experiments.tables import format_table, render_sweep, render_table1
+
+__all__ = [
+    "COMM_RANGE",
+    "DEFAULT_METHODS",
+    "Lemma1Example",
+    "Lemma2Example",
+    "ROBOT_COUNT",
+    "RandomScenario",
+    "SCENARIOS",
+    "random_foi",
+    "random_scenario",
+    "record_trace",
+    "render_trace_chart",
+    "ScenarioRun",
+    "ScenarioSpec",
+    "SweepPoint",
+    "SweepResult",
+    "TransitionEvaluation",
+    "TransitionTrace",
+    "build_report",
+    "evaluate_trajectory",
+    "format_table",
+    "get_scenario",
+    "lemma1_example",
+    "lemma2_example",
+    "render_sweep",
+    "render_table1",
+    "run_scenario",
+    "sweep_separations",
+    "write_report",
+    "write_sweep_figures",
+]

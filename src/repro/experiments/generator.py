@@ -1,0 +1,136 @@
+"""Random scenario generation for robustness and fuzz testing.
+
+The seven paper scenarios are fixed shapes; this module generates
+random-but-valid marching problems (blob FoIs with optional holes,
+lattice-deployable swarms) from a seed, so property-style tests and
+stress runs can sweep far more geometry than the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ScenarioError
+from repro.foi.region import FieldOfInterest
+from repro.foi.shapes import ellipse_polygon, flower_polygon, radial_blob
+from repro.robots.robot import RadioSpec
+from repro.robots.swarm import Swarm
+
+__all__ = ["RandomScenario", "random_foi", "random_scenario"]
+
+
+def random_foi(
+    rng: np.random.Generator,
+    area: float = 250_000.0,
+    max_holes: int = 2,
+    name: str = "random-foi",
+) -> FieldOfInterest:
+    """A random blob FoI (optionally holed) with the given free area.
+
+    Holes are placed near the blob centre with bounded size so the
+    region stays connected and lattice-deployable.
+
+    Parameters
+    ----------
+    rng : numpy Generator
+    area : float
+        Target free area.
+    max_holes : int
+        Uniformly 0..max_holes holes.
+    """
+    harmonics = {}
+    for k in rng.choice([2, 3, 4, 5], size=2, replace=False):
+        harmonics[int(k)] = (
+            float(rng.uniform(-0.12, 0.12)),
+            float(rng.uniform(-0.12, 0.12)),
+        )
+    outer = radial_blob(harmonics)
+
+    holes = []
+    n_holes = int(rng.integers(0, max_holes + 1))
+    # Non-overlapping placements on a coarse angular wheel around centre.
+    slots = rng.permutation(4)[:n_holes]
+    for slot in slots:
+        angle = slot * np.pi / 2.0 + rng.uniform(-0.3, 0.3)
+        r = rng.uniform(0.15, 0.35)
+        center = (r * np.cos(angle), r * np.sin(angle))
+        size = rng.uniform(0.08, 0.16)
+        if rng.random() < 0.5:
+            hole = ellipse_polygon(size, size * rng.uniform(0.7, 1.3),
+                                   samples=20, center=center)
+        else:
+            hole = flower_polygon(
+                petals=int(rng.integers(3, 7)),
+                base_radius=size,
+                petal_depth=float(rng.uniform(0.2, 0.4)),
+                samples=40,
+                center=center,
+            )
+        holes.append(hole)
+    try:
+        foi = FieldOfInterest(outer, holes, name=name)
+    except Exception:
+        # Rare degenerate draw (hole clipped the boundary): drop holes.
+        foi = FieldOfInterest(outer, [], name=name)
+    return foi.scaled_to_area(area)
+
+
+@dataclass(frozen=True)
+class RandomScenario:
+    """A generated marching problem."""
+
+    seed: int
+    m1: FieldOfInterest
+    m2: FieldOfInterest
+    swarm: Swarm
+    separation_factor: float
+
+    @property
+    def comm_range(self) -> float:
+        return self.swarm.radio.comm_range
+
+
+def random_scenario(
+    seed: int,
+    robot_count: int = 64,
+    comm_range: float = 80.0,
+    separation_range: tuple[float, float] = (8.0, 40.0),
+    max_holes: int = 2,
+) -> RandomScenario:
+    """Generate a deployable random marching problem from ``seed``.
+
+    The M1 area is sized so ``robot_count`` robots fit with lattice
+    spacing safely below ``comm_range``; M2 is drawn independently and
+    translated by a random separation along a random bearing.
+
+    Raises
+    ------
+    ScenarioError
+        If the drawn geometry cannot host the swarm (rare; use another
+        seed).
+    """
+    rng = np.random.default_rng(seed)
+    radio = RadioSpec.from_comm_range(comm_range)
+    # Lattice spacing ~ sqrt(2A / (sqrt(3) n)); target 60% of comm range.
+    target_spacing = 0.6 * comm_range
+    area1 = float(np.sqrt(3.0) / 2.0 * robot_count * target_spacing**2)
+    m1 = random_foi(rng, area=area1, max_holes=max_holes, name=f"random-M1[{seed}]")
+    try:
+        swarm = Swarm.deploy_lattice(m1, robot_count, radio)
+    except Exception as exc:
+        raise ScenarioError(f"seed {seed}: cannot deploy swarm ({exc})") from exc
+
+    area2 = area1 * float(rng.uniform(0.7, 1.2))
+    m2 = random_foi(rng, area=area2, max_holes=max_holes, name=f"random-M2[{seed}]")
+    sep = float(rng.uniform(*separation_range)) * comm_range
+    bearing = float(rng.uniform(0.0, 2.0 * np.pi))
+    offset = m1.centroid + sep * np.array([np.cos(bearing), np.sin(bearing)]) - m2.centroid
+    return RandomScenario(
+        seed=seed,
+        m1=m1,
+        m2=m2.translated(offset),
+        swarm=swarm,
+        separation_factor=sep / comm_range,
+    )

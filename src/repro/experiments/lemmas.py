@@ -1,0 +1,169 @@
+"""Constructive reproductions of Lemma 1 and Lemma 2 (Fig. 1).
+
+Lemma 1: maximising the stable link ratio ``L`` and minimising the
+total moving distance ``D`` cannot both be achieved - shown on the
+paper's seven-robot example (slim horizontal lattice to slim vertical
+lattice, Fig. 1(a)).
+
+Lemma 2: local connectivity cannot be fully preserved in general -
+shown on the paper's hexagon-plus-centre to line example (Fig. 1(b)),
+verified here *exhaustively* over all 5040 assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+
+import numpy as np
+
+from repro.baselines.hungarian import min_cost_matching, matching_cost
+from repro.network.links import links_alive
+from repro.network.udg import udg_edges
+
+__all__ = [
+    "Lemma1Example",
+    "Lemma2Example",
+    "lemma1_example",
+    "lemma2_example",
+]
+
+
+@dataclass(frozen=True)
+class Lemma1Example:
+    """The Fig. 1(a) construction and its measured trade-off.
+
+    Attributes
+    ----------
+    starts, targets : (7, 2) ndarray
+        Horizontal and vertical lattice positions.
+    link_preserving_assignment : (7,) int ndarray
+        The order-preserving map (A->a, ..., G->g).
+    min_distance_assignment : (7,) int ndarray
+        The Hungarian matching.
+    preserving_distance, min_distance : float
+        Total moving distance of each.
+    preserving_links, min_distance_links : int
+        Links (of the start configuration) surviving each assignment.
+    """
+
+    starts: np.ndarray
+    targets: np.ndarray
+    link_preserving_assignment: np.ndarray
+    min_distance_assignment: np.ndarray
+    preserving_distance: float
+    min_distance: float
+    preserving_links: int
+    min_distance_links: int
+
+    @property
+    def tradeoff_holds(self) -> bool:
+        """Whether the example exhibits the Lemma-1 contradiction."""
+        return (
+            self.min_distance < self.preserving_distance
+            and self.min_distance_links < self.preserving_links
+        )
+
+
+def _two_row_lattice(n: int, spacing: float) -> np.ndarray:
+    """Seven-robot slim triangular lattice: 4 on one row, 3 staggered."""
+    h = spacing * np.sqrt(3.0) / 2.0
+    top = [(i * spacing, h) for i in range(4)]
+    bottom = [(spacing / 2.0 + i * spacing, 0.0) for i in range(3)]
+    return np.array(top + bottom)[:n]
+
+
+def lemma1_example(spacing: float = 1.0, comm_range: float | None = None) -> Lemma1Example:
+    """Build Fig. 1(a) and measure both assignments.
+
+    Parameters
+    ----------
+    spacing : float
+        Lattice edge length.
+    comm_range : float, optional
+        Defaults to ``1.05 * spacing`` (robots connected exactly to
+        lattice neighbours).
+    """
+    rc = comm_range if comm_range is not None else 1.05 * spacing
+    starts = _two_row_lattice(7, spacing)
+    # The vertical lattice: same shape rotated 90 degrees, far to the right.
+    targets = starts @ np.array([[0.0, 1.0], [-1.0, 0.0]]) + np.array([6.0 * spacing, 0.0])
+
+    identity = np.arange(7)
+    hungarian = min_cost_matching(starts, targets)
+    links = udg_edges(starts, rc)
+
+    def surviving(assignment: np.ndarray) -> int:
+        finals = targets[assignment]
+        return int(
+            (links_alive(links, finals, rc) & links_alive(links, starts, rc)).sum()
+        )
+
+    return Lemma1Example(
+        starts=starts,
+        targets=targets,
+        link_preserving_assignment=identity,
+        min_distance_assignment=hungarian,
+        preserving_distance=matching_cost(starts, targets, identity),
+        min_distance=matching_cost(starts, targets, hungarian),
+        preserving_links=surviving(identity),
+        min_distance_links=surviving(hungarian),
+    )
+
+
+@dataclass(frozen=True)
+class Lemma2Example:
+    """The Fig. 1(b) construction with its exhaustive verdict.
+
+    Attributes
+    ----------
+    starts : (7, 2) ndarray
+        Hexagon plus centre.
+    targets : (7, 2) ndarray
+        Vertical line.
+    total_links : int
+        Links in the start configuration (12: 6 rim + 6 spokes).
+    best_preserved : int
+        Maximum links preserved over all 5040 assignments.
+    best_assignment : (7,) int ndarray
+    """
+
+    starts: np.ndarray
+    targets: np.ndarray
+    total_links: int
+    best_preserved: int
+    best_assignment: np.ndarray
+
+    @property
+    def full_preservation_impossible(self) -> bool:
+        """Lemma 2's claim, verified exhaustively."""
+        return self.best_preserved < self.total_links
+
+
+def lemma2_example(spacing: float = 1.0, comm_range: float | None = None) -> Lemma2Example:
+    """Build Fig. 1(b) and search all assignments exhaustively."""
+    rc = comm_range if comm_range is not None else 1.05 * spacing
+    angles = np.arange(6) * np.pi / 3.0
+    hexagon = spacing * np.column_stack([np.cos(angles), np.sin(angles)])
+    starts = np.vstack([[0.0, 0.0], hexagon])
+    targets = np.column_stack(
+        [np.full(7, 10.0 * spacing), spacing * (np.arange(7) - 3.0)]
+    )
+    links = udg_edges(starts, rc)
+    start_alive = links_alive(links, starts, rc)
+
+    best_preserved = -1
+    best_assignment = np.arange(7)
+    for perm in permutations(range(7)):
+        finals = targets[list(perm)]
+        preserved = int((links_alive(links, finals, rc) & start_alive).sum())
+        if preserved > best_preserved:
+            best_preserved = preserved
+            best_assignment = np.array(perm)
+    return Lemma2Example(
+        starts=starts,
+        targets=targets,
+        total_links=len(links),
+        best_preserved=best_preserved,
+        best_assignment=best_assignment,
+    )

@@ -1,0 +1,92 @@
+"""One-shot markdown report across all scenarios.
+
+``python -m repro report`` runs every scenario at a chosen separation,
+collects the paper's three metrics per method, renders Table I plus a
+per-scenario metric table as markdown, and (optionally) writes the
+figure panels.  Useful as a single artifact documenting a full
+reproduction run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.harness import DEFAULT_METHODS, ScenarioRun, run_scenario
+from repro.experiments.scenarios import SCENARIOS, get_scenario
+
+__all__ = ["build_report", "write_report"]
+
+
+def _md_table(headers: Sequence[str], rows) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def build_report(
+    separation_factor: float = 20.0,
+    scenario_ids: Sequence[int] | None = None,
+    methods: Sequence[str] = DEFAULT_METHODS,
+    **run_kwargs,
+) -> str:
+    """Run the scenarios and return the markdown report text."""
+    ids = sorted(scenario_ids or SCENARIOS)
+    runs: dict[int, ScenarioRun] = {}
+    for sid in ids:
+        runs[sid] = run_scenario(
+            get_scenario(sid), separation_factor, methods, **run_kwargs
+        )
+
+    parts = [
+        "# Optimal Marching - reproduction report",
+        "",
+        f"All scenarios at separation {separation_factor:g} x communication "
+        "range; metrics per Definitions 1-2 of the paper.",
+        "",
+        "## Table I - global connectivity",
+        "",
+        _md_table(
+            ["Scenario"] + list(methods),
+            [
+                [f"Scenario {sid}"]
+                + [runs[sid].evaluations[m].connectivity_flag for m in methods]
+                for sid in ids
+            ],
+        ),
+        "",
+        "## Per-scenario metrics",
+    ]
+    for sid in ids:
+        run = runs[sid]
+        spec = get_scenario(sid)
+        parts.extend([
+            "",
+            f"### Scenario {sid}: {spec.description}",
+            "",
+            _md_table(
+                ["method", "D (km)", "D / D_Hungarian", "L", "C"],
+                [
+                    [
+                        m,
+                        f"{run.evaluations[m].total_distance / 1000:.1f}",
+                        f"{run.distance_ratio(m):.3f}",
+                        f"{run.evaluations[m].stable_link_ratio:.3f}",
+                        run.evaluations[m].connectivity_flag,
+                    ]
+                    for m in methods
+                ],
+            ),
+        ])
+    parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(path, **kwargs) -> Path:
+    """Build the report and write it to ``path``."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(build_report(**kwargs))
+    return p

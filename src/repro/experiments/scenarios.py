@@ -1,0 +1,103 @@
+"""The seven evaluation scenarios of Sec. IV.
+
+Every scenario marches 144 robots with an 80 m communication range from
+a current FoI ``M1`` to a target FoI ``M2`` placed a configurable
+multiple of the communication range away (the paper sweeps 10x to 100x
+in Fig. 3).  Scenarios 1-5 share the M1 of Fig. 2(a); scenarios 6 and 7
+have hole-bearing M1s of their own (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ScenarioError
+from repro.foi import (
+    FieldOfInterest,
+    m1_base,
+    m1_scenario6,
+    m1_scenario7,
+    m2_scenario1,
+    m2_scenario2,
+    m2_scenario3,
+    m2_scenario4,
+    m2_scenario5,
+    m2_scenario6,
+    m2_scenario7,
+)
+
+__all__ = ["ScenarioSpec", "SCENARIOS", "get_scenario"]
+
+ROBOT_COUNT = 144
+COMM_RANGE = 80.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One evaluation scenario.
+
+    Attributes
+    ----------
+    scenario_id : int
+        1-7, matching the paper's numbering.
+    description : str
+    m1_builder, m2_builder : callable() -> FieldOfInterest
+        Shape constructors (canonical placement at the origin).
+    robot_count : int
+    comm_range : float
+    """
+
+    scenario_id: int
+    description: str
+    m1_builder: Callable[[], FieldOfInterest]
+    m2_builder: Callable[[], FieldOfInterest]
+    robot_count: int = ROBOT_COUNT
+    comm_range: float = COMM_RANGE
+
+    def build(self, separation_factor: float = 20.0) -> tuple[FieldOfInterest, FieldOfInterest]:
+        """Instantiate (M1, M2) with the given centroid separation.
+
+        Parameters
+        ----------
+        separation_factor : float
+            Centroid-to-centroid distance in multiples of the
+            communication range (the x-axis of Fig. 3's sweeps).
+        """
+        if separation_factor < 0:
+            raise ScenarioError("separation factor must be non-negative")
+        m1 = self.m1_builder()
+        m2 = self.m2_builder()
+        offset = (
+            m1.centroid
+            + np.array([separation_factor * self.comm_range, 0.0])
+            - m2.centroid
+        )
+        return m1, m2.translated(offset)
+
+    @property
+    def has_holes(self) -> bool:
+        return self.m1_builder().has_holes or self.m2_builder().has_holes
+
+
+SCENARIOS: dict[int, ScenarioSpec] = {
+    1: ScenarioSpec(1, "non-hole blob -> non-hole blob (Fig. 3a)", m1_base, m2_scenario1),
+    2: ScenarioSpec(2, "non-hole blob -> slim FoI (Fig. 3b)", m1_base, m2_scenario2),
+    3: ScenarioSpec(3, "non-hole -> concave flower pond (Fig. 4)", m1_base, m2_scenario3),
+    4: ScenarioSpec(4, "non-hole -> big convex hole (Fig. 3c)", m1_base, m2_scenario4),
+    5: ScenarioSpec(5, "non-hole -> multiple small holes (Fig. 3d)", m1_base, m2_scenario5),
+    6: ScenarioSpec(6, "hole -> hole (Fig. 5a)", m1_scenario6, m2_scenario6),
+    7: ScenarioSpec(7, "hole -> hole (Fig. 5b)", m1_scenario7, m2_scenario7),
+}
+
+
+def get_scenario(scenario_id: int) -> ScenarioSpec:
+    """Look up a scenario by its paper number (1-7)."""
+    try:
+        return SCENARIOS[scenario_id]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown scenario {scenario_id}; valid ids are {sorted(SCENARIOS)}"
+        ) from None

@@ -1,0 +1,279 @@
+"""Parametric shape library reproducing the paper's FoI models.
+
+The authors evaluate on hand-drawn FoI polygons (Figs. 2-5) whose exact
+coordinates are not published; only the shape *class* (blob / slim /
+concave / holes), the free area in square metres, the robot count
+(144) and the communication range (80 m) are given.  This module
+rebuilds each scenario's FoI parametrically and scales it to the exact
+published area, which is the substitution documented in DESIGN.md.
+
+All builders are deterministic (fixed harmonic coefficients rather than
+random seeds) so experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.foi.region import FieldOfInterest
+from repro.geometry.polygon import Polygon
+
+__all__ = [
+    "radial_blob",
+    "ellipse_polygon",
+    "rounded_rectangle",
+    "flower_polygon",
+    "regular_polygon",
+    "m1_base",
+    "m2_scenario1",
+    "ring_with_gap",
+    "u_corridor",
+    "m2_scenario2",
+    "m2_scenario3",
+    "m2_scenario4",
+    "m2_scenario5",
+    "m1_scenario6",
+    "m2_scenario6",
+    "m1_scenario7",
+    "m2_scenario7",
+    "unit_disk_polygon",
+]
+
+# Area figures quoted in Sec. IV of the paper (square metres).
+M1_AREA = 308_261.0
+SCENARIO_AREAS = {
+    1: 289_745.0,
+    2: 173_057.0,
+    3: 239_987.0,
+    4: 233_342.0,
+    5: 253_578.0,
+    6: 268_000.0,  # not quoted in the paper; chosen comparable to M1
+    7: 244_000.0,  # not quoted in the paper; chosen comparable to M1
+}
+
+
+def radial_blob(
+    harmonics: dict[int, tuple[float, float]],
+    base_radius: float = 1.0,
+    samples: int = 96,
+) -> Polygon:
+    """A smooth star-shaped polygon ``r(theta) = R * (1 + sum a_k cos + b_k sin)``.
+
+    Parameters
+    ----------
+    harmonics : mapping ``k -> (a_k, b_k)``
+        Fourier coefficients of the radial perturbation.  Keep the
+        total perturbation below 1 so the radius stays positive.
+    base_radius : float
+    samples : int
+        Number of boundary vertices.
+    """
+    theta = np.linspace(0.0, 2.0 * np.pi, samples, endpoint=False)
+    r = np.ones_like(theta)
+    for k, (a, b) in harmonics.items():
+        r += a * np.cos(k * theta) + b * np.sin(k * theta)
+    r = np.maximum(r, 0.05) * base_radius
+    return Polygon(np.column_stack([r * np.cos(theta), r * np.sin(theta)]))
+
+
+def ellipse_polygon(rx: float, ry: float, samples: int = 64, center=(0.0, 0.0)) -> Polygon:
+    """Axis-aligned ellipse approximated by ``samples`` vertices."""
+    theta = np.linspace(0.0, 2.0 * np.pi, samples, endpoint=False)
+    cx, cy = center
+    return Polygon(
+        np.column_stack([cx + rx * np.cos(theta), cy + ry * np.sin(theta)])
+    )
+
+
+def unit_disk_polygon(samples: int = 128) -> Polygon:
+    """The unit disk as a polygon (used for disk-embedding figures)."""
+    return ellipse_polygon(1.0, 1.0, samples=samples)
+
+
+def rounded_rectangle(
+    width: float, height: float, corner_fraction: float = 0.25, samples_per_corner: int = 8
+) -> Polygon:
+    """A rectangle with circular-arc corners.
+
+    ``corner_fraction`` is the corner radius as a fraction of the
+    smaller side (clipped to 0.49 to keep the shape valid).
+    """
+    r = min(width, height) * min(max(corner_fraction, 0.0), 0.49)
+    hw, hh = width / 2.0, height / 2.0
+    centers = [(hw - r, hh - r), (-hw + r, hh - r), (-hw + r, -hh + r), (hw - r, -hh + r)]
+    starts = [0.0, np.pi / 2.0, np.pi, 3.0 * np.pi / 2.0]
+    pts: list[tuple[float, float]] = []
+    for (cx, cy), start in zip(centers, starts):
+        for t in np.linspace(start, start + np.pi / 2.0, samples_per_corner):
+            pts.append((cx + r * np.cos(t), cy + r * np.sin(t)))
+    return Polygon(pts)
+
+
+def flower_polygon(
+    petals: int = 5,
+    base_radius: float = 1.0,
+    petal_depth: float = 0.4,
+    samples: int = 80,
+    center=(0.0, 0.0),
+) -> Polygon:
+    """A flower/star shape ``r = R * (1 + depth * cos(petals * theta))``.
+
+    With ``petal_depth`` around 0.3-0.5 this matches the "flower-shaped
+    pond" hole of Fig. 2(d): strongly concave with ``petals`` lobes.
+    """
+    theta = np.linspace(0.0, 2.0 * np.pi, samples, endpoint=False)
+    r = base_radius * (1.0 + petal_depth * np.cos(petals * theta))
+    cx, cy = center
+    return Polygon(np.column_stack([cx + r * np.cos(theta), cy + r * np.sin(theta)]))
+
+
+def regular_polygon(sides: int, radius: float = 1.0, center=(0.0, 0.0)) -> Polygon:
+    """Regular ``sides``-gon with circumradius ``radius``."""
+    theta = np.linspace(0.0, 2.0 * np.pi, sides, endpoint=False)
+    cx, cy = center
+    return Polygon(
+        np.column_stack([cx + radius * np.cos(theta), cy + radius * np.sin(theta)])
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario FoIs.  M1 is shared by scenarios 1-5 (Fig. 2(a)); scenarios 6
+# and 7 use their own hole-bearing M1 (Fig. 5).
+# ----------------------------------------------------------------------
+
+
+def m1_base() -> FieldOfInterest:
+    """Current FoI M1 of Fig. 2(a): a gently irregular blob, 308,261 m2."""
+    blob = radial_blob({2: (0.08, 0.03), 3: (0.05, -0.04), 5: (0.02, 0.02)})
+    return FieldOfInterest(
+        blob.scaled_to_area(M1_AREA), name="M1 (Fig. 2a, 308261 m2)"
+    )
+
+
+def m2_scenario1() -> FieldOfInterest:
+    """Scenario 1 target: non-hole blob of a different outline, 289,745 m2."""
+    blob = radial_blob({2: (-0.10, 0.06), 4: (0.07, 0.05), 6: (-0.03, 0.02)})
+    return FieldOfInterest(
+        blob.scaled_to_area(SCENARIO_AREAS[1]), name="M2 scenario 1 (289745 m2)"
+    )
+
+
+def m2_scenario2() -> FieldOfInterest:
+    """Scenario 2 target: slim elongated FoI, 173,057 m2.
+
+    The paper notes the boundary shapes of M1 and this M2 "differ a
+    lot", driving up the direct-translation moving distance.
+    """
+    slim = ellipse_polygon(3.2, 0.8, samples=96)
+    return FieldOfInterest(
+        slim.scaled_to_area(SCENARIO_AREAS[2]), name="M2 scenario 2 (slim, 173057 m2)"
+    )
+
+
+def m2_scenario3() -> FieldOfInterest:
+    """Scenario 3 target (Fig. 2(d)): blob with a concave flower pond, 239,987 m2.
+
+    The outline is markedly elongated and lobed - Fig. 2(d)'s FoI is a
+    visibly different blob from M1, not a shrunken copy.
+    """
+    outer = radial_blob({2: (0.22, -0.10), 3: (0.10, 0.12), 5: (-0.04, 0.03)})
+    pond = flower_polygon(petals=5, base_radius=0.30, petal_depth=0.38, center=(0.12, -0.05))
+    foi = FieldOfInterest(outer, [pond], name="M2 scenario 3 (flower pond)")
+    return foi.scaled_to_area(SCENARIO_AREAS[3])
+
+
+def m2_scenario4() -> FieldOfInterest:
+    """Scenario 4 target: blob with one big convex hole, 233,342 m2."""
+    outer = radial_blob({2: (0.05, 0.06), 4: (-0.04, 0.03)})
+    hole = ellipse_polygon(0.34, 0.28, samples=40, center=(-0.05, 0.08))
+    foi = FieldOfInterest(outer, [hole], name="M2 scenario 4 (big convex hole)")
+    return foi.scaled_to_area(SCENARIO_AREAS[4])
+
+
+def m2_scenario5() -> FieldOfInterest:
+    """Scenario 5 target: blob with multiple small holes, 253,578 m2."""
+    outer = radial_blob({3: (0.07, 0.02), 5: (0.03, -0.03)})
+    holes = [
+        ellipse_polygon(0.12, 0.10, samples=24, center=(0.35, 0.25)),
+        ellipse_polygon(0.10, 0.12, samples=24, center=(-0.38, 0.18)),
+        ellipse_polygon(0.11, 0.11, samples=24, center=(0.05, -0.40)),
+        ellipse_polygon(0.09, 0.09, samples=24, center=(-0.15, -0.05)),
+    ]
+    foi = FieldOfInterest(outer, holes, name="M2 scenario 5 (multiple small holes)")
+    return foi.scaled_to_area(SCENARIO_AREAS[5])
+
+
+def m1_scenario6() -> FieldOfInterest:
+    """Scenario 6 current FoI: irregular blob with a central hole (Fig. 5(a))."""
+    outer = radial_blob({2: (0.09, 0.00), 3: (-0.05, 0.04)})
+    hole = flower_polygon(petals=4, base_radius=0.25, petal_depth=0.3, center=(0.0, 0.05))
+    foi = FieldOfInterest(outer, [hole], name="M1 scenario 6 (hole)")
+    return foi.scaled_to_area(285_000.0)
+
+
+def m2_scenario6() -> FieldOfInterest:
+    """Scenario 6 target FoI: different outline with an offset hole."""
+    outer = radial_blob({2: (-0.07, 0.08), 5: (0.04, 0.02)})
+    hole = ellipse_polygon(0.30, 0.22, samples=32, center=(0.22, -0.12))
+    foi = FieldOfInterest(outer, [hole], name="M2 scenario 6 (hole)")
+    return foi.scaled_to_area(SCENARIO_AREAS[6])
+
+
+def m1_scenario7() -> FieldOfInterest:
+    """Scenario 7 current FoI: elongated blob with two holes (Fig. 5(b))."""
+    outer = ellipse_polygon(2.4, 1.3, samples=96)
+    holes = [
+        ellipse_polygon(0.28, 0.22, samples=24, center=(-0.9, 0.1)),
+        ellipse_polygon(0.22, 0.26, samples=24, center=(0.95, -0.15)),
+    ]
+    foi = FieldOfInterest(outer, holes, name="M1 scenario 7 (two holes)")
+    return foi.scaled_to_area(295_000.0)
+
+
+def u_corridor(width_fraction: float = 0.35, samples_per_side: int = 10) -> FieldOfInterest:
+    """A strongly concave U-shaped corridor (stress shape, not in the paper).
+
+    Harmonic maps concentrate distortion at deep concavities; this
+    shape stresses the planner's guarantees well beyond the paper's
+    blobs.  Unit scale; use ``scaled_to_area`` to size it.
+    """
+    w = min(max(width_fraction, 0.1), 0.45)
+    pts: list[tuple[float, float]] = []
+    # Outer boundary of the U (counter-clockwise).
+    pts += [(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (1.0 - w, 1.0)]
+    pts += [(1.0 - w, w)]
+    pts += [(w, w), (w, 1.0), (0.0, 1.0)]
+    poly = Polygon(pts)
+    return FieldOfInterest(poly, name="U-corridor (stress)")
+
+
+def ring_with_gap(
+    outer_radius: float = 1.0,
+    inner_fraction: float = 0.55,
+    gap_radians: float = 0.9,
+    samples: int = 72,
+) -> FieldOfInterest:
+    """An almost-annular corridor: a ring opened by a gap (stress shape).
+
+    Topologically a disk (the gap prevents a hole) but metrically close
+    to an annulus - the harmonic map must unroll it onto the disk.
+    """
+    inner = outer_radius * min(max(inner_fraction, 0.2), 0.85)
+    half_gap = max(gap_radians, 0.2) / 2.0
+    theta = np.linspace(half_gap, 2.0 * np.pi - half_gap, samples)
+    outer_arc = np.column_stack(
+        [outer_radius * np.cos(theta), outer_radius * np.sin(theta)]
+    )
+    inner_arc = np.column_stack(
+        [inner * np.cos(theta[::-1]), inner * np.sin(theta[::-1])]
+    )
+    poly = Polygon(np.vstack([outer_arc, inner_arc]))
+    return FieldOfInterest(poly, name="ring-with-gap (stress)")
+
+
+def m2_scenario7() -> FieldOfInterest:
+    """Scenario 7 target FoI: concave blob with a flower hole."""
+    outer = radial_blob({2: (0.12, -0.05), 3: (0.06, 0.06)})
+    hole = flower_polygon(petals=6, base_radius=0.26, petal_depth=0.32, center=(-0.1, 0.1))
+    foi = FieldOfInterest(outer, [hole], name="M2 scenario 7 (flower hole)")
+    return foi.scaled_to_area(SCENARIO_AREAS[7])

@@ -1,0 +1,109 @@
+"""Polygon clipping against half-planes and convex windows.
+
+The coverage module builds each robot's Voronoi cell by clipping a
+bounding box against the perpendicular-bisector half-planes of all
+other robots (then intersecting with the field of interest).  The
+Sutherland-Hodgman convex clip here is exact for that use because
+every intermediate subject polygon stays convex.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.vec import as_point, as_points
+
+__all__ = ["clip_halfplane", "clip_convex", "bounding_box_polygon"]
+
+
+def clip_halfplane(vertices, point, normal) -> np.ndarray:
+    """Clip a polygon to the half-plane ``{x : (x - point) . normal <= 0}``.
+
+    Parameters
+    ----------
+    vertices : (n, 2) array-like
+        Polygon boundary in order (any orientation).  May be empty.
+    point : (2,) array-like
+        A point on the half-plane boundary line.
+    normal : (2,) array-like
+        Outward normal; points with positive signed offset are removed.
+
+    Returns
+    -------
+    (m, 2) ndarray
+        Clipped polygon vertices (possibly empty).
+    """
+    v = as_points(vertices)
+    if len(v) == 0:
+        return v
+    p0 = as_point(point)
+    nrm = as_point(normal)
+    offsets = (v - p0) @ nrm
+    out: list[np.ndarray] = []
+    n = len(v)
+    for i in range(n):
+        cur, nxt = v[i], v[(i + 1) % n]
+        d_cur, d_nxt = offsets[i], offsets[(i + 1) % n]
+        if d_cur <= 0:
+            out.append(cur)
+        if (d_cur < 0 < d_nxt) or (d_nxt < 0 < d_cur):
+            t = d_cur / (d_cur - d_nxt)
+            out.append(cur + t * (nxt - cur))
+    if not out:
+        return np.zeros((0, 2))
+    result = np.array(out)
+    # Remove consecutive duplicates introduced by points exactly on the line.
+    keep = np.ones(len(result), dtype=bool)
+    for i in range(len(result)):
+        if np.allclose(result[i], result[(i + 1) % len(result)], atol=1e-12):
+            keep[i] = False
+    result = result[keep]
+    return result if len(result) >= 3 else np.zeros((0, 2))
+
+
+def clip_convex(subject, window) -> np.ndarray:
+    """Sutherland-Hodgman clip of ``subject`` against convex CCW ``window``.
+
+    Parameters
+    ----------
+    subject : (n, 2) array-like
+        Subject polygon (any orientation).
+    window : (m, 2) array-like
+        Convex clip window in CCW order.
+
+    Returns
+    -------
+    (k, 2) ndarray
+        The intersection polygon (empty if disjoint).
+
+    Raises
+    ------
+    GeometryError
+        If the window has fewer than 3 vertices.
+    """
+    win = as_points(window)
+    if len(win) < 3:
+        raise GeometryError("clip window needs at least 3 vertices")
+    result = as_points(subject)
+    m = len(win)
+    for i in range(m):
+        a, b = win[i], win[(i + 1) % m]
+        edge = b - a
+        # CCW window: interior is to the left of each edge; the outward
+        # normal is the edge rotated -90 degrees.
+        normal = np.array([edge[1], -edge[0]])
+        result = clip_halfplane(result, a, normal)
+        if len(result) == 0:
+            break
+    return result
+
+
+def bounding_box_polygon(points, margin: float = 0.0) -> np.ndarray:
+    """CCW rectangle covering ``points`` expanded by ``margin`` on all sides."""
+    pts = as_points(points)
+    if len(pts) == 0:
+        raise GeometryError("bounding box of empty point set")
+    xmin, ymin = pts.min(axis=0) - margin
+    xmax, ymax = pts.max(axis=0) + margin
+    return np.array([[xmin, ymin], [xmax, ymin], [xmax, ymax], [xmin, ymax]])

@@ -1,0 +1,64 @@
+"""Convex hulls (Andrew's monotone chain).
+
+Used to validate deployments, build bounding regions for Voronoi
+clipping, and in tests as an independent oracle for convexity
+properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.vec import as_points
+
+__all__ = ["convex_hull"]
+
+
+def convex_hull(points) -> np.ndarray:
+    """Convex hull of a point set in CCW order.
+
+    Collinear points on the hull boundary are dropped; the returned
+    array contains only the hull's corner vertices.
+
+    Parameters
+    ----------
+    points : (n, 2) array-like
+        At least one point.
+
+    Returns
+    -------
+    (h, 2) ndarray
+        Hull vertices in CCW order.  For 1 or 2 distinct input points
+        the (degenerate) hull is returned as-is with ``h in {1, 2}``.
+    """
+    pts = as_points(points)
+    if len(pts) == 0:
+        raise GeometryError("convex hull of an empty point set")
+    uniq = np.unique(pts, axis=0)
+    order = np.lexsort((uniq[:, 1], uniq[:, 0]))
+    uniq = uniq[order]
+    if len(uniq) <= 2:
+        return uniq
+
+    def _cross(o, a, b) -> float:
+        return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+    # Pop on non-left turns.  The comparison is exact (no epsilon): a
+    # tolerance here can misclassify a genuinely-left near-collinear
+    # turn and discard a required hull vertex, silently shrinking the
+    # hull.  Exactly-collinear chains still collapse to their endpoints.
+    lower: list[np.ndarray] = []
+    for p in uniq:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0.0:
+            lower.pop()
+        lower.append(p)
+    upper: list[np.ndarray] = []
+    for p in uniq[::-1]:
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0.0:
+            upper.pop()
+        upper.append(p)
+    hull = np.array(lower[:-1] + upper[:-1])
+    if len(hull) < 3:
+        return uniq[:2]
+    return hull

@@ -1,0 +1,121 @@
+"""Spatial index for point-in-triangle location queries.
+
+The induced harmonic map must locate, for every robot, the grid
+triangle of the target FoI's disk embedding that contains the robot's
+(rotated) disk position.  A uniform bucket grid over the triangle
+bounding boxes turns each query into a handful of barycentric tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.barycentric import barycentric_coords_many
+from repro.geometry.vec import as_point, as_points
+
+__all__ = ["TriangleLocator"]
+
+
+class TriangleLocator:
+    """Uniform-grid index over a set of triangles.
+
+    Parameters
+    ----------
+    points : (n, 2) array-like
+        Vertex coordinates.
+    triangles : (m, 3) int array-like
+        Vertex indices of each triangle.
+    resolution : int
+        Number of buckets per axis (default scales with triangle count).
+    """
+
+    def __init__(self, points, triangles, resolution: int | None = None) -> None:
+        self.points = as_points(points)
+        tris = np.asarray(triangles, dtype=int)
+        if tris.size == 0:
+            raise GeometryError("TriangleLocator needs at least one triangle")
+        if tris.ndim != 2 or tris.shape[1] != 3:
+            raise GeometryError(f"triangles must have shape (m, 3), got {tris.shape}")
+        if tris.min() < 0 or tris.max() >= len(self.points):
+            raise GeometryError("triangle indices out of range")
+        self.triangles = tris
+        self._ta = self.points[tris[:, 0]]
+        self._tb = self.points[tris[:, 1]]
+        self._tc = self.points[tris[:, 2]]
+        self._centroids = (self._ta + self._tb + self._tc) / 3.0
+
+        if resolution is None:
+            resolution = max(4, int(np.sqrt(len(tris))))
+        self._res = resolution
+        xs = np.stack([self._ta[:, 0], self._tb[:, 0], self._tc[:, 0]])
+        ys = np.stack([self._ta[:, 1], self._tb[:, 1], self._tc[:, 1]])
+        self._xmin = float(xs.min())
+        self._ymin = float(ys.min())
+        xmax, ymax = float(xs.max()), float(ys.max())
+        self._dx = max((xmax - self._xmin) / resolution, 1e-12)
+        self._dy = max((ymax - self._ymin) / resolution, 1e-12)
+
+        buckets: dict[tuple[int, int], list[int]] = {}
+        lo_i = np.clip(((xs.min(axis=0) - self._xmin) / self._dx).astype(int), 0, resolution - 1)
+        hi_i = np.clip(((xs.max(axis=0) - self._xmin) / self._dx).astype(int), 0, resolution - 1)
+        lo_j = np.clip(((ys.min(axis=0) - self._ymin) / self._dy).astype(int), 0, resolution - 1)
+        hi_j = np.clip(((ys.max(axis=0) - self._ymin) / self._dy).astype(int), 0, resolution - 1)
+        for t in range(len(tris)):
+            for i in range(lo_i[t], hi_i[t] + 1):
+                for j in range(lo_j[t], hi_j[t] + 1):
+                    buckets.setdefault((i, j), []).append(t)
+        self._buckets = {k: np.asarray(v, dtype=int) for k, v in buckets.items()}
+
+    def _bucket_of(self, p: np.ndarray) -> tuple[int, int]:
+        i = int(np.clip((p[0] - self._xmin) / self._dx, 0, self._res - 1))
+        j = int(np.clip((p[1] - self._ymin) / self._dy, 0, self._res - 1))
+        return i, j
+
+    def locate(self, point, tol: float = 1e-9) -> tuple[int, np.ndarray] | None:
+        """Triangle containing ``point`` and its barycentric coordinates.
+
+        Returns
+        -------
+        (triangle_index, (3,) barycentric array) or ``None`` if the point
+        lies in no triangle (outside the mesh, or in a hole).
+        """
+        p = as_point(point)
+        cand = self._buckets.get(self._bucket_of(p))
+        if cand is None or len(cand) == 0:
+            return None
+        bary = barycentric_coords_many(p, self._ta[cand], self._tb[cand], self._tc[cand])
+        ok = np.all(bary >= -tol, axis=1) & ~np.any(np.isnan(bary), axis=1)
+        hits = np.flatnonzero(ok)
+        if len(hits) == 0:
+            return None
+        # Prefer the most interior hit for points on shared edges.
+        best = hits[np.argmax(bary[hits].min(axis=1))]
+        return int(cand[best]), bary[best]
+
+    def locate_nearest(self, point) -> tuple[int, np.ndarray]:
+        """Like :meth:`locate` but never fails.
+
+        If the point lies in no triangle, the triangle with the nearest
+        centroid is chosen and the barycentric coordinates are clamped
+        to the simplex (renormalised to sum to one), yielding the
+        closest representable point.  This implements the paper's rule
+        that a robot mapped into a hole "simply chooses the nearest grid
+        point" - clamping selects the nearest point of the nearest
+        triangle.
+        """
+        hit = self.locate(point)
+        if hit is not None:
+            return hit
+        p = as_point(point)
+        d = np.hypot(self._centroids[:, 0] - p[0], self._centroids[:, 1] - p[1])
+        t = int(np.argmin(d))
+        bary = barycentric_coords_many(
+            p, self._ta[t : t + 1], self._tb[t : t + 1], self._tc[t : t + 1]
+        )[0]
+        if np.any(np.isnan(bary)):
+            bary = np.array([1.0, 0.0, 0.0])
+        bary = np.clip(bary, 0.0, None)
+        s = bary.sum()
+        bary = bary / s if s > 0 else np.array([1.0, 0.0, 0.0])
+        return t, bary

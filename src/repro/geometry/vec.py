@@ -1,0 +1,172 @@
+"""Low-level vector helpers shared by the geometry kernel.
+
+All geometry in this library lives in the plane.  Points are represented
+as numpy arrays of shape ``(2,)`` and point sets as arrays of shape
+``(n, 2)`` with ``float64`` dtype.  The helpers here normalise inputs to
+that convention and provide the handful of numeric primitives (cross
+products, distances, rotations) that the higher level modules build on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+__all__ = [
+    "as_point",
+    "as_points",
+    "cross2",
+    "dot2",
+    "norm",
+    "normalize",
+    "distance",
+    "pairwise_distances",
+    "rotate",
+    "rotation_matrix",
+    "perpendicular",
+    "lerp",
+    "polyline_length",
+    "angle_of",
+]
+
+
+def as_point(p) -> np.ndarray:
+    """Coerce ``p`` to a ``float64`` array of shape ``(2,)``.
+
+    Raises
+    ------
+    GeometryError
+        If ``p`` cannot be interpreted as a single 2-D point.
+    """
+    arr = np.asarray(p, dtype=float)
+    if arr.shape != (2,):
+        raise GeometryError(f"expected a 2-D point, got array of shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise GeometryError(f"point contains non-finite coordinates: {arr}")
+    return arr
+
+
+def as_points(pts) -> np.ndarray:
+    """Coerce ``pts`` to a ``float64`` array of shape ``(n, 2)``.
+
+    An empty input yields an array of shape ``(0, 2)`` so downstream
+    vectorised code works uniformly.
+    """
+    arr = np.asarray(pts, dtype=float)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GeometryError(f"expected an (n, 2) point array, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise GeometryError("point array contains non-finite coordinates")
+    return arr
+
+
+def cross2(a, b) -> float:
+    """Scalar 2-D cross product ``a.x * b.y - a.y * b.x``."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return float(a[..., 0] * b[..., 1] - a[..., 1] * b[..., 0])
+
+
+def dot2(a, b) -> float:
+    """Dot product of two 2-D vectors as a Python float."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return float(a[..., 0] * b[..., 0] + a[..., 1] * b[..., 1])
+
+
+def norm(v) -> float:
+    """Euclidean norm of a 2-D vector."""
+    v = np.asarray(v, dtype=float)
+    return float(np.hypot(v[..., 0], v[..., 1]))
+
+
+def normalize(v) -> np.ndarray:
+    """Return ``v`` scaled to unit length.
+
+    Raises
+    ------
+    GeometryError
+        If ``v`` is (numerically) the zero vector.
+    """
+    v = as_point(v)
+    n = norm(v)
+    if n < 1e-300:
+        raise GeometryError("cannot normalize the zero vector")
+    return v / n
+
+
+def distance(a, b) -> float:
+    """Euclidean distance between two points."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    return float(np.hypot(a[0] - b[0], a[1] - b[1]))
+
+
+def pairwise_distances(pts_a, pts_b=None) -> np.ndarray:
+    """Dense matrix of Euclidean distances between two point sets.
+
+    Parameters
+    ----------
+    pts_a : (n, 2) array-like
+    pts_b : (m, 2) array-like, optional
+        Defaults to ``pts_a`` (self-distances).
+
+    Returns
+    -------
+    (n, m) ndarray
+    """
+    a = as_points(pts_a)
+    b = a if pts_b is None else as_points(pts_b)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.hypot(diff[..., 0], diff[..., 1])
+
+
+def rotation_matrix(theta: float) -> np.ndarray:
+    """2x2 counter-clockwise rotation matrix for angle ``theta`` (radians)."""
+    c, s = np.cos(theta), np.sin(theta)
+    return np.array([[c, -s], [s, c]])
+
+
+def rotate(pts, theta: float, center=(0.0, 0.0)) -> np.ndarray:
+    """Rotate points counter-clockwise by ``theta`` radians about ``center``.
+
+    Accepts a single point or an ``(n, 2)`` array and preserves the shape.
+    """
+    arr = np.asarray(pts, dtype=float)
+    single = arr.ndim == 1
+    pts2 = as_points(arr[None, :] if single else arr)
+    c = as_point(center)
+    rotated = (pts2 - c) @ rotation_matrix(theta).T + c
+    return rotated[0] if single else rotated
+
+
+def perpendicular(v) -> np.ndarray:
+    """The vector ``v`` rotated by +90 degrees."""
+    v = as_point(v)
+    return np.array([-v[1], v[0]])
+
+
+def lerp(a, b, t: float) -> np.ndarray:
+    """Linear interpolation ``(1 - t) * a + t * b``."""
+    a = as_point(a)
+    b = as_point(b)
+    return (1.0 - t) * a + t * b
+
+
+def polyline_length(pts) -> float:
+    """Total length of the open polyline through ``pts`` in order."""
+    arr = as_points(pts)
+    if len(arr) < 2:
+        return 0.0
+    seg = np.diff(arr, axis=0)
+    return float(np.hypot(seg[:, 0], seg[:, 1]).sum())
+
+
+def angle_of(v) -> float:
+    """Angle of vector ``v`` in ``[0, 2*pi)``."""
+    v = as_point(v)
+    ang = float(np.arctan2(v[1], v[0]))
+    return ang + 2.0 * np.pi if ang < 0 else ang

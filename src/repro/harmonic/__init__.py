@@ -1,0 +1,29 @@
+"""Harmonic disk embeddings, induced maps and rotation search."""
+
+from repro.harmonic.boundary import boundary_parameterization, circle_positions
+from repro.harmonic.diskmap import DiskMap, compute_disk_map
+from repro.harmonic.distortion import StretchReport, edge_stretch, stretch_report
+from repro.harmonic.rotation import (
+    AngleSearchResult,
+    exhaustive_angle_search,
+    hierarchical_angle_search,
+)
+from repro.harmonic.solvers import harmonic_energy, solve_iterative, solve_linear
+from repro.harmonic.transfer import InducedMap
+
+__all__ = [
+    "AngleSearchResult",
+    "DiskMap",
+    "InducedMap",
+    "StretchReport",
+    "edge_stretch",
+    "stretch_report",
+    "boundary_parameterization",
+    "circle_positions",
+    "compute_disk_map",
+    "exhaustive_angle_search",
+    "harmonic_energy",
+    "hierarchical_angle_search",
+    "solve_iterative",
+    "solve_linear",
+]

@@ -1,0 +1,82 @@
+"""Boundary parameterization onto the unit circle (paper Sec. III-B).
+
+The paper's distributed rule: the boundary vertex with the smallest ID
+starts a token that walks the closed boundary loop counting hops; once
+the loop size is known every boundary vertex places itself "uniformly
+and sequentially" along the unit circle by its hop number.  That is the
+``uniform`` mode below.  The ``chord`` mode spaces vertices
+proportionally to boundary edge lengths instead, which lowers metric
+distortion for unevenly sampled boundaries and is used for FoI grid
+meshes (whose boundary sampling is already uniform, making the two
+modes nearly identical there).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.mesh.trimesh import TriMesh
+
+__all__ = ["circle_positions", "boundary_parameterization"]
+
+
+def circle_positions(angles) -> np.ndarray:
+    """Unit-circle points for an array of angles (radians)."""
+    a = np.asarray(angles, dtype=float)
+    return np.column_stack([np.cos(a), np.sin(a)])
+
+
+def boundary_parameterization(
+    mesh: TriMesh,
+    mode: str = "chord",
+    start_angle: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assign unit-circle positions to the outer boundary loop.
+
+    The loop is rotated to start at its smallest vertex ID (the paper's
+    initiator election) and traversed CCW, so two meshes of the same
+    region sampled identically get compatible parameterizations.
+
+    Parameters
+    ----------
+    mesh : TriMesh
+        Must have at least one boundary loop; only the outer loop is
+        parameterized (holes are expected to be filled with virtual
+        vertices before the harmonic solve).
+    mode : {"uniform", "chord"}
+        ``uniform``: equal angular spacing by hop count (the paper's
+        distributed rule).  ``chord``: spacing proportional to boundary
+        edge length.
+    start_angle : float
+        Angle (radians) given to the initiator vertex.
+
+    Returns
+    -------
+    (loop, angles)
+        ``loop`` - (b,) int array of boundary vertex indices in CCW
+        order starting at the smallest ID; ``angles`` - (b,) float
+        array of their circle angles.
+    """
+    loop = mesh.outer_boundary_loop
+    if len(loop) < 3:
+        raise MappingError("outer boundary loop has fewer than 3 vertices")
+    start = int(np.argmin(loop))
+    loop = loop[start:] + loop[:start]
+    loop_arr = np.asarray(loop, dtype=int)
+
+    if mode == "uniform":
+        fractions = np.arange(len(loop_arr)) / len(loop_arr)
+    elif mode == "chord":
+        pts = mesh.vertices[loop_arr]
+        nxt = np.roll(pts, -1, axis=0)
+        seg = np.hypot(nxt[:, 0] - pts[:, 0], nxt[:, 1] - pts[:, 1])
+        total = float(seg.sum())
+        if total <= 0:
+            raise MappingError("boundary loop has zero length")
+        fractions = np.concatenate([[0.0], np.cumsum(seg[:-1]) / total])
+    else:
+        raise MappingError(f"unknown boundary parameterization mode {mode!r}")
+
+    angles = start_angle + 2.0 * np.pi * fractions
+    return loop_arr, angles

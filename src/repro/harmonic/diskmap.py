@@ -1,0 +1,134 @@
+"""Disk embeddings of meshes (the harmonic map to the unit disk).
+
+A :class:`DiskMap` bundles a mesh (holes filled with virtual vertices
+if needed), the computed unit-disk position of every vertex, and the
+bookkeeping to go back and forth between disk space and the mesh's
+geographic coordinates.  It is the object the modified-harmonic-map
+algorithm composes and rotates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.geometry.pointlocate import TriangleLocator
+from repro.geometry.vec import rotate
+from repro.harmonic.boundary import boundary_parameterization, circle_positions
+from repro.harmonic.solvers import solve_iterative, solve_linear
+from repro.mesh.holes import FilledMesh, fill_holes
+from repro.mesh.quality import orientation_signs
+from repro.mesh.trimesh import TriMesh
+
+__all__ = ["DiskMap", "compute_disk_map"]
+
+
+@dataclass(frozen=True)
+class DiskMap:
+    """A harmonic embedding of a mesh onto the unit disk.
+
+    Attributes
+    ----------
+    source : TriMesh
+        The original mesh (before hole filling), with geographic
+        coordinates.
+    filled : FilledMesh
+        The hole-filled mesh actually embedded (identical to ``source``
+        plus virtual vertices when the source had holes).
+    disk_positions : (n_filled, 2) ndarray
+        Unit-disk coordinates of every filled-mesh vertex.
+    boundary_mode : str
+        The boundary parameterization used.
+    solver : str
+        ``"linear"`` or ``"iterative"``.
+    iterations : int
+        Sweeps used by the iterative solver (0 for linear).
+    """
+
+    source: TriMesh
+    filled: FilledMesh
+    disk_positions: np.ndarray
+    boundary_mode: str
+    solver: str
+    iterations: int
+
+    @property
+    def robot_disk_positions(self) -> np.ndarray:
+        """Disk coordinates of the *source* vertices (virtuals stripped)."""
+        return self.disk_positions[: self.filled.original_vertex_count]
+
+    def rotated_positions(self, theta: float) -> np.ndarray:
+        """All filled-mesh disk coordinates rotated CCW by ``theta``."""
+        return rotate(self.disk_positions, theta)
+
+    @cached_property
+    def locator(self) -> TriangleLocator:
+        """Spatial index over the filled mesh's disk-space triangles."""
+        return TriangleLocator(self.disk_positions, self.filled.mesh.triangles)
+
+    def is_embedding(self) -> bool:
+        """Whether every disk-space triangle keeps positive orientation.
+
+        True means the map is fold-free: the discrete analogue of the
+        diffeomorphism guarantee (Tutte / Kneser-Choquet).
+        """
+        disk_mesh = self.filled.mesh.with_vertices(self.disk_positions)
+        return bool(np.all(orientation_signs(disk_mesh) > 0))
+
+    def max_radius(self) -> float:
+        """Largest distance of any embedded vertex from the disk centre."""
+        return float(np.hypot(self.disk_positions[:, 0], self.disk_positions[:, 1]).max())
+
+
+def compute_disk_map(
+    mesh: TriMesh,
+    boundary_mode: str = "chord",
+    solver: str = "linear",
+    tol: float = 1e-7,
+) -> DiskMap:
+    """Harmonic-map a (possibly holed) mesh to the unit disk.
+
+    Steps (paper Sec. III-B and III-D3):
+
+    1. fill holes with virtual centroid vertices,
+    2. pin the outer boundary loop to the unit circle,
+    3. solve the uniform-weight harmonic system for the interior.
+
+    Parameters
+    ----------
+    mesh : TriMesh
+        Must be connected with exactly one outer boundary loop.
+    boundary_mode : {"chord", "uniform"}
+    solver : {"linear", "iterative"}
+    tol : float
+        Convergence tolerance of the iterative solver.
+
+    Raises
+    ------
+    MappingError
+        If the solver fails or the result is not an embedding.
+    """
+    filled = fill_holes(mesh)
+    loop, angles = boundary_parameterization(filled.mesh, mode=boundary_mode)
+    bpos = circle_positions(angles)
+    if solver == "linear":
+        positions = solve_linear(filled.mesh, loop, bpos)
+        iterations = 0
+    elif solver == "iterative":
+        positions, iterations = solve_iterative(filled.mesh, loop, bpos, tol=tol)
+    else:
+        raise MappingError(f"unknown solver {solver!r}")
+    dm = DiskMap(
+        source=mesh,
+        filled=filled,
+        disk_positions=positions,
+        boundary_mode=boundary_mode,
+        solver=solver,
+        iterations=iterations,
+    )
+    if dm.max_radius() > 1.0 + 1e-6:
+        raise MappingError("disk map escapes the unit disk")
+    return dm

@@ -1,0 +1,91 @@
+"""Stretch/distortion analysis of maps between robot configurations.
+
+The harmonic map is "least stretched" among maps with the same boundary
+condition; stretched edges are exactly where communication links break
+(Sec. III-D1: "such a largely stretched edge means a broken
+communication link").  This module measures per-edge stretch so
+experiments can show *where* and *why* a transition loses links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.geometry.vec import as_points
+
+__all__ = ["StretchReport", "edge_stretch", "stretch_report"]
+
+
+def edge_stretch(edges, source_positions, image_positions) -> np.ndarray:
+    """Per-edge length ratio ``|image| / |source|``.
+
+    Parameters
+    ----------
+    edges : (m, 2) int array
+        Vertex-index pairs.
+    source_positions, image_positions : (n, 2) arrays
+        Vertex coordinates before and after the map.
+
+    Returns
+    -------
+    (m,) ndarray of ratios (``inf`` for degenerate source edges).
+    """
+    e = np.asarray(edges, dtype=int).reshape(-1, 2)
+    src = as_points(source_positions)
+    img = as_points(image_positions)
+    if len(src) != len(img):
+        raise MappingError("source/image vertex counts differ")
+    d_src = src[e[:, 0]] - src[e[:, 1]]
+    d_img = img[e[:, 0]] - img[e[:, 1]]
+    len_src = np.hypot(d_src[:, 0], d_src[:, 1])
+    len_img = np.hypot(d_img[:, 0], d_img[:, 1])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(len_src > 0, len_img / np.where(len_src > 0, len_src, 1.0), np.inf)
+    return ratio
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """Distribution summary of per-edge stretch ratios.
+
+    Attributes
+    ----------
+    ratios : (m,) ndarray
+    max_stretch, mean_stretch, median_stretch : float
+    stretched_fraction : float
+        Fraction of edges with ratio above ``threshold``.
+    threshold : float
+    """
+
+    ratios: np.ndarray
+    max_stretch: float
+    mean_stretch: float
+    median_stretch: float
+    stretched_fraction: float
+    threshold: float
+
+    def breaking_edges(self, source_lengths, comm_range: float) -> np.ndarray:
+        """Mask of edges whose *image* length exceeds the range."""
+        lengths = np.asarray(source_lengths, dtype=float)
+        return self.ratios * lengths > comm_range
+
+
+def stretch_report(
+    edges, source_positions, image_positions, threshold: float = 1.5
+) -> StretchReport:
+    """Summarise the stretch of a map over a mesh's edges."""
+    ratios = edge_stretch(edges, source_positions, image_positions)
+    finite = ratios[np.isfinite(ratios)]
+    if len(finite) == 0:
+        raise MappingError("no finite stretch ratios (all edges degenerate?)")
+    return StretchReport(
+        ratios=ratios,
+        max_stretch=float(finite.max()),
+        mean_stretch=float(finite.mean()),
+        median_stretch=float(np.median(finite)),
+        stretched_fraction=float((finite > threshold).mean()),
+        threshold=threshold,
+    )

@@ -1,0 +1,85 @@
+"""The induced map between two disk embeddings (paper Eqn. 1).
+
+Overlaying the unit-disk embeddings of the swarm triangulation ``T``
+and of the target FoI's grid mesh (after rotating one of them) induces
+a map ``T -> M2``: a robot's disk position falls inside some disk-space
+grid triangle, and its geographic target is the barycentric combination
+of that triangle's geographic corners.
+
+Robots that land in a *filled hole* (a fan triangle owning a virtual
+vertex) have no geographic image there; following Sec. III-D3 the
+virtual corner's weight is dropped and the remaining (hole-boundary)
+corners are re-normalised, which lands the robot on the hole boundary -
+the continuous version of "choose the nearest grid point".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.geometry.vec import as_points, rotate
+from repro.harmonic.diskmap import DiskMap
+
+__all__ = ["InducedMap"]
+
+
+class InducedMap:
+    """Composable map from a source disk embedding into target geography.
+
+    Parameters
+    ----------
+    target : DiskMap
+        Disk embedding of the target FoI's grid mesh.  The geographic
+        image uses the target's *source mesh* coordinates; virtual
+        (hole) vertices are handled per Sec. III-D3.
+    """
+
+    def __init__(self, target: DiskMap) -> None:
+        self.target = target
+        filled = target.filled
+        self._is_virtual = filled.is_virtual
+        # Geographic coordinates per filled vertex; virtual vertices get
+        # their hole-centroid position only as a fallback anchor.
+        geo = np.zeros((filled.mesh.vertex_count, 2))
+        geo[: filled.original_vertex_count] = target.source.vertices
+        for v in filled.virtual_vertices:
+            geo[v] = filled.mesh.vertices[v]
+        self._geo = geo
+
+    def map_point(self, disk_point) -> np.ndarray:
+        """Geographic image of one disk-space point."""
+        tri_idx, bary = self.target.locator.locate_nearest(disk_point)
+        corners = self.target.filled.mesh.triangles[tri_idx]
+        weights = np.asarray(bary, dtype=float).copy()
+        virtual_mask = self._is_virtual[corners]
+        if virtual_mask.any():
+            weights[virtual_mask] = 0.0
+            s = weights.sum()
+            if s <= 1e-12:
+                # Landed (numerically) on the virtual vertex itself: fall
+                # back to the nearest real corner by disk distance.
+                real = corners[~virtual_mask]
+                if len(real) == 0:
+                    raise MappingError("triangle with no real corner")
+                dp = self.target.disk_positions[real] - np.asarray(disk_point)
+                nearest = real[int(np.argmin(np.hypot(dp[:, 0], dp[:, 1])))]
+                return self._geo[nearest].copy()
+            weights = weights / s
+        return (weights[:, None] * self._geo[corners]).sum(axis=0)
+
+    def map_points(self, disk_points, rotation: float = 0.0) -> np.ndarray:
+        """Geographic images of many disk points, optionally pre-rotated.
+
+        Parameters
+        ----------
+        disk_points : (n, 2) array-like
+            Source disk positions (e.g. a swarm's ``robot_disk_positions``).
+        rotation : float
+            CCW angle applied to the points before lookup - the
+            modified harmonic map's rotation parameter.
+        """
+        pts = as_points(disk_points)
+        if rotation != 0.0:
+            pts = rotate(pts, rotation)
+        return np.array([self.map_point(p) for p in pts])

@@ -1,0 +1,126 @@
+"""Serialisation of plans and evaluations to JSON.
+
+A marching result carries numpy arrays and nested dataclasses; this
+module flattens the durable parts (positions, targets, per-robot
+paths, metric scalars) into a plain-JSON document so downstream
+analysis does not need the library - and a round-trip loader so it can
+have the trajectory back when it does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.marching.result import MarchingResult, RepairInfo
+from repro.network.links import LinkTable
+from repro.robots.motion import SwarmTrajectory, TimedPath
+
+__all__ = ["result_to_dict", "save_result", "load_result_dict", "trajectory_from_dict"]
+
+FORMAT_VERSION = 1
+
+
+def _trajectory_to_dict(trajectory: SwarmTrajectory) -> dict[str, Any]:
+    return {
+        "t_start": trajectory.t_start,
+        "t_end": trajectory.t_end,
+        "paths": [
+            {
+                "waypoints": p.waypoints.tolist(),
+                "times": p.times.tolist(),
+            }
+            for p in trajectory.paths
+        ],
+    }
+
+
+def trajectory_from_dict(data: dict[str, Any]) -> SwarmTrajectory:
+    """Rebuild a :class:`SwarmTrajectory` from its JSON form."""
+    try:
+        paths = [
+            TimedPath(np.asarray(p["waypoints"], dtype=float),
+                      np.asarray(p["times"], dtype=float))
+            for p in data["paths"]
+        ]
+        return SwarmTrajectory(paths, float(data["t_start"]), float(data["t_end"]))
+    except (KeyError, TypeError) as exc:
+        raise ReproError(f"malformed trajectory document: {exc}") from exc
+
+
+def result_to_dict(result: MarchingResult) -> dict[str, Any]:
+    """Flatten a :class:`MarchingResult` into a JSON-serialisable dict.
+
+    Stage artifacts (meshes, disk maps) are intentionally dropped; they
+    are reproducible from the inputs and not part of the durable record.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "method": result.method,
+        "rotation_angle": result.rotation_angle,
+        "rotation_evaluations": result.rotation_evaluations,
+        "lloyd_iterations": result.lloyd_iterations,
+        "boundary_anchors": list(result.boundary_anchors),
+        "start_positions": result.start_positions.tolist(),
+        "march_targets": result.march_targets.tolist(),
+        "final_positions": result.final_positions.tolist(),
+        "links": result.links.links.tolist(),
+        "comm_range": result.links.comm_range,
+        "repair": {
+            "escorted": list(result.repair.escorted),
+            "references": {str(k): v for k, v in result.repair.references.items()},
+            "rounds": result.repair.rounds,
+            "isolated_before": result.repair.isolated_before,
+        },
+        "trajectory": _trajectory_to_dict(result.trajectory),
+    }
+
+
+def save_result(result: MarchingResult, path) -> Path:
+    """Write a result as pretty-printed JSON; returns the path."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(result_to_dict(result), indent=2))
+    return p
+
+
+def load_result_dict(path) -> dict[str, Any]:
+    """Load a saved result document and restore the heavyweight fields.
+
+    Returns a dict with numpy arrays for the position fields, a
+    :class:`LinkTable`, a :class:`SwarmTrajectory`, and a
+    :class:`RepairInfo` - everything the metrics functions need.
+
+    Raises
+    ------
+    ReproError
+        On version mismatch or malformed content.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read result file {path}: {exc}") from exc
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported result format {data.get('format_version')!r}"
+        )
+    out = dict(data)
+    for key in ("start_positions", "march_targets", "final_positions"):
+        out[key] = np.asarray(data[key], dtype=float)
+    out["links"] = LinkTable(
+        links=np.asarray(data["links"], dtype=int).reshape(-1, 2),
+        comm_range=float(data["comm_range"]),
+    )
+    out["trajectory"] = trajectory_from_dict(data["trajectory"])
+    rep = data["repair"]
+    out["repair"] = RepairInfo(
+        escorted=tuple(rep["escorted"]),
+        references={int(k): int(v) for k, v in rep["references"].items()},
+        rounds=int(rep["rounds"]),
+        isolated_before=int(rep["isolated_before"]),
+    )
+    return out

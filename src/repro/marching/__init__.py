@@ -1,0 +1,26 @@
+"""The paper's core contribution: the optimal-marching planner."""
+
+from repro.marching.distributed_planner import DistributedMarchingPlanner
+from repro.marching.mission import LegReport, MissionPlanner, MissionReport
+from repro.marching.pipeline import PipelineStages, run_pipeline
+from repro.marching.planner import MarchingConfig, MarchingPlanner
+from repro.marching.repair import repair_targets
+from repro.marching.replan import FailureEvent, ReplanOutcome, replan_after_failure
+from repro.marching.result import MarchingResult, RepairInfo
+
+__all__ = [
+    "DistributedMarchingPlanner",
+    "FailureEvent",
+    "LegReport",
+    "MarchingConfig",
+    "MarchingPlanner",
+    "MarchingResult",
+    "MissionPlanner",
+    "MissionReport",
+    "PipelineStages",
+    "RepairInfo",
+    "ReplanOutcome",
+    "repair_targets",
+    "replan_after_failure",
+    "run_pipeline",
+]

@@ -1,0 +1,161 @@
+"""Multi-FoI missions: the paper's motivating scenario as an API.
+
+"We consider a group of ANRs that are instructed to explore a number
+of FoIs.  After they complete a task at current FoI, they move to the
+next one."  :class:`MissionPlanner` chains marching transitions across
+a sequence of target FoIs, carrying the swarm state (and each FoI's
+holes) from leg to leg and aggregating the paper's metrics over the
+whole mission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.coverage.density import DensityFunction
+from repro.errors import PlanningError
+from repro.foi.region import FieldOfInterest
+from repro.marching.planner import MarchingConfig, MarchingPlanner
+from repro.marching.result import MarchingResult
+from repro.metrics.connectivity import connectivity_report
+from repro.metrics.stable_links import stable_link_ratio
+from repro.robots.swarm import Swarm
+
+__all__ = ["LegReport", "MissionReport", "MissionPlanner"]
+
+
+@dataclass(frozen=True)
+class LegReport:
+    """Metrics of one mission leg.
+
+    Attributes
+    ----------
+    index : int
+        Leg number (1-based).
+    target_name : str
+    total_distance : float
+    stable_link_ratio : float
+    globally_connected : bool
+    escort_count : int
+    result : MarchingResult
+    """
+
+    index: int
+    target_name: str
+    total_distance: float
+    stable_link_ratio: float
+    globally_connected: bool
+    escort_count: int
+    result: MarchingResult
+
+
+@dataclass(frozen=True)
+class MissionReport:
+    """Aggregated outcome of a whole mission.
+
+    Attributes
+    ----------
+    legs : tuple of LegReport
+    final_swarm : Swarm
+        The swarm deployed on the last FoI.
+    """
+
+    legs: tuple[LegReport, ...]
+    final_swarm: Swarm
+
+    @property
+    def total_distance(self) -> float:
+        """Fleet-wide distance summed over all legs."""
+        return sum(leg.total_distance for leg in self.legs)
+
+    @property
+    def all_connected(self) -> bool:
+        """Whether Definition-2 connectivity held on every leg."""
+        return all(leg.globally_connected for leg in self.legs)
+
+    @property
+    def worst_stable_link_ratio(self) -> float:
+        return min(leg.stable_link_ratio for leg in self.legs)
+
+
+class MissionPlanner:
+    """Plans a swarm's tour through a sequence of Fields of Interest.
+
+    Parameters
+    ----------
+    config : MarchingConfig, optional
+        Per-leg planner settings.
+    metric_resolution : int
+        Sampling resolution of the per-leg metrics.
+    """
+
+    def __init__(
+        self, config: MarchingConfig | None = None, metric_resolution: int = 32
+    ) -> None:
+        self.config = config or MarchingConfig()
+        self.metric_resolution = int(metric_resolution)
+
+    def run(
+        self,
+        swarm: Swarm,
+        targets: Sequence[FieldOfInterest],
+        source_foi: FieldOfInterest | None = None,
+        densities: Sequence[DensityFunction | None] | None = None,
+    ) -> MissionReport:
+        """Plan and evaluate every leg of the mission.
+
+        Parameters
+        ----------
+        swarm : Swarm
+            Deployed on the starting FoI.
+        targets : sequence of FieldOfInterest
+            Visited in order; at least one.
+        source_foi : FieldOfInterest, optional
+            The starting FoI (its holes shape the first leg's detours).
+        densities : optional sequence aligned with ``targets``
+            Per-leg density functions (None entries = uniform).
+
+        Raises
+        ------
+        PlanningError
+            If ``targets`` is empty or a leg's density list is
+            misaligned, or any leg fails to plan.
+        """
+        if not targets:
+            raise PlanningError("a mission needs at least one target FoI")
+        if densities is not None and len(densities) != len(targets):
+            raise PlanningError("densities must align with targets")
+        planner = MarchingPlanner(self.config)
+        legs: list[LegReport] = []
+        current_swarm = swarm
+        current_foi = source_foi
+        for idx, target in enumerate(targets, start=1):
+            density = densities[idx - 1] if densities is not None else None
+            result = planner.plan(
+                current_swarm, target, density=density, source_foi=current_foi
+            )
+            report = connectivity_report(
+                result.trajectory,
+                current_swarm.radio.comm_range,
+                result.boundary_anchors,
+                self.metric_resolution,
+            )
+            legs.append(
+                LegReport(
+                    index=idx,
+                    target_name=target.name,
+                    total_distance=result.total_distance,
+                    stable_link_ratio=stable_link_ratio(
+                        result.links, result.trajectory, self.metric_resolution
+                    ),
+                    globally_connected=report.connected,
+                    escort_count=result.repair.escort_count,
+                    result=result,
+                )
+            )
+            current_swarm = current_swarm.with_positions(result.final_positions)
+            current_foi = target
+        return MissionReport(legs=tuple(legs), final_swarm=current_swarm)

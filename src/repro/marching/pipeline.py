@@ -1,0 +1,102 @@
+"""Stage-by-stage pipeline runner (reproduces Fig. 2's panels).
+
+Thin wrapper over :class:`~repro.marching.planner.MarchingPlanner` that
+always keeps artifacts and exposes each panel of the paper's pipeline
+figure as data: the M1 connectivity graph, the extracted triangulation,
+its disk embedding, the target FoI mesh, the post-march deployment and
+the final coverage deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.coverage.density import DensityFunction
+from repro.foi.region import FieldOfInterest
+from repro.harmonic.diskmap import DiskMap
+from repro.marching.planner import MarchingConfig, MarchingPlanner
+from repro.marching.result import MarchingResult
+from repro.mesh.delaunay import FoiMesh
+from repro.mesh.trimesh import TriMesh
+from repro.network.links import links_alive
+from repro.network.udg import UnitDiskGraph
+from repro.robots.swarm import Swarm
+
+__all__ = ["PipelineStages", "run_pipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineStages:
+    """All intermediate artifacts of one marching run (Fig. 2 (a)-(f)).
+
+    Attributes
+    ----------
+    m1_graph : UnitDiskGraph
+        Panel (a): connectivity graph in M1.
+    t_mesh : TriMesh
+        Panel (b): triangulation ``T`` extracted from the graph.
+    t_vertex_map : ndarray
+        Robot index per ``T`` vertex.
+    disk_map_t : DiskMap
+        Panel (c): harmonic map of ``T`` to the unit disk.
+    foi_mesh : FoiMesh
+        Panel (d): gridded target FoI.
+    disk_map_m2 : DiskMap
+        Disk embedding of the target FoI mesh.
+    result : MarchingResult
+        Panels (e) and (f) come from ``result.march_targets`` and
+        ``result.final_positions``.
+    """
+
+    m1_graph: UnitDiskGraph
+    t_mesh: TriMesh
+    t_vertex_map: np.ndarray
+    disk_map_t: DiskMap
+    foi_mesh: FoiMesh
+    disk_map_m2: DiskMap
+    result: MarchingResult
+
+    def preserved_link_mask(self) -> np.ndarray:
+        """Which M1 links survive to the final deployment.
+
+        Fig. 2 draws preserved links blue and new links red; this gives
+        the blue set over the initial link table.
+        """
+        links = self.result.links
+        return links_alive(
+            links.links, self.result.final_positions, links.comm_range
+        ) & links_alive(links.links, self.result.start_positions, links.comm_range)
+
+    def new_links(self) -> np.ndarray:
+        """Links present in the final deployment but not in M1 (the red set)."""
+        final_graph = UnitDiskGraph(
+            self.result.final_positions, self.result.links.comm_range
+        )
+        initial = {tuple(e) for e in self.result.links.links.tolist()}
+        return np.array(
+            [e for e in final_graph.edges.tolist() if tuple(e) not in initial],
+            dtype=int,
+        ).reshape(-1, 2)
+
+
+def run_pipeline(
+    swarm: Swarm,
+    target_foi: FieldOfInterest,
+    config: MarchingConfig | None = None,
+    density: DensityFunction | None = None,
+) -> PipelineStages:
+    """Run the full marching pipeline and keep every stage artifact."""
+    cfg = replace(config or MarchingConfig(), keep_artifacts=True)
+    result = MarchingPlanner(cfg).plan(swarm, target_foi, density=density)
+    art = result.artifacts
+    return PipelineStages(
+        m1_graph=swarm.communication_graph(),
+        t_mesh=art["t_mesh"],
+        t_vertex_map=art["t_vertex_map"],
+        disk_map_t=art["disk_map_t"],
+        foi_mesh=art["foi_mesh"],
+        disk_map_m2=art["disk_map_m2"],
+        result=result,
+    )

@@ -1,0 +1,157 @@
+"""Mid-transition replanning after robot failures.
+
+The paper motivates ANR systems as "more reliable since the failure of
+an individual robot can be recovered by its peers", and the global-
+connectivity requirement exists precisely so the survivors can
+coordinate a new plan mid-march ("the ANRs must cooperatively determine
+how to adapt to the event.  If an ANR is isolated at this time, it may
+be excluded from the new plan and thus become permanently lost").
+
+:func:`replan_after_failure` implements that recovery: freeze the
+transition at the failure instant, drop the failed robots, verify the
+survivors still form a connected network (they do whenever the original
+plan's Definition-2 guarantee held and the failures don't cut the
+graph), and plan a fresh marching transition for the survivors from
+their current positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coverage.density import DensityFunction
+from repro.errors import PlanningError
+from repro.foi.region import FieldOfInterest
+from repro.marching.planner import MarchingConfig, MarchingPlanner
+from repro.marching.result import MarchingResult
+from repro.network.udg import UnitDiskGraph
+from repro.robots.swarm import Swarm
+
+__all__ = ["FailureEvent", "ReplanOutcome", "replan_after_failure"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """Robots failing at one instant of a transition.
+
+    Attributes
+    ----------
+    time : float
+        Failure instant within the original trajectory's time span.
+    failed : tuple[int, ...]
+        Robot indices (original numbering) that died.
+    """
+
+    time: float
+    failed: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.failed)) != len(self.failed):
+            raise PlanningError("duplicate robot ids in failure event")
+
+
+@dataclass(frozen=True)
+class ReplanOutcome:
+    """Result of a mid-transition recovery.
+
+    Attributes
+    ----------
+    event : FailureEvent
+    survivor_ids : (k,) int ndarray
+        Original indices of the surviving robots, in the order used by
+        ``result`` (survivor ``i`` in the new plan is original robot
+        ``survivor_ids[i]``).
+    positions_at_failure : (k, 2) ndarray
+        Survivor positions at the failure instant.
+    survivors_connected : bool
+        Whether the surviving network was connected when it replanned.
+    result : MarchingResult
+        The survivors' fresh plan into the target FoI.
+    """
+
+    event: FailureEvent
+    survivor_ids: np.ndarray
+    positions_at_failure: np.ndarray
+    survivors_connected: bool
+    result: MarchingResult
+
+
+def replan_after_failure(
+    original: MarchingResult,
+    event: FailureEvent,
+    target_foi: FieldOfInterest,
+    comm_range: float,
+    config: MarchingConfig | None = None,
+    density: DensityFunction | None = None,
+    require_connected: bool = True,
+) -> ReplanOutcome:
+    """Recover from robot failures by replanning the survivors' march.
+
+    Parameters
+    ----------
+    original : MarchingResult
+        The plan being executed when the failure happened.
+    event : FailureEvent
+    target_foi : FieldOfInterest
+        The destination (unchanged by the failure).
+    comm_range : float
+    config : MarchingConfig, optional
+        Planner settings for the new plan.
+    density : DensityFunction, optional
+    require_connected : bool
+        When True (default), raise if the failures disconnected the
+        surviving network - the situation the paper's Definition-2
+        guarantee exists to prevent.
+
+    Raises
+    ------
+    PlanningError
+        If no robots survive, the failure instant is outside the plan,
+        or (with ``require_connected``) the survivors are disconnected.
+    """
+    traj = original.trajectory
+    if not (traj.t_start <= event.time <= traj.t_end):
+        raise PlanningError(
+            f"failure time {event.time} outside [{traj.t_start}, {traj.t_end}]"
+        )
+    n = original.robot_count
+    failed = set(int(i) for i in event.failed)
+    if not all(0 <= i < n for i in failed):
+        raise PlanningError("failed robot id out of range")
+    survivors = np.array([i for i in range(n) if i not in failed], dtype=int)
+    if len(survivors) < 4:
+        raise PlanningError("too few survivors to replan a marching problem")
+
+    snapshot = traj.positions_at(event.time)
+    positions = snapshot[survivors]
+    graph = UnitDiskGraph(positions, comm_range)
+    connected = graph.is_connected()
+    if not connected:
+        if require_connected:
+            raise PlanningError(
+                "survivors are disconnected at the failure instant; "
+                "largest component holds "
+                f"{len(graph.components[0])}/{len(survivors)} robots"
+            )
+        # The paper's warning made concrete: robots cut off from the
+        # main network "may be excluded from the new plan and thus
+        # become permanently lost".  Replan the largest component only.
+        main = np.asarray(graph.components[0], dtype=int)
+        survivors = survivors[main]
+        positions = positions[main]
+
+    from repro.robots.robot import RadioSpec
+
+    radio = RadioSpec.from_comm_range(comm_range)
+    swarm = Swarm(positions, radio)
+    planner = MarchingPlanner(config or MarchingConfig())
+    result = planner.plan(swarm, target_foi, density=density)
+    return ReplanOutcome(
+        event=event,
+        survivor_ids=survivors,
+        positions_at_failure=positions,
+        survivors_connected=connected,
+        result=result,
+    )

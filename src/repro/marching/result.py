@@ -1,0 +1,95 @@
+"""Result types for the marching planner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.network.links import LinkTable
+from repro.robots.motion import SwarmTrajectory
+
+__all__ = ["MarchingResult", "RepairInfo"]
+
+
+@dataclass(frozen=True)
+class RepairInfo:
+    """What the global-connectivity repair did (Sec. III-D1).
+
+    Attributes
+    ----------
+    escorted : tuple[int, ...]
+        Robot indices whose targets were replaced by parallel-escort
+        moves.
+    references : dict[int, int]
+        ``escorted robot -> reference robot`` whose displacement it
+        copies.
+    rounds : int
+        Repair iterations until no robot was isolated.
+    isolated_before : int
+        Robots without a path to the boundary before repair.
+    """
+
+    escorted: tuple[int, ...]
+    references: dict[int, int]
+    rounds: int
+    isolated_before: int
+
+    @property
+    def escort_count(self) -> int:
+        return len(self.escorted)
+
+
+@dataclass(frozen=True)
+class MarchingResult:
+    """Complete output of one marching plan.
+
+    Attributes
+    ----------
+    method : str
+        "ours (a)" or "ours (b)".
+    start_positions : (n, 2) ndarray
+    march_targets : (n, 2) ndarray
+        Positions after the harmonic-map march (before Lloyd).
+    final_positions : (n, 2) ndarray
+        Optimal coverage positions after the Lloyd adjustment.
+    trajectory : SwarmTrajectory
+        Full timed plan (march phase chained with adjustment phase).
+    links : LinkTable
+        The M1 link population (denominator of ``L``).
+    boundary_anchors : tuple[int, ...]
+        Robot indices forming the network boundary (Definition 2's
+        anchor set).
+    rotation_angle : float
+        The selected disk rotation (radians).
+    rotation_evaluations : int
+        Objective calls spent by the angle search.
+    repair : RepairInfo
+    lloyd_iterations : int
+    artifacts : dict
+        Optional stage artifacts (meshes, disk maps) kept when
+        ``keep_artifacts=True`` is passed to the planner.
+    """
+
+    method: str
+    start_positions: np.ndarray
+    march_targets: np.ndarray
+    final_positions: np.ndarray
+    trajectory: SwarmTrajectory
+    links: LinkTable
+    boundary_anchors: tuple[int, ...]
+    rotation_angle: float
+    rotation_evaluations: int
+    repair: RepairInfo
+    lloyd_iterations: int
+    artifacts: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def robot_count(self) -> int:
+        return len(self.start_positions)
+
+    @property
+    def total_distance(self) -> float:
+        """The paper's ``D``, including the adjustment cost."""
+        return self.trajectory.total_distance()

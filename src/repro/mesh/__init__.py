@@ -1,0 +1,36 @@
+"""Triangle-mesh substrate: structure, Delaunay builders, quality, holes."""
+
+from repro.mesh.delaunay import (
+    FoiMesh,
+    delaunay_mesh,
+    delaunay_with_max_edge,
+    triangulate_foi,
+)
+from repro.mesh.holes import FilledMesh, fill_holes
+from repro.mesh.repairs import remove_pinches, vertex_fans
+from repro.mesh.quality import (
+    QualityReport,
+    min_angle,
+    orientation_signs,
+    quality_report,
+    triangle_angles,
+)
+from repro.mesh.trimesh import TriMesh, edges_of_triangles
+
+__all__ = [
+    "FilledMesh",
+    "FoiMesh",
+    "QualityReport",
+    "TriMesh",
+    "delaunay_mesh",
+    "delaunay_with_max_edge",
+    "edges_of_triangles",
+    "fill_holes",
+    "min_angle",
+    "orientation_signs",
+    "quality_report",
+    "remove_pinches",
+    "vertex_fans",
+    "triangle_angles",
+    "triangulate_foi",
+]

@@ -1,0 +1,169 @@
+"""Delaunay triangulation of point sets and FoIs.
+
+scipy's ``Delaunay`` provides the raw triangulation; this module adapts
+it to the library's needs: triangulating a (possibly concave, possibly
+holed) Field of Interest by filtering triangles whose centroid falls
+outside the free region, and triangulating swarm positions with a
+maximum edge length (the communication range).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from repro.errors import MeshError
+from repro.foi.gridding import FoiPointSet, grid_foi
+from repro.foi.region import FieldOfInterest
+from repro.geometry.vec import as_points
+from repro.mesh.trimesh import TriMesh
+
+__all__ = ["delaunay_mesh", "triangulate_foi", "FoiMesh", "delaunay_with_max_edge"]
+
+
+def delaunay_mesh(points) -> TriMesh:
+    """Plain Delaunay triangulation of a point set as a :class:`TriMesh`.
+
+    Raises
+    ------
+    MeshError
+        If fewer than 3 points or all points are collinear.
+    """
+    pts = as_points(points)
+    if len(pts) < 3:
+        raise MeshError("Delaunay triangulation needs at least 3 points")
+    try:
+        tri = Delaunay(pts)
+    except Exception as exc:  # qhull raises its own error type
+        raise MeshError(f"Delaunay triangulation failed: {exc}") from exc
+    simplices = np.asarray(tri.simplices, dtype=int)
+    if len(simplices) == 0:
+        raise MeshError("Delaunay triangulation produced no triangles")
+    # Regular (lattice) inputs make qhull emit sliver simplices from
+    # collinear points; drop them before the strict TriMesh validation.
+    a = pts[simplices[:, 0]]
+    b = pts[simplices[:, 1]]
+    c = pts[simplices[:, 2]]
+    area2 = (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1]) - (b[:, 1] - a[:, 1]) * (
+        c[:, 0] - a[:, 0]
+    )
+    scale = max(1.0, float(np.abs(pts).max()) ** 2)
+    keep = np.abs(area2) > 1e-12 * scale
+    if not keep.any():
+        raise MeshError("all Delaunay triangles are degenerate")
+    return TriMesh(pts, simplices[keep])
+
+
+def delaunay_with_max_edge(points, max_edge: float) -> tuple[TriMesh, np.ndarray]:
+    """Delaunay triangulation keeping only triangles with all edges short.
+
+    This is the centralized oracle for connectivity-graph triangulation
+    extraction: the Delaunay triangulation restricted to communication
+    links (edges no longer than ``max_edge``), reduced to its largest
+    connected component.
+
+    Returns
+    -------
+    (TriMesh, (k,) int ndarray)
+        The mesh and, for each of its vertices, the index of the source
+        point.  ``k`` equals ``len(points)`` when no point was dropped.
+    """
+    mesh = delaunay_mesh(points)
+    a = mesh.vertices[mesh.triangles[:, 0]]
+    b = mesh.vertices[mesh.triangles[:, 1]]
+    c = mesh.vertices[mesh.triangles[:, 2]]
+    ok = (
+        (np.hypot(*(a - b).T) <= max_edge)
+        & (np.hypot(*(b - c).T) <= max_edge)
+        & (np.hypot(*(c - a).T) <= max_edge)
+    )
+    keep = np.flatnonzero(ok)
+    if len(keep) == 0:
+        raise MeshError("no triangle satisfies the edge-length bound")
+    return TriMesh(mesh.vertices, mesh.triangles[keep]).largest_component()
+
+
+class FoiMesh:
+    """A triangulated Field of Interest plus its sampling metadata.
+
+    Attributes
+    ----------
+    mesh : TriMesh
+        The triangulation of the free region.
+    foi : FieldOfInterest
+        The region that was triangulated.
+    point_set : FoiPointSet
+        The raw samples (note: the mesh may drop isolated samples; use
+        ``vertex_map`` to translate indices).
+    vertex_map : (k,) int ndarray
+        For each mesh vertex, the index of the source sample point.
+    """
+
+    def __init__(
+        self,
+        mesh: TriMesh,
+        foi: FieldOfInterest,
+        point_set: FoiPointSet,
+        vertex_map: np.ndarray,
+    ) -> None:
+        self.mesh = mesh
+        self.foi = foi
+        self.point_set = point_set
+        self.vertex_map = vertex_map
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FoiMesh({self.foi.name!r}, {self.mesh!r})"
+
+
+def triangulate_foi(
+    foi: FieldOfInterest,
+    spacing: float | None = None,
+    target_points: int = 600,
+) -> FoiMesh:
+    """Grid and triangulate a Field of Interest (paper Sec. III-B).
+
+    Samples the FoI (boundary + interior grid), Delaunay-triangulates
+    the samples, removes triangles whose centroid lies outside the free
+    region (this carves out concavities and holes), and keeps the
+    largest connected component.
+
+    Returns
+    -------
+    FoiMesh
+
+    Raises
+    ------
+    MeshError
+        If the surviving mesh is too small or structurally unsound.
+    """
+    ps = grid_foi(foi, spacing=spacing, target_points=target_points)
+    full = delaunay_mesh(ps.points)
+    a = full.vertices[full.triangles[:, 0]]
+    b = full.vertices[full.triangles[:, 1]]
+    c = full.vertices[full.triangles[:, 2]]
+    centroids = (a + b + c) / 3.0
+    keep = foi.contains(centroids)
+    # Also drop slivers along the boundary whose inradius is tiny; they
+    # destabilise the harmonic map without adding coverage.
+    areas = 0.5 * np.abs(
+        (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1])
+        - (b[:, 1] - a[:, 1]) * (c[:, 0] - a[:, 0])
+    )
+    per = (
+        np.hypot(*(a - b).T) + np.hypot(*(b - c).T) + np.hypot(*(c - a).T)
+    )
+    inradius = 2.0 * areas / np.where(per > 0, per, 1.0)
+    keep &= inradius > 1e-9 * max(1.0, float(np.sqrt(foi.area)))
+    t_idx = np.flatnonzero(keep)
+    if len(t_idx) < 4:
+        raise MeshError("FoI triangulation kept too few triangles; refine spacing")
+    sub, vmap = TriMesh(full.vertices, full.triangles[t_idx]).largest_component()
+    if not sub.is_connected():
+        raise MeshError("FoI triangulation is disconnected after filtering")
+    expected_loops = 1 + len(foi.holes)
+    if len(sub.boundary_loops) != expected_loops:
+        raise MeshError(
+            f"FoI triangulation has {len(sub.boundary_loops)} boundary loops, "
+            f"expected {expected_loops}; adjust grid spacing"
+        )
+    return FoiMesh(mesh=sub, foi=foi, point_set=ps, vertex_map=vmap)

@@ -1,0 +1,94 @@
+"""Mesh repairs: making extracted triangulations manifold.
+
+A Delaunay-restricted-to-links triangulation of an irregular swarm
+(e.g. robots strung out mid-march) can be *pinched*: two triangle fans
+touching at a single vertex, giving that vertex four boundary edges.
+Harmonic mapping needs a manifold disk, so the planner cleans such
+meshes first: at every pinched vertex only the largest fan survives,
+then the largest connected component is kept.  Dropped triangles only
+ever remove stragglers, which the planner escorts (same treatment as
+robots outside the triangulation entirely).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.mesh.trimesh import TriMesh
+
+__all__ = ["remove_pinches", "vertex_fans"]
+
+_MAX_PASSES = 50
+
+
+def vertex_fans(mesh: TriMesh, vertex: int) -> list[list[int]]:
+    """Groups of ``vertex``'s incident triangles connected via shared edges.
+
+    Two incident triangles belong to the same fan when they share an
+    edge that contains ``vertex``.  A manifold vertex has exactly one
+    fan; a pinched vertex has several.
+    """
+    incident = mesh.vertex_triangles[vertex]
+    if not incident:
+        return []
+    # Map: other-vertex -> triangles using edge (vertex, other).
+    by_edge: dict[int, list[int]] = {}
+    for t in incident:
+        for u in mesh.triangles[t]:
+            u = int(u)
+            if u != vertex:
+                by_edge.setdefault(u, []).append(t)
+    # Union triangles sharing an edge at `vertex`.
+    parent = {t: t for t in incident}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for tris in by_edge.values():
+        for other in tris[1:]:
+            ra, rb = find(tris[0]), find(other)
+            if ra != rb:
+                parent[rb] = ra
+    fans: dict[int, list[int]] = {}
+    for t in incident:
+        fans.setdefault(find(t), []).append(t)
+    return sorted(fans.values(), key=len, reverse=True)
+
+
+def remove_pinches(mesh: TriMesh) -> tuple[TriMesh, np.ndarray]:
+    """Drop minority fans at pinched vertices until the mesh is manifold.
+
+    Returns
+    -------
+    (TriMesh, (k,) int ndarray)
+        The repaired mesh (largest component) and, per vertex, the
+        index of the originating vertex.
+
+    Raises
+    ------
+    MeshError
+        If repair degenerates to an empty mesh.
+    """
+    current = mesh
+    vmap = np.arange(mesh.vertex_count)
+    for _ in range(_MAX_PASSES):
+        # Find pinched vertices: more than one incident fan.
+        drop: set[int] = set()
+        for v in range(current.vertex_count):
+            fans = vertex_fans(current, v)
+            if len(fans) > 1:
+                for fan in fans[1:]:
+                    drop.update(fan)
+        if not drop:
+            sub, sub_map = current.largest_component()
+            return sub, vmap[sub_map]
+        keep = [t for t in range(current.triangle_count) if t not in drop]
+        if not keep:
+            raise MeshError("pinch removal emptied the mesh")
+        current, step_map = current.submesh(keep)
+        vmap = vmap[step_map]
+    raise MeshError("pinch removal did not converge")

@@ -1,0 +1,64 @@
+"""Total stable link ratio ``L`` (paper Definition 1).
+
+A link counts as *stable* when the two robots remain within
+communication range at every instant of the transition.  For
+synchronous piecewise-linear motion the inter-robot distance is convex
+on every common linear sub-interval, so evaluating at the trajectory's
+critical times (all waypoint times) plus a safety grid is exact up to
+the resolution of asynchronous waypoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.links import LinkTable
+from repro.robots.motion import SwarmTrajectory
+
+__all__ = ["StableLinkReport", "stable_link_ratio", "stable_link_report"]
+
+
+@dataclass(frozen=True)
+class StableLinkReport:
+    """Stable-link accounting for one transition.
+
+    Attributes
+    ----------
+    initial_links : int
+        ``sum_i m_i / 2`` - number of undirected M1 links.
+    stable_links : int
+        Links alive at every evaluated instant.
+    ratio : float
+        ``L`` per Definition 1.
+    broken_mask : (m,) bool ndarray
+        True where the corresponding initial link broke.
+    """
+
+    initial_links: int
+    stable_links: int
+    ratio: float
+    broken_mask: np.ndarray
+
+
+def stable_link_ratio(
+    links: LinkTable, trajectory: SwarmTrajectory, resolution: int = 32
+) -> float:
+    """Definition 1's ``L`` over a trajectory."""
+    return stable_link_report(links, trajectory, resolution).ratio
+
+
+def stable_link_report(
+    links: LinkTable, trajectory: SwarmTrajectory, resolution: int = 32
+) -> StableLinkReport:
+    """Detailed stable-link accounting over a trajectory."""
+    stable = links.stable_mask_over(trajectory.snapshots(resolution))
+    m = links.link_count
+    s = int(stable.sum())
+    return StableLinkReport(
+        initial_links=m,
+        stable_links=s,
+        ratio=1.0 if m == 0 else s / m,
+        broken_mask=~stable,
+    )

@@ -1,0 +1,138 @@
+"""Triangulation extraction from a connectivity graph (paper Sec. III-A).
+
+The paper applies the distributed algorithm of Zhou et al. [18] to turn
+the swarm's connectivity graph into a planar triangulation ``T``.  We
+provide two extractors with the same output contract:
+
+* :func:`extract_triangulation` - the centralized oracle: the Delaunay
+  triangulation of robot positions restricted to communication links.
+  For lattice-like deployments with ``r_c >= lattice spacing`` this is
+  exactly the triangular lattice.
+* :func:`extract_triangulation_localized` - a distributed-style
+  extractor in the spirit of [18]: every robot triangulates only its
+  one-hop neighbourhood and an edge/triangle survives only if *all* its
+  endpoints agree (the classic localized-Delaunay intersection rule).
+  No robot ever uses information beyond its one-hop neighbours'
+  positions.
+
+Both return the mesh plus a vertex-to-robot index map, since robots
+that end up in no triangle (stragglers outside the main component) must
+be handled explicitly by the caller.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MeshError
+from repro.geometry.vec import as_points
+from repro.mesh.delaunay import delaunay_with_max_edge
+from repro.mesh.repairs import remove_pinches
+from repro.mesh.trimesh import TriMesh
+from repro.network.udg import UnitDiskGraph
+
+__all__ = [
+    "extract_triangulation",
+    "extract_triangulation_localized",
+    "edge_shared_neighbor_counts",
+]
+
+
+def extract_triangulation(positions, comm_range: float) -> tuple[TriMesh, np.ndarray]:
+    """Delaunay-restricted-to-links triangulation (centralized oracle).
+
+    Returns
+    -------
+    (TriMesh, (k,) int ndarray)
+        The triangulation and, per mesh vertex, the robot index.
+
+    The result is guaranteed manifold: pinched configurations (two
+    fans meeting at one robot, which irregular mid-march swarms
+    produce) are repaired by dropping minority fans, whose robots the
+    planner then escorts like any straggler.
+
+    Raises
+    ------
+    MeshError
+        If no triangle can be formed (swarm too sparse for ``comm_range``).
+    """
+    mesh, vmap = delaunay_with_max_edge(positions, comm_range)
+    repaired, repair_map = remove_pinches(mesh)
+    return repaired, vmap[repair_map]
+
+
+def edge_shared_neighbor_counts(graph: UnitDiskGraph) -> dict[tuple[int, int], int]:
+    """For every communication link, the number of common neighbours.
+
+    This is the edge weight of Zhou et al.'s extraction algorithm: a
+    link supported by exactly one or two shared neighbours bounds one
+    or two candidate triangles, while heavily-shared links cut across
+    many and are pruned first.
+    """
+    counts: dict[tuple[int, int], int] = {}
+    adj = [set(a) for a in graph.adjacency]
+    for i, j in graph.edges:
+        i, j = int(i), int(j)
+        counts[(i, j)] = len(adj[i] & adj[j])
+    return counts
+
+
+def _local_delaunay_triangles(
+    center: int, members: np.ndarray, positions: np.ndarray
+) -> set[tuple[int, int, int]]:
+    """Triangles incident to ``center`` in the Delaunay of its neighbourhood."""
+    from scipy.spatial import Delaunay, QhullError  # local import: scipy optional here
+
+    if len(members) < 3:
+        return set()
+    pts = positions[members]
+    try:
+        tri = Delaunay(pts)
+    except QhullError:
+        return set()
+    out: set[tuple[int, int, int]] = set()
+    for simplex in tri.simplices:
+        global_ids = tuple(int(members[s]) for s in simplex)
+        if center in global_ids:
+            out.add(tuple(sorted(global_ids)))
+    return out
+
+
+def extract_triangulation_localized(
+    positions, comm_range: float
+) -> tuple[TriMesh, np.ndarray]:
+    """One-hop localized-Delaunay extraction (distributed-style).
+
+    Every robot ``v`` computes the Delaunay triangulation of
+    ``{v} U N(v)`` from positions learned in a single neighbourhood
+    broadcast, and proposes the incident triangles whose three edges
+    are communication links.  A triangle is accepted only if all three
+    corner robots propose it; this mutual-agreement rule needs one more
+    message exchange and removes the inconsistent crossing triangles,
+    yielding a planar triangulation for dense unit-disk graphs.
+
+    Returns
+    -------
+    (TriMesh, (k,) int ndarray)
+        Same contract as :func:`extract_triangulation`.
+    """
+    pts = as_points(positions)
+    graph = UnitDiskGraph(pts, comm_range)
+    proposals: dict[tuple[int, int, int], int] = {}
+    for v in range(graph.node_count):
+        members = np.array([v] + graph.neighbors(v), dtype=int)
+        for tri in _local_delaunay_triangles(v, members, pts):
+            a, b, c = tri
+            if (
+                graph.has_edge(a, b)
+                and graph.has_edge(b, c)
+                and graph.has_edge(a, c)
+            ):
+                proposals[tri] = proposals.get(tri, 0) + 1
+    accepted = [tri for tri, votes in proposals.items() if votes == 3]
+    if not accepted:
+        raise MeshError("localized extraction found no agreed triangle")
+    mesh = TriMesh(pts, np.array(accepted, dtype=int))
+    component, comp_map = mesh.largest_component()
+    repaired, repair_map = remove_pinches(component)
+    return repaired, comp_map[repair_map]

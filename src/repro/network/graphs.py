@@ -1,0 +1,116 @@
+"""Generic graph utilities: union-find, BFS layers, path existence.
+
+Small, dependency-free building blocks used by connectivity repair,
+triangulation extraction, and the distributed protocols' centralized
+reference implementations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["UnionFind", "bfs_hops", "connected_components", "adjacency_from_edges"]
+
+
+class UnionFind:
+    """Disjoint-set forest with path compression and union by size."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("UnionFind size must be non-negative")
+        self._parent = list(range(n))
+        self._size = [1] * n
+        self.component_count = n
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s component."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``; True if they differed."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        self.component_count -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def component_sizes(self) -> list[int]:
+        """Sizes of all components, largest first."""
+        roots: dict[int, int] = {}
+        for x in range(len(self._parent)):
+            r = self.find(x)
+            roots[r] = roots.get(r, 0) + 1
+        return sorted(roots.values(), reverse=True)
+
+
+def adjacency_from_edges(n: int, edges: Iterable[Sequence[int]]) -> list[list[int]]:
+    """Sorted neighbour lists for an undirected edge list over ``n`` nodes."""
+    adj: list[set[int]] = [set() for _ in range(n)]
+    for u, v in edges:
+        u, v = int(u), int(v)
+        if u == v:
+            continue
+        adj[u].add(v)
+        adj[v].add(u)
+    return [sorted(s) for s in adj]
+
+
+def bfs_hops(adjacency: Sequence[Sequence[int]], sources: Iterable[int]) -> np.ndarray:
+    """Hop distance from the nearest source to every node (-1 if unreachable).
+
+    This is the centralized equivalent of the paper's boundary-initiated
+    flooding used to detect isolated subgroups (Sec. III-D1).
+    """
+    n = len(adjacency)
+    dist = -np.ones(n, dtype=int)
+    dq: deque[int] = deque()
+    for s in sources:
+        s = int(s)
+        if dist[s] != 0:
+            dist[s] = 0
+            dq.append(s)
+    while dq:
+        v = dq.popleft()
+        for w in adjacency[v]:
+            if dist[w] < 0:
+                dist[w] = dist[v] + 1
+                dq.append(w)
+    return dist
+
+
+def connected_components(adjacency: Sequence[Sequence[int]]) -> list[list[int]]:
+    """Connected components as sorted node lists, largest first."""
+    n = len(adjacency)
+    seen = [False] * n
+    comps: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        comp = [start]
+        while stack:
+            v = stack.pop()
+            for w in adjacency[v]:
+                if not seen[w]:
+                    seen[w] = True
+                    comp.append(w)
+                    stack.append(w)
+        comps.append(sorted(comp))
+    comps.sort(key=len, reverse=True)
+    return comps

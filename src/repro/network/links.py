@@ -1,0 +1,114 @@
+"""Link bookkeeping: stable links, broken links, churn.
+
+Definition 1 of the paper scores a transition by its *total stable link
+ratio*: the fraction of M1 communication links that stay connected for
+the entire transition.  :class:`LinkTable` captures the initial link
+set and offers the set operations the metric (and the rotation-angle
+search) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.vec import as_points
+from repro.network.udg import UnitDiskGraph, udg_edges
+
+__all__ = ["LinkTable", "links_alive", "count_surviving_links"]
+
+
+def links_alive(links: np.ndarray, positions, comm_range: float) -> np.ndarray:
+    """Boolean mask: which of ``links`` are within range at ``positions``.
+
+    Parameters
+    ----------
+    links : (m, 2) int array
+        Node-index pairs.
+    positions : (n, 2) array-like
+    comm_range : float
+    """
+    links = np.asarray(links, dtype=int).reshape(-1, 2)
+    pts = as_points(positions)
+    if len(links) == 0:
+        return np.zeros(0, dtype=bool)
+    d = pts[links[:, 0]] - pts[links[:, 1]]
+    return np.hypot(d[:, 0], d[:, 1]) <= comm_range
+
+
+def count_surviving_links(links: np.ndarray, positions, comm_range: float) -> int:
+    """Number of ``links`` still in range at ``positions``."""
+    return int(links_alive(links, positions, comm_range).sum())
+
+
+@dataclass(frozen=True)
+class LinkTable:
+    """The communication links of a swarm at the start of a transition.
+
+    Attributes
+    ----------
+    links : (m, 2) int ndarray
+        Initial links (``i < j``), the denominator population of the
+        stable-link ratio.
+    comm_range : float
+    """
+
+    links: np.ndarray
+    comm_range: float
+
+    @classmethod
+    def from_positions(cls, positions, comm_range: float) -> "LinkTable":
+        """Capture all links of the unit-disk graph at ``positions``."""
+        return cls(
+            links=udg_edges(positions, comm_range), comm_range=float(comm_range)
+        )
+
+    @classmethod
+    def from_graph(cls, graph: UnitDiskGraph) -> "LinkTable":
+        return cls(links=graph.edges, comm_range=graph.comm_range)
+
+    @property
+    def link_count(self) -> int:
+        return len(self.links)
+
+    def alive_mask(self, positions) -> np.ndarray:
+        """Which initial links are in range at ``positions``."""
+        return links_alive(self.links, positions, self.comm_range)
+
+    def surviving_fraction(self, positions) -> float:
+        """Fraction of initial links in range at ``positions`` (1.0 if none)."""
+        if self.link_count == 0:
+            return 1.0
+        return float(self.alive_mask(positions).mean())
+
+    def stable_mask_over(self, snapshots) -> np.ndarray:
+        """Links alive at *every* snapshot of positions.
+
+        Parameters
+        ----------
+        snapshots : iterable of (n, 2) arrays
+            Position samples over the transition, in time order.
+
+        Returns
+        -------
+        (m,) bool ndarray
+        """
+        stable = np.ones(self.link_count, dtype=bool)
+        for pos in snapshots:
+            stable &= self.alive_mask(pos)
+            if not stable.any():
+                break
+        return stable
+
+    def stable_link_ratio_over(self, snapshots) -> float:
+        """Definition 1's ``L`` evaluated over sampled snapshots.
+
+        ``L = (# links alive at all samples) / (# initial links)``.
+        Note the definition's double sum counts each link once per
+        endpoint in both numerator and denominator, so the factor of
+        two cancels and the ratio of undirected counts is identical.
+        """
+        if self.link_count == 0:
+            return 1.0
+        return float(self.stable_mask_over(snapshots).mean())

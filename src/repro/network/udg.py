@@ -1,0 +1,136 @@
+"""Unit-disk communication graphs.
+
+Robots are "connected" exactly when their Euclidean distance is at most
+the communication range ``r_c`` (disk model, Sec. II).  The
+:class:`UnitDiskGraph` snapshot is the basis for neighbour queries,
+link bookkeeping and connectivity checks throughout the library.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.vec import as_points, pairwise_distances
+
+__all__ = ["UnitDiskGraph", "udg_edges"]
+
+
+def udg_edges(positions, comm_range: float) -> np.ndarray:
+    """All undirected links ``(i, j)`` with ``i < j`` within ``comm_range``.
+
+    Returns an ``(m, 2)`` int array (empty when no pair is in range).
+    """
+    pts = as_points(positions)
+    if comm_range <= 0:
+        raise GeometryError("communication range must be positive")
+    if len(pts) < 2:
+        return np.zeros((0, 2), dtype=int)
+    d = pairwise_distances(pts)
+    iu, ju = np.triu_indices(len(pts), k=1)
+    mask = d[iu, ju] <= comm_range
+    return np.column_stack([iu[mask], ju[mask]]).astype(int)
+
+
+class UnitDiskGraph:
+    """Snapshot of the swarm's communication graph at one instant.
+
+    Parameters
+    ----------
+    positions : (n, 2) array-like
+        Robot positions.
+    comm_range : float
+        Communication range ``r_c`` (same for all robots, Sec. II).
+    """
+
+    def __init__(self, positions, comm_range: float) -> None:
+        self.positions = as_points(positions)
+        if comm_range <= 0:
+            raise GeometryError("communication range must be positive")
+        self.comm_range = float(comm_range)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.positions)
+
+    @cached_property
+    def edges(self) -> np.ndarray:
+        """Undirected links as an ``(m, 2)`` int array with ``i < j``."""
+        return udg_edges(self.positions, self.comm_range)
+
+    @cached_property
+    def edge_set(self) -> frozenset[tuple[int, int]]:
+        """The links as a frozenset of ``(i, j)`` tuples with ``i < j``."""
+        return frozenset((int(i), int(j)) for i, j in self.edges)
+
+    @cached_property
+    def adjacency(self) -> list[list[int]]:
+        """Per-node sorted neighbour lists."""
+        adj: list[list[int]] = [[] for _ in range(self.node_count)]
+        for i, j in self.edges:
+            adj[int(i)].append(int(j))
+            adj[int(j)].append(int(i))
+        return [sorted(a) for a in adj]
+
+    def neighbors(self, i: int) -> list[int]:
+        """Nodes within communication range of node ``i``."""
+        return self.adjacency[i]
+
+    def degree(self, i: int) -> int:
+        return len(self.adjacency[i])
+
+    def has_edge(self, i: int, j: int) -> bool:
+        a, b = (i, j) if i < j else (j, i)
+        return (a, b) in self.edge_set
+
+    @cached_property
+    def components(self) -> list[list[int]]:
+        """Connected components as sorted node lists, largest first."""
+        n = self.node_count
+        seen = np.zeros(n, dtype=bool)
+        comps: list[list[int]] = []
+        adj = self.adjacency
+        for start in range(n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            comp = [start]
+            while stack:
+                v = stack.pop()
+                for w in adj[v]:
+                    if not seen[w]:
+                        seen[w] = True
+                        comp.append(w)
+                        stack.append(w)
+            comps.append(sorted(comp))
+        comps.sort(key=len, reverse=True)
+        return comps
+
+    def is_connected(self) -> bool:
+        """Whether all nodes form a single component."""
+        return self.node_count <= 1 or len(self.components) == 1
+
+    def nodes_connected_to(self, anchors) -> np.ndarray:
+        """Boolean mask of nodes with a path to any node in ``anchors``.
+
+        This implements Definition 2's reachability test: a robot
+        counts as globally connected when a multi-hop path to the
+        network boundary (the anchor set) exists.
+        """
+        mask = np.zeros(self.node_count, dtype=bool)
+        stack = [int(a) for a in anchors]
+        for a in stack:
+            if not 0 <= a < self.node_count:
+                raise GeometryError(f"anchor {a} out of range")
+            mask[a] = True
+        adj = self.adjacency
+        while stack:
+            v = stack.pop()
+            for w in adj[v]:
+                if not mask[w]:
+                    mask[w] = True
+                    stack.append(w)
+        return mask

@@ -1,0 +1,214 @@
+"""Timed motion plans for individual robots and whole swarms.
+
+Eqn. 2 of the paper moves a robot along the straight line
+``(T - t)/T * p(v) + t/T * q(v)``; detours around holes and the Lloyd
+adjustment generalise this to piecewise-linear paths.  A
+:class:`TimedPath` is a polyline with a time stamp per waypoint; a
+:class:`SwarmTrajectory` bundles one path per robot over a common time
+interval and supports the sampling the metrics need.
+
+A useful fact the evaluator exploits: when two robots both move
+linearly on a common sub-interval, their mutual distance is a convex
+function of time, so it attains its maximum at the sub-interval's
+endpoints.  Sampling at the union of all waypoint times therefore
+bounds link breakage exactly for synchronous piecewise-linear plans.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import PlanningError
+from repro.geometry.vec import as_points, polyline_length
+
+__all__ = ["TimedPath", "SwarmTrajectory"]
+
+
+class TimedPath:
+    """A piecewise-linear path through time.
+
+    Parameters
+    ----------
+    waypoints : (k, 2) array-like
+        Path vertices, ``k >= 1``.
+    times : (k,) array-like
+        Non-decreasing time stamps, one per waypoint.
+    """
+
+    def __init__(self, waypoints, times) -> None:
+        self.waypoints = as_points(waypoints)
+        t = np.asarray(times, dtype=float)
+        if len(self.waypoints) == 0:
+            raise PlanningError("a path needs at least one waypoint")
+        if t.shape != (len(self.waypoints),):
+            raise PlanningError("times must align with waypoints")
+        if np.any(np.diff(t) < -1e-12):
+            raise PlanningError("times must be non-decreasing")
+        self.times = t
+
+    @classmethod
+    def constant_speed(cls, waypoints, t_start: float, t_end: float) -> "TimedPath":
+        """Traverse ``waypoints`` at constant speed over ``[t_start, t_end]``.
+
+        This is the paper's motion model: every robot departs at
+        ``t_start`` and arrives at ``t_end``, so robots with longer
+        paths move faster.  A single waypoint yields a stationary path.
+        """
+        pts = as_points(waypoints)
+        if t_end < t_start:
+            raise PlanningError("t_end must be >= t_start")
+        if len(pts) == 1:
+            return cls(pts, [t_start])
+        seg = np.diff(pts, axis=0)
+        seg_len = np.hypot(seg[:, 0], seg[:, 1])
+        total = float(seg_len.sum())
+        if total <= 0:
+            return cls(pts[:1], [t_start])
+        frac = np.concatenate([[0.0], np.cumsum(seg_len) / total])
+        return cls(pts, t_start + frac * (t_end - t_start))
+
+    @classmethod
+    def stationary(cls, point, t_start: float) -> "TimedPath":
+        """A path that never moves."""
+        return cls(np.asarray(point, dtype=float)[None, :], [t_start])
+
+    @property
+    def start(self) -> np.ndarray:
+        return self.waypoints[0]
+
+    @property
+    def end(self) -> np.ndarray:
+        return self.waypoints[-1]
+
+    @cached_property
+    def length(self) -> float:
+        """Total distance travelled."""
+        return polyline_length(self.waypoints)
+
+    def position_at(self, t: float) -> np.ndarray:
+        """Position at time ``t`` (clamped to the path's time span)."""
+        times = self.times
+        if t <= times[0] or len(times) == 1:
+            return self.waypoints[0].copy()
+        if t >= times[-1]:
+            return self.waypoints[-1].copy()
+        i = int(np.searchsorted(times, t, side="right")) - 1
+        i = min(i, len(times) - 2)
+        dt = times[i + 1] - times[i]
+        if dt <= 0:
+            return self.waypoints[i + 1].copy()
+        alpha = (t - times[i]) / dt
+        return (1.0 - alpha) * self.waypoints[i] + alpha * self.waypoints[i + 1]
+
+    def positions_at_many(self, ts) -> np.ndarray:
+        """Positions at many times at once (vectorised via ``np.interp``)."""
+        ts = np.asarray(ts, dtype=float)
+        if len(self.waypoints) == 1:
+            return np.tile(self.waypoints[0], (len(ts), 1))
+        x = np.interp(ts, self.times, self.waypoints[:, 0])
+        y = np.interp(ts, self.times, self.waypoints[:, 1])
+        return np.column_stack([x, y])
+
+    def then(self, other: "TimedPath") -> "TimedPath":
+        """Concatenate with a later path starting where this one ends.
+
+        Raises
+        ------
+        PlanningError
+            If the endpoints or time stamps do not line up.
+        """
+        if not np.allclose(self.end, other.start, atol=1e-6):
+            raise PlanningError("paths do not share a junction point")
+        if other.times[0] < self.times[-1] - 1e-9:
+            raise PlanningError("second path starts before the first ends")
+        return TimedPath(
+            np.vstack([self.waypoints, other.waypoints[1:]]),
+            np.concatenate([self.times, other.times[1:]]),
+        )
+
+
+class SwarmTrajectory:
+    """One :class:`TimedPath` per robot over a common interval.
+
+    Parameters
+    ----------
+    paths : sequence of TimedPath
+        Path ``i`` belongs to robot ``i``.
+    t_start, t_end : float
+        Common interval; individual paths may be stationary within it.
+    """
+
+    def __init__(self, paths: Sequence[TimedPath], t_start: float, t_end: float) -> None:
+        if not paths:
+            raise PlanningError("a swarm trajectory needs at least one path")
+        if t_end < t_start:
+            raise PlanningError("t_end must be >= t_start")
+        self.paths = list(paths)
+        self.t_start = float(t_start)
+        self.t_end = float(t_end)
+
+    @property
+    def robot_count(self) -> int:
+        return len(self.paths)
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def positions_at(self, t: float) -> np.ndarray:
+        """All robot positions at time ``t`` as an ``(n, 2)`` array."""
+        return np.array([p.position_at(t) for p in self.paths])
+
+    @property
+    def start_positions(self) -> np.ndarray:
+        return self.positions_at(self.t_start)
+
+    @property
+    def end_positions(self) -> np.ndarray:
+        return self.positions_at(self.t_end)
+
+    def path_lengths(self) -> np.ndarray:
+        """Per-robot travelled distance ``d_i``."""
+        return np.array([p.length for p in self.paths])
+
+    def total_distance(self) -> float:
+        """The paper's ``D = sum_i d_i``."""
+        return float(self.path_lengths().sum())
+
+    def critical_times(self) -> np.ndarray:
+        """Sorted union of every waypoint time (plus the interval ends)."""
+        ts = {self.t_start, self.t_end}
+        for p in self.paths:
+            ts.update(float(t) for t in p.times)
+        arr = np.array(sorted(ts))
+        return arr[(arr >= self.t_start - 1e-9) & (arr <= self.t_end + 1e-9)]
+
+    def sample_times(self, resolution: int = 32) -> np.ndarray:
+        """Evaluation times: a uniform grid merged with the critical times."""
+        uniform = np.linspace(self.t_start, self.t_end, max(2, resolution))
+        merged = np.union1d(uniform, self.critical_times())
+        return merged
+
+    def positions_over(self, times) -> np.ndarray:
+        """Positions for every robot at every time: shape ``(k, n, 2)``."""
+        ts = np.asarray(times, dtype=float)
+        per_robot = np.stack(
+            [p.positions_at_many(ts) for p in self.paths], axis=1
+        )
+        return per_robot
+
+    def snapshots(self, resolution: int = 32) -> Iterable[np.ndarray]:
+        """Position arrays at :meth:`sample_times` in time order."""
+        table = self.positions_over(self.sample_times(resolution))
+        for k in range(table.shape[0]):
+            yield table[k]
+
+    def then(self, other: "SwarmTrajectory") -> "SwarmTrajectory":
+        """Concatenate two trajectories robot-by-robot."""
+        if other.robot_count != self.robot_count:
+            raise PlanningError("trajectories have different robot counts")
+        joined = [a.then(b) for a, b in zip(self.paths, other.paths)]
+        return SwarmTrajectory(joined, self.t_start, other.t_end)

@@ -1,0 +1,84 @@
+"""The individual mobile robot model (paper Sec. II).
+
+Each robot is identical: a unique ID, a GPS position, a disk
+communication range ``r_c`` and a disk sensing range ``r_s`` with the
+paper's standing assumption ``r_c >= sqrt(3) * r_s`` (so the triangular
+lattice that is optimal for coverage is automatically connected with
+six neighbours per robot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.vec import as_point
+
+__all__ = ["Robot", "RadioSpec", "SQRT3"]
+
+SQRT3 = float(np.sqrt(3.0))
+
+
+@dataclass(frozen=True)
+class RadioSpec:
+    """Communication/sensing disk radii shared by every robot in a swarm.
+
+    Raises
+    ------
+    GeometryError
+        If either range is non-positive or ``comm_range <
+        sqrt(3) * sensing_range`` (violating the paper's assumption
+        that full coverage implies connectivity).
+    """
+
+    comm_range: float
+    sensing_range: float
+
+    def __post_init__(self) -> None:
+        if self.comm_range <= 0 or self.sensing_range <= 0:
+            raise GeometryError("ranges must be positive")
+        if self.comm_range < SQRT3 * self.sensing_range - 1e-9:
+            raise GeometryError(
+                f"paper assumes r_c >= sqrt(3) r_s; got r_c={self.comm_range}, "
+                f"r_s={self.sensing_range}"
+            )
+
+    @classmethod
+    def from_comm_range(cls, comm_range: float) -> "RadioSpec":
+        """Spec with the largest sensing range the assumption allows."""
+        return cls(comm_range=comm_range, sensing_range=comm_range / SQRT3)
+
+    @property
+    def lattice_spacing(self) -> float:
+        """Spacing of the coverage-optimal triangular lattice, sqrt(3) r_s."""
+        return SQRT3 * self.sensing_range
+
+
+@dataclass(frozen=True)
+class Robot:
+    """One mobile robot: unique ID, position, and shared radio spec."""
+
+    robot_id: int
+    position: np.ndarray
+    radio: RadioSpec
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "position", as_point(self.position))
+        if self.robot_id < 0:
+            raise GeometryError("robot IDs must be non-negative")
+
+    def moved_to(self, new_position) -> "Robot":
+        """A copy of this robot at ``new_position``."""
+        return replace(self, position=as_point(new_position))
+
+    def distance_to(self, other: "Robot") -> float:
+        d = self.position - other.position
+        return float(np.hypot(d[0], d[1]))
+
+    def can_communicate_with(self, other: "Robot") -> bool:
+        """Disk-model connectivity: within ``r_c`` and not the same robot."""
+        return self.robot_id != other.robot_id and self.distance_to(other) <= min(
+            self.radio.comm_range, other.radio.comm_range
+        )

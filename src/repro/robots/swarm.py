@@ -1,0 +1,172 @@
+"""Swarm state: a group of identical robots with vectorised accessors.
+
+The :class:`Swarm` is the unit the marching pipeline operates on.  It
+keeps the robot list plus a positions matrix in robot-ID order, and it
+knows how to deploy itself on a FoI in the coverage-optimal triangular
+lattice pattern (the assumed starting state of every scenario).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.foi.region import FieldOfInterest
+from repro.geometry.vec import as_points
+from repro.network.udg import UnitDiskGraph
+from repro.robots.robot import RadioSpec, Robot
+
+__all__ = ["Swarm"]
+
+
+class Swarm:
+    """A group of identical mobile robots.
+
+    Parameters
+    ----------
+    positions : (n, 2) array-like
+        Robot positions; robot ``i`` gets ID ``i``.
+    radio : RadioSpec
+        Shared radio specification.
+    """
+
+    def __init__(self, positions, radio: RadioSpec) -> None:
+        pts = as_points(positions)
+        if len(pts) == 0:
+            raise GeometryError("a swarm needs at least one robot")
+        self.radio = radio
+        self._positions = pts.copy()
+        self._positions.setflags(write=False)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._positions)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Swarm(n={self.size}, r_c={self.radio.comm_range})"
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Read-only ``(n, 2)`` positions in robot-ID order."""
+        return self._positions
+
+    def robots(self) -> list[Robot]:
+        """Materialised robot objects (ID order)."""
+        return [
+            Robot(robot_id=i, position=p, radio=self.radio)
+            for i, p in enumerate(self._positions)
+        ]
+
+    def with_positions(self, new_positions) -> "Swarm":
+        """A swarm with the same radios at new positions (same count)."""
+        pts = as_points(new_positions)
+        if len(pts) != self.size:
+            raise GeometryError(
+                f"expected {self.size} positions, got {len(pts)}"
+            )
+        return Swarm(pts, self.radio)
+
+    # ------------------------------------------------------------------
+    # Communication
+    # ------------------------------------------------------------------
+
+    def communication_graph(self) -> UnitDiskGraph:
+        """Unit-disk graph snapshot at the current positions."""
+        return UnitDiskGraph(self._positions, self.radio.comm_range)
+
+    def is_connected(self) -> bool:
+        return self.communication_graph().is_connected()
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def deploy_lattice(
+        cls,
+        foi: FieldOfInterest,
+        count: int,
+        radio: RadioSpec,
+    ) -> "Swarm":
+        """Deploy ``count`` robots on ``foi`` in a triangular lattice.
+
+        The lattice spacing is chosen so that exactly ``count`` lattice
+        sites fall inside the free region (binary search over the
+        pitch); this reproduces the scenarios' starting condition of an
+        optimal-coverage deployment (network of equilateral triangles).
+
+        Raises
+        ------
+        GeometryError
+            If the spacing needed to fit ``count`` robots exceeds the
+            communication range (the swarm would start disconnected).
+        """
+        if count < 1:
+            raise GeometryError("need at least one robot")
+        lo = np.sqrt(foi.area / count) * 0.3
+        hi = np.sqrt(foi.area / count) * 3.0
+
+        def sites(spacing: float) -> np.ndarray:
+            return _triangular_lattice_points(foi, spacing)
+
+        # Larger spacing -> fewer sites.  Binary search for the spacing
+        # whose site count first reaches `count`.
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            n = len(sites(mid))
+            if n >= count:
+                lo = mid
+            else:
+                hi = mid
+        spacing = lo
+        pts = sites(spacing)
+        if len(pts) < count:
+            raise GeometryError(
+                f"could not fit {count} lattice sites in {foi.name}"
+            )
+        if spacing > radio.comm_range:
+            raise GeometryError(
+                f"lattice spacing {spacing:.1f} exceeds comm range "
+                f"{radio.comm_range}; swarm would start disconnected"
+            )
+        # Keep the `count` sites closest to the centroid so the
+        # deployment stays compact and connected.
+        c = foi.centroid
+        d = np.hypot(pts[:, 0] - c[0], pts[:, 1] - c[1])
+        order = np.argsort(d, kind="stable")[:count]
+        return cls(pts[np.sort(order)], radio)
+
+    def total_displacement_to(self, targets) -> float:
+        """Sum of straight-line distances from current positions to targets."""
+        t = as_points(targets)
+        if len(t) != self.size:
+            raise GeometryError("target count mismatch")
+        d = t - self._positions
+        return float(np.hypot(d[:, 0], d[:, 1]).sum())
+
+
+def _triangular_lattice_points(foi: FieldOfInterest, spacing: float) -> np.ndarray:
+    """All triangular-lattice sites with pitch ``spacing`` inside ``foi``."""
+    xmin, ymin, xmax, ymax = foi.bounds
+    row_h = spacing * np.sqrt(3.0) / 2.0
+    rows = []
+    y = ymin + row_h / 2.0
+    row_idx = 0
+    while y < ymax:
+        offset = 0.0 if row_idx % 2 == 0 else spacing / 2.0
+        xs = np.arange(xmin + offset + spacing / 2.0, xmax, spacing)
+        if len(xs):
+            rows.append(np.column_stack([xs, np.full(len(xs), y)]))
+        y += row_h
+        row_idx += 1
+    if not rows:
+        return np.zeros((0, 2))
+    pts = np.vstack(rows)
+    return pts[foi.contains(pts)]

@@ -1,0 +1,22 @@
+"""Dependency-free SVG visualisation of swarms, meshes and pipelines."""
+
+from repro.viz.animate import animate_transition
+from repro.viz.chart import METHOD_COLORS, LineChart
+from repro.viz.render import (
+    render_deployment,
+    render_disk_map,
+    render_mesh,
+    render_pipeline_figure,
+)
+from repro.viz.svg import SvgCanvas
+
+__all__ = [
+    "LineChart",
+    "METHOD_COLORS",
+    "SvgCanvas",
+    "animate_transition",
+    "render_deployment",
+    "render_disk_map",
+    "render_mesh",
+    "render_pipeline_figure",
+]

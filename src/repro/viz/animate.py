@@ -1,0 +1,104 @@
+"""Animated SVG rendering of a transition (SMIL, no dependencies).
+
+Renders the swarm's march as a self-contained animated SVG: the FoIs
+as outlines, each robot as a circle whose position is keyframed from
+the sampled trajectory.  Open the file in any browser to watch the
+transition; no JavaScript or external player required.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.foi.region import FieldOfInterest
+from repro.robots.motion import SwarmTrajectory
+from repro.viz.svg import SvgCanvas
+
+__all__ = ["animate_transition"]
+
+
+def animate_transition(
+    trajectory: SwarmTrajectory,
+    fois: list[FieldOfInterest],
+    path,
+    duration_seconds: float = 6.0,
+    samples: int = 60,
+    width: int = 800,
+    robot_color: str = "#2a78d6",
+) -> Path:
+    """Write an animated SVG of a swarm trajectory.
+
+    Parameters
+    ----------
+    trajectory : SwarmTrajectory
+    fois : list of FieldOfInterest
+        Regions drawn as static outlines (source and target).
+    path : path-like
+        Output file.
+    duration_seconds : float
+        Wall-clock length of one animation loop.
+    samples : int
+        Keyframes sampled uniformly over the transition.
+    width : int
+        Pixel width of the viewport.
+    robot_color : str
+
+    Returns
+    -------
+    Path of the written file.
+    """
+    if duration_seconds <= 0:
+        raise ValueError("duration must be positive")
+    if samples < 2:
+        raise ValueError("need at least two keyframes")
+    times = np.linspace(trajectory.t_start, trajectory.t_end, samples)
+    table = trajectory.positions_over(times)  # (k, n, 2)
+
+    # World bounds: all FoIs plus every sampled position.
+    xs = [table[..., 0].min(), table[..., 0].max()]
+    ys = [table[..., 1].min(), table[..., 1].max()]
+    for foi in fois:
+        xmin, ymin, xmax, ymax = foi.bounds
+        xs.extend([xmin, xmax])
+        ys.extend([ymin, ymax])
+    pad_x = 0.03 * (max(xs) - min(xs))
+    pad_y = 0.03 * (max(ys) - min(ys))
+    canvas = SvgCanvas(
+        (min(xs) - pad_x, min(ys) - pad_y, max(xs) + pad_x, max(ys) + pad_y),
+        width=width,
+    )
+    for foi in fois:
+        canvas.polygon(foi.outer.vertices, fill="#f4f4f0", stroke="#444")
+        for hole in foi.holes:
+            canvas.polygon(hole.vertices, fill="#cfd8dc", stroke="#666")
+
+    # Hand-built animated circles (SvgCanvas emits static elements only).
+    n = table.shape[1]
+    animated: list[str] = []
+    key_times = ";".join(
+        f"{(t - times[0]) / max(times[-1] - times[0], 1e-12):.4f}" for t in times
+    )
+    for i in range(n):
+        screen = [canvas.to_screen(table[k, i]) for k in range(samples)]
+        cx0, cy0 = screen[0]
+        cx_values = ";".join(f"{x:.1f}" for x, _ in screen)
+        cy_values = ";".join(f"{y:.1f}" for _, y in screen)
+        animated.append(
+            f'<circle cx="{cx0:.1f}" cy="{cy0:.1f}" r="3" fill="{robot_color}">'
+            f'<animate attributeName="cx" values="{cx_values}" '
+            f'keyTimes="{key_times}" dur="{duration_seconds}s" '
+            f'repeatCount="indefinite"/>'
+            f'<animate attributeName="cy" values="{cy_values}" '
+            f'keyTimes="{key_times}" dur="{duration_seconds}s" '
+            f'repeatCount="indefinite"/>'
+            f"</circle>"
+        )
+
+    doc = canvas.to_string()
+    doc = doc.replace("</svg>", "\n".join(animated) + "\n</svg>")
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(doc)
+    return out

@@ -1,0 +1,241 @@
+"""Dependency-free SVG line charts for the benchmark series.
+
+Renders the Fig. 3/4/5-style series (distance ratio and stable link
+ratio vs M1-M2 separation) as standalone SVG files.  The visual rules
+follow a validated reference palette and mark spec: categorical colours
+in a fixed slot order per method (colour follows the entity, never its
+rank), 2 px lines with 8 px markers, recessive grid, one y-axis, a
+legend plus a direct label at each series' last point, and all text in
+ink tokens rather than series colours.  Every chart ships alongside the
+text table the harness prints, which serves as its table view.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["LineChart", "METHOD_COLORS"]
+
+# Validated categorical palette (fixed slot order; worst adjacent CVD
+# delta-E 24.2 on the light surface).  The method -> slot assignment is
+# frozen so a chart with fewer methods never repaints the survivors.
+METHOD_COLORS: dict[str, str] = {
+    "ours (a)": "#2a78d6",  # blue
+    "ours (b)": "#1baf7a",  # aqua
+    "direct translation": "#eda100",  # yellow
+    "Hungarian": "#008300",  # green
+    "greedy matching": "#4a3aa7",  # violet
+}
+_FALLBACK_COLOR = "#e34948"
+
+_SURFACE = "#fcfcfb"
+_INK_PRIMARY = "#0b0b0b"
+_INK_SECONDARY = "#52514e"
+_GRID = "#e4e4e0"
+_AXIS = "#b9b8b2"
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi] at a 1/2/5 step."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(target - 1, 1)
+    mag = 10.0 ** np.floor(np.log10(raw))
+    for mult in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = mult * mag
+        if span / step <= target:
+            break
+    start = np.ceil(lo / step) * step
+    ticks = list(np.arange(start, hi + step * 0.51, step))
+    return [float(t) for t in ticks]
+
+
+class LineChart:
+    """A single-axis line chart over numeric x/y series.
+
+    Parameters
+    ----------
+    title : str
+    x_label, y_label : str
+    width, height : int
+        Pixel dimensions.
+    y_range : (lo, hi), optional
+        Fixed y-axis range; inferred from the data when omitted.
+    """
+
+    def __init__(
+        self,
+        title: str,
+        x_label: str,
+        y_label: str,
+        width: int = 640,
+        height: int = 400,
+        y_range: tuple[float, float] | None = None,
+    ) -> None:
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.width = width
+        self.height = height
+        self._y_range = y_range
+        self._series: list[tuple[str, np.ndarray, np.ndarray, str]] = []
+
+    def add_series(self, name: str, xs, ys, color: str | None = None) -> None:
+        """Add one named series (colour defaults to the method slot)."""
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.shape != ys.shape or xs.ndim != 1 or len(xs) == 0:
+            raise ValueError("series needs matching non-empty 1-D x and y")
+        c = color or METHOD_COLORS.get(name, _FALLBACK_COLOR)
+        self._series.append((name, xs, ys, c))
+
+    # ------------------------------------------------------------------
+
+    def _layout(self):
+        # The right margin hosts the direct labels; sized for the longest
+        # method name ("direct translation", ~18 chars at 11 px).
+        margin_l, margin_r = 64, 140
+        margin_t, margin_b = 64, 52
+        plot_w = self.width - margin_l - margin_r
+        plot_h = self.height - margin_t - margin_b
+        all_x = np.concatenate([s[1] for s in self._series])
+        all_y = np.concatenate([s[2] for s in self._series])
+        x_lo, x_hi = float(all_x.min()), float(all_x.max())
+        if self._y_range is not None:
+            y_lo, y_hi = self._y_range
+        else:
+            y_lo, y_hi = float(all_y.min()), float(all_y.max())
+            pad = 0.08 * max(y_hi - y_lo, 1e-9)
+            y_lo, y_hi = y_lo - pad, y_hi + pad
+        if x_hi <= x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi <= y_lo:
+            y_hi = y_lo + 1.0
+
+        def sx(x):
+            return margin_l + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+        def sy(y):
+            return margin_t + (y_hi - y) / (y_hi - y_lo) * plot_h
+
+        return (margin_l, margin_t, plot_w, plot_h, x_lo, x_hi, y_lo, y_hi, sx, sy)
+
+    def to_string(self) -> str:
+        """Serialise the chart as an SVG document."""
+        if not self._series:
+            raise ValueError("chart has no series")
+        (ml, mt, pw, ph, x_lo, x_hi, y_lo, y_hi, sx, sy) = self._layout()
+        el: list[str] = []
+
+        # Title and axis labels (ink tokens, never series colours).
+        el.append(
+            f'<text x="{ml}" y="24" font-size="15" font-weight="600" '
+            f'fill="{_INK_PRIMARY}" font-family="sans-serif">{self.title}</text>'
+        )
+        el.append(
+            f'<text x="{ml + pw / 2:.0f}" y="{self.height - 12}" font-size="12" '
+            f'fill="{_INK_SECONDARY}" text-anchor="middle" '
+            f'font-family="sans-serif">{self.x_label}</text>'
+        )
+        el.append(
+            f'<text x="16" y="{mt + ph / 2:.0f}" font-size="12" '
+            f'fill="{_INK_SECONDARY}" text-anchor="middle" '
+            f'font-family="sans-serif" '
+            f'transform="rotate(-90 16 {mt + ph / 2:.0f})">{self.y_label}</text>'
+        )
+
+        # Recessive grid + tick labels.
+        for t in _nice_ticks(y_lo, y_hi):
+            if not (y_lo - 1e-12 <= t <= y_hi + 1e-12):
+                continue
+            y = sy(t)
+            el.append(
+                f'<line x1="{ml}" y1="{y:.1f}" x2="{ml + pw}" y2="{y:.1f}" '
+                f'stroke="{_GRID}" stroke-width="1"/>'
+            )
+            el.append(
+                f'<text x="{ml - 8}" y="{y + 4:.1f}" font-size="11" '
+                f'fill="{_INK_SECONDARY}" text-anchor="end" '
+                f'font-family="sans-serif">{t:g}</text>'
+            )
+        for t in _nice_ticks(x_lo, x_hi):
+            if not (x_lo - 1e-12 <= t <= x_hi + 1e-12):
+                continue
+            x = sx(t)
+            el.append(
+                f'<line x1="{x:.1f}" y1="{mt + ph}" x2="{x:.1f}" '
+                f'y2="{mt + ph + 4}" stroke="{_AXIS}" stroke-width="1"/>'
+            )
+            el.append(
+                f'<text x="{x:.1f}" y="{mt + ph + 18}" font-size="11" '
+                f'fill="{_INK_SECONDARY}" text-anchor="middle" '
+                f'font-family="sans-serif">{t:g}</text>'
+            )
+        # Axis line (baseline only; recessive).
+        el.append(
+            f'<line x1="{ml}" y1="{mt + ph}" x2="{ml + pw}" y2="{mt + ph}" '
+            f'stroke="{_AXIS}" stroke-width="1"/>'
+        )
+        el.append(
+            f'<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{mt + ph}" '
+            f'stroke="{_AXIS}" stroke-width="1"/>'
+        )
+
+        # Series: 2 px lines, 8 px markers, direct label at the last point.
+        label_ys: list[float] = []
+        for name, xs, ys, color in self._series:
+            pts = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+            el.append(
+                f'<polyline points="{pts}" fill="none" stroke="{color}" '
+                f'stroke-width="2" stroke-linejoin="round"/>'
+            )
+            for x, y in zip(xs, ys):
+                el.append(
+                    f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="4" '
+                    f'fill="{color}" stroke="{_SURFACE}" stroke-width="2"/>'
+                )
+            # Direct label, nudged to avoid collisions with earlier labels.
+            label_y = sy(float(ys[-1]))
+            while any(abs(label_y - other) < 14 for other in label_ys):
+                label_y += 14
+            label_ys.append(label_y)
+            el.append(
+                f'<circle cx="{ml + pw + 10}" cy="{label_y - 4:.1f}" r="4" '
+                f'fill="{color}"/>'
+            )
+            el.append(
+                f'<text x="{ml + pw + 18}" y="{label_y:.1f}" font-size="11" '
+                f'fill="{_INK_PRIMARY}" font-family="sans-serif">{name}</text>'
+            )
+
+        # Legend row under the title (identity never colour-alone: the
+        # direct labels above repeat every name in ink).
+        lx = ml
+        for name, _, _, color in self._series:
+            el.append(
+                f'<rect x="{lx}" y="34" width="10" height="10" rx="2" '
+                f'fill="{color}"/>'
+            )
+            el.append(
+                f'<text x="{lx + 14}" y="43" font-size="11" '
+                f'fill="{_INK_SECONDARY}" font-family="sans-serif">{name}</text>'
+            )
+            lx += 14 + 7 * len(name) + 18
+
+        body = "\n".join(el)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="100%" height="100%" fill="{_SURFACE}"/>\n{body}\n</svg>\n'
+        )
+
+    def save(self, path) -> Path:
+        """Write the chart to ``path`` and return it."""
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(self.to_string())
+        return p

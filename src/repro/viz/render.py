@@ -1,0 +1,204 @@
+"""Figure renderers for swarms, meshes, disk maps and pipelines.
+
+Reproduces the visual panels of the paper (Figs. 2, 3, 5, 6) as SVG:
+robots as dots, communication links coloured blue when preserved from
+M1 and red when new (the paper's colour convention), FoI boundaries and
+holes as outlines.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.foi.region import FieldOfInterest
+from repro.marching.pipeline import PipelineStages
+from repro.mesh.trimesh import TriMesh
+from repro.network.udg import UnitDiskGraph
+from repro.viz.svg import SvgCanvas
+
+__all__ = [
+    "render_deployment",
+    "render_mesh",
+    "render_disk_map",
+    "render_pipeline_figure",
+]
+
+PRESERVED = "#1f77b4"  # blue, the paper's preserved-link colour
+NEW = "#d62728"  # red, the paper's new-link colour
+ROBOT = "#222222"
+
+
+def _foi_bounds(foi: FieldOfInterest, extra_points=None, margin_frac: float = 0.05):
+    xmin, ymin, xmax, ymax = foi.bounds
+    if extra_points is not None and len(extra_points):
+        pts = np.asarray(extra_points, dtype=float)
+        xmin = min(xmin, float(pts[:, 0].min()))
+        ymin = min(ymin, float(pts[:, 1].min()))
+        xmax = max(xmax, float(pts[:, 0].max()))
+        ymax = max(ymax, float(pts[:, 1].max()))
+    mx = margin_frac * (xmax - xmin)
+    my = margin_frac * (ymax - ymin)
+    return (xmin - mx, ymin - my, xmax + mx, ymax + my)
+
+
+def _draw_foi(canvas: SvgCanvas, foi: FieldOfInterest) -> None:
+    canvas.polygon(foi.outer.vertices, fill="#f4f4f0", stroke="#333", opacity=1.0)
+    for hole in foi.holes:
+        canvas.polygon(hole.vertices, fill="#cfd8dc", stroke="#555", opacity=1.0)
+
+
+def render_deployment(
+    foi: FieldOfInterest,
+    positions,
+    comm_range: float,
+    initial_links=None,
+    path=None,
+    width: int = 640,
+) -> str:
+    """Render a swarm inside a FoI with colour-coded links.
+
+    Parameters
+    ----------
+    foi : FieldOfInterest
+    positions : (n, 2) array
+    comm_range : float
+    initial_links : (m, 2) int array, optional
+        The M1 link set; current links present here are drawn blue
+        (preserved), the rest red (new).  Without it all links are grey.
+    path : str or Path, optional
+        When given, the SVG is written there.
+
+    Returns
+    -------
+    str : the SVG document.
+    """
+    pts = np.asarray(positions, dtype=float)
+    canvas = SvgCanvas(_foi_bounds(foi, pts), width=width)
+    _draw_foi(canvas, foi)
+    graph = UnitDiskGraph(pts, comm_range)
+    initial = (
+        {tuple(sorted(e)) for e in np.asarray(initial_links, dtype=int).tolist()}
+        if initial_links is not None
+        else None
+    )
+    for i, j in graph.edges:
+        if initial is None:
+            color = "#999999"
+        else:
+            color = PRESERVED if (int(i), int(j)) in initial else NEW
+        canvas.line(pts[i], pts[j], stroke=color, width_px=1.0, opacity=0.8)
+    for p in pts:
+        canvas.circle(p, 2.5, fill=ROBOT)
+    if path is not None:
+        canvas.save(path)
+    return canvas.to_string()
+
+
+def render_mesh(mesh: TriMesh, path=None, width: int = 640, stroke: str = "#1f77b4") -> str:
+    """Render a triangle mesh's edges and vertices."""
+    v = mesh.vertices
+    xmin, ymin = v.min(axis=0)
+    xmax, ymax = v.max(axis=0)
+    pad = 0.05 * max(xmax - xmin, ymax - ymin, 1e-9)
+    canvas = SvgCanvas((xmin - pad, ymin - pad, xmax + pad, ymax + pad), width=width)
+    for a, b in mesh.edges:
+        canvas.line(v[a], v[b], stroke=stroke, width_px=0.8, opacity=0.8)
+    for p in v:
+        canvas.circle(p, 1.8, fill=ROBOT)
+    if path is not None:
+        canvas.save(path)
+    return canvas.to_string()
+
+
+def render_disk_map(disk_positions, triangles, path=None, width: int = 480) -> str:
+    """Render a unit-disk embedding (panel (c) of Fig. 2)."""
+    pts = np.asarray(disk_positions, dtype=float)
+    canvas = SvgCanvas((-1.1, -1.1, 1.1, 1.1), width=width)
+    theta = np.linspace(0, 2 * np.pi, 96)
+    canvas.polyline(
+        np.column_stack([np.cos(theta), np.sin(theta)]), stroke="#999", width_px=1.0
+    )
+    tris = np.asarray(triangles, dtype=int)
+    seen = set()
+    for tri in tris:
+        for u, w in ((tri[0], tri[1]), (tri[1], tri[2]), (tri[2], tri[0])):
+            key = (min(u, w), max(u, w))
+            if key in seen:
+                continue
+            seen.add(key)
+            canvas.line(pts[u], pts[w], stroke="#1f77b4", width_px=0.6, opacity=0.7)
+    for p in pts:
+        canvas.circle(p, 1.5, fill=ROBOT)
+    if path is not None:
+        canvas.save(path)
+    return canvas.to_string()
+
+
+def render_pipeline_figure(stages: PipelineStages, directory, comm_range: float) -> list[Path]:
+    """Write the six panels of Fig. 2 for one pipeline run.
+
+    Returns the list of written SVG paths (a)-(f).
+    """
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    result = stages.result
+    m2 = stages.foi_mesh.foi
+    written: list[Path] = []
+
+    # (a) connectivity graph in M1: grey links (no colour classes yet).
+    canvas = SvgCanvas(
+        _foi_bounds_from_points(result.start_positions), width=640
+    )
+    g = stages.m1_graph
+    for i, j in g.edges:
+        canvas.line(g.positions[i], g.positions[j], stroke="#999", width_px=0.8)
+    for p in g.positions:
+        canvas.circle(p, 2.5, fill=ROBOT)
+    written.append(canvas.save(out_dir / "fig2a_m1_graph.svg"))
+
+    # (b) extracted triangulation T.
+    path_b = out_dir / "fig2b_triangulation.svg"
+    render_mesh(stages.t_mesh, path=path_b)
+    written.append(path_b)
+
+    # (c) harmonic map of T to the unit disk.
+    path_c = out_dir / "fig2c_disk_map.svg"
+    render_disk_map(
+        stages.disk_map_t.disk_positions,
+        stages.disk_map_t.filled.mesh.triangles,
+        path=path_c,
+    )
+    written.append(path_c)
+
+    # (d) target FoI surface (gridded).
+    path_d = out_dir / "fig2d_m2_mesh.svg"
+    render_mesh(stages.foi_mesh.mesh, path=path_d, stroke="#2ca02c")
+    written.append(path_d)
+
+    # (e) redeployed after the march.
+    path_e = out_dir / "fig2e_redeployed.svg"
+    render_deployment(
+        m2, result.march_targets, comm_range,
+        initial_links=result.links.links, path=path_e,
+    )
+    written.append(path_e)
+
+    # (f) final optimal coverage positions.
+    path_f = out_dir / "fig2f_final.svg"
+    render_deployment(
+        m2, result.final_positions, comm_range,
+        initial_links=result.links.links, path=path_f,
+    )
+    written.append(path_f)
+    return written
+
+
+def _foi_bounds_from_points(points, margin_frac: float = 0.08):
+    pts = np.asarray(points, dtype=float)
+    xmin, ymin = pts.min(axis=0)
+    xmax, ymax = pts.max(axis=0)
+    mx = margin_frac * max(xmax - xmin, 1e-9)
+    my = margin_frac * max(ymax - ymin, 1e-9)
+    return (xmin - mx, ymin - my, xmax + mx, ymax + my)

@@ -1,0 +1,127 @@
+"""Minimal dependency-free SVG canvas.
+
+The offline environment has no matplotlib, so figures (swarm layouts,
+disk embeddings, trajectories - the panels of Figs. 2-6) are rendered
+as standalone SVG files with this small builder.  World coordinates are
+mapped to screen space with a uniform scale and a flipped y-axis.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["SvgCanvas"]
+
+
+def _fmt(x: float) -> str:
+    return f"{x:.2f}"
+
+
+class SvgCanvas:
+    """An SVG drawing surface over a world-coordinate window.
+
+    Parameters
+    ----------
+    world_bounds : (xmin, ymin, xmax, ymax)
+        World window to display.
+    width : int
+        Pixel width; height follows from the aspect ratio.
+    margin : int
+        Pixel margin around the drawing.
+    """
+
+    def __init__(self, world_bounds, width: int = 640, margin: int = 16) -> None:
+        xmin, ymin, xmax, ymax = (float(v) for v in world_bounds)
+        if xmax <= xmin or ymax <= ymin:
+            raise ValueError("world bounds must span a positive area")
+        self._xmin, self._ymin = xmin, ymin
+        self._scale = (width - 2 * margin) / (xmax - xmin)
+        self.width = width
+        self.height = int(np.ceil((ymax - ymin) * self._scale)) + 2 * margin
+        self._margin = margin
+        self._ymax = ymax
+        self._elements: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    def to_screen(self, point) -> tuple[float, float]:
+        """World point to pixel coordinates (y flipped)."""
+        x, y = float(point[0]), float(point[1])
+        sx = self._margin + (x - self._xmin) * self._scale
+        sy = self._margin + (self._ymax - y) * self._scale
+        return sx, sy
+
+    # ------------------------------------------------------------------
+
+    def circle(self, center, radius_px: float = 3.0, fill: str = "#1f77b4",
+               stroke: str = "none", opacity: float = 1.0) -> None:
+        """A dot of fixed pixel radius at a world position."""
+        cx, cy = self.to_screen(center)
+        self._elements.append(
+            f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(radius_px)}" '
+            f'fill="{fill}" stroke="{stroke}" opacity="{opacity:g}"/>'
+        )
+
+    def line(self, a, b, stroke: str = "#888", width_px: float = 1.0,
+             opacity: float = 1.0) -> None:
+        """A world-space line segment."""
+        x1, y1 = self.to_screen(a)
+        x2, y2 = self.to_screen(b)
+        self._elements.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" y2="{_fmt(y2)}" '
+            f'stroke="{stroke}" stroke-width="{width_px:g}" opacity="{opacity:g}"/>'
+        )
+
+    def polygon(self, vertices, fill: str = "none", stroke: str = "#333",
+                width_px: float = 1.5, opacity: float = 1.0) -> None:
+        """A closed world-space polygon."""
+        pts = " ".join(
+            f"{_fmt(x)},{_fmt(y)}" for x, y in (self.to_screen(v) for v in vertices)
+        )
+        self._elements.append(
+            f'<polygon points="{pts}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{width_px:g}" fill-opacity="{opacity:g}"/>'
+        )
+
+    def polyline(self, vertices, stroke: str = "#333", width_px: float = 1.0,
+                 opacity: float = 1.0) -> None:
+        """An open world-space polyline."""
+        pts = " ".join(
+            f"{_fmt(x)},{_fmt(y)}" for x, y in (self.to_screen(v) for v in vertices)
+        )
+        self._elements.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width_px:g}" opacity="{opacity:g}"/>'
+        )
+
+    def text(self, position, content: str, size_px: int = 12,
+             fill: str = "#111") -> None:
+        """A text label anchored at a world position."""
+        x, y = self.to_screen(position)
+        safe = (
+            content.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        )
+        self._elements.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-size="{size_px}" '
+            f'fill="{fill}" font-family="sans-serif">{safe}</text>'
+        )
+
+    # ------------------------------------------------------------------
+
+    def to_string(self) -> str:
+        """Serialise the canvas as an SVG document."""
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="100%" height="100%" fill="white"/>\n{body}\n</svg>\n'
+        )
+
+    def save(self, path) -> Path:
+        """Write the SVG document to ``path`` and return it."""
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(self.to_string())
+        return p

@@ -1,0 +1,81 @@
+"""Shared fixtures: small FoIs, swarms and meshes reused across tests.
+
+Session-scoped where construction is expensive; tests must not mutate
+fixture objects (the library's value types are immutable, which the
+structure tests verify).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.foi import FieldOfInterest, ellipse_polygon, m1_base
+from repro.geometry import Polygon
+from repro.mesh import triangulate_foi
+from repro.robots import RadioSpec, Swarm
+
+
+@pytest.fixture(scope="session")
+def unit_square() -> Polygon:
+    return Polygon([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])
+
+
+@pytest.fixture(scope="session")
+def concave_polygon() -> Polygon:
+    # An L-shape: concave at the inner corner.
+    return Polygon([(0, 0), (2, 0), (2, 1), (1, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture(scope="session")
+def square_foi() -> FieldOfInterest:
+    return FieldOfInterest(
+        Polygon([(0, 0), (100, 0), (100, 100), (0, 100)]), name="square"
+    )
+
+
+@pytest.fixture(scope="session")
+def holed_foi() -> FieldOfInterest:
+    outer = Polygon([(0, 0), (100, 0), (100, 100), (0, 100)])
+    hole = ellipse_polygon(12.0, 10.0, samples=20, center=(50.0, 50.0))
+    return FieldOfInterest(outer, [hole], name="square-with-hole")
+
+
+@pytest.fixture(scope="session")
+def radio() -> RadioSpec:
+    return RadioSpec.from_comm_range(80.0)
+
+
+@pytest.fixture(scope="session")
+def small_radio() -> RadioSpec:
+    return RadioSpec.from_comm_range(20.0)
+
+
+@pytest.fixture(scope="session")
+def m1_small_swarm(radio) -> Swarm:
+    """64 robots on the paper's M1 - big enough for a real triangulation.
+
+    (Fewer robots would need a lattice pitch above the communication
+    range, which ``deploy_lattice`` rightly refuses.)
+    """
+    return Swarm.deploy_lattice(m1_base(), 64, radio)
+
+
+@pytest.fixture(scope="session")
+def square_swarm(square_foi, small_radio) -> Swarm:
+    return Swarm.deploy_lattice(square_foi, 25, small_radio)
+
+
+@pytest.fixture(scope="session")
+def square_foi_mesh(square_foi):
+    return triangulate_foi(square_foi, target_points=150)
+
+
+@pytest.fixture(scope="session")
+def holed_foi_mesh(holed_foi):
+    return triangulate_foi(holed_foi, target_points=200)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

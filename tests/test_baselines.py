@@ -1,0 +1,143 @@
+"""Tests for the baselines: Hungarian (vs scipy oracle), direct, greedy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.baselines import (
+    direct_translation_plan,
+    greedy_matching,
+    greedy_plan,
+    hungarian_plan,
+    matching_cost,
+    min_cost_matching,
+    solve_assignment,
+)
+from repro.errors import PlanningError
+from repro.foi import FieldOfInterest
+
+
+class TestSolveAssignment:
+    def test_identity_when_diagonal_cheap(self):
+        cost = np.full((4, 4), 10.0)
+        np.fill_diagonal(cost, 1.0)
+        assert solve_assignment(cost).tolist() == [0, 1, 2, 3]
+
+    def test_empty(self):
+        assert len(solve_assignment(np.zeros((0, 0)))) == 0
+
+    def test_single(self):
+        assert solve_assignment([[3.0]]).tolist() == [0]
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(PlanningError):
+            solve_assignment(np.zeros((2, 3)))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(PlanningError):
+            solve_assignment([[np.inf]])
+
+    def test_negative_costs_supported(self):
+        cost = np.array([[-5.0, 0.0], [0.0, -5.0]])
+        assert solve_assignment(cost).tolist() == [0, 1]
+
+    @given(st.integers(1, 12), st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scipy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(-10, 10, (n, n))
+        mine = solve_assignment(cost)
+        assert sorted(mine.tolist()) == list(range(n))
+        rows, cols = linear_sum_assignment(cost)
+        assert cost[np.arange(n), mine].sum() == pytest.approx(
+            cost[rows, cols].sum(), abs=1e-9
+        )
+
+    def test_degenerate_ties(self):
+        # All-equal costs: any permutation is optimal; result must be one.
+        out = solve_assignment(np.ones((5, 5)))
+        assert sorted(out.tolist()) == list(range(5))
+
+
+class TestMinCostMatching:
+    def test_obvious_pairs(self):
+        p = np.array([[0.0, 0.0], [10.0, 0.0]])
+        q = np.array([[10.0, 1.0], [0.0, 1.0]])
+        a = min_cost_matching(p, q)
+        assert a.tolist() == [1, 0]
+
+    def test_cost_function(self):
+        p = np.array([[0.0, 0.0]])
+        q = np.array([[3.0, 4.0]])
+        assert matching_cost(p, q, [0]) == pytest.approx(5.0)
+
+    def test_size_mismatch(self):
+        with pytest.raises(PlanningError):
+            min_cost_matching([[0, 0]], [[1, 1], [2, 2]])
+
+    @given(st.integers(2, 10), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_beats_or_ties_greedy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        p = rng.uniform(0, 100, (n, 2))
+        q = rng.uniform(0, 100, (n, 2))
+        optimal = matching_cost(p, q, min_cost_matching(p, q))
+        greedy = matching_cost(p, q, greedy_matching(p, q))
+        assert optimal <= greedy + 1e-9
+
+
+class TestGreedyMatching:
+    def test_is_permutation(self, rng):
+        p = rng.uniform(0, 10, (8, 2))
+        q = rng.uniform(0, 10, (8, 2))
+        a = greedy_matching(p, q)
+        assert sorted(a.tolist()) == list(range(8))
+
+    def test_size_mismatch(self):
+        with pytest.raises(PlanningError):
+            greedy_matching([[0, 0]], [[1, 1], [2, 2]])
+
+
+class TestPlans:
+    def _setup(self):
+        m1 = FieldOfInterest([(0, 0), (10, 0), (10, 10), (0, 10)], name="m1")
+        m2 = m1.translated([100.0, 0.0])
+        starts = np.array([[2.0, 2.0], [8.0, 2.0], [5.0, 8.0]])
+        targets = starts + [100.0, 0.0]
+        return m1, m2, starts, targets
+
+    def test_hungarian_plan_straight(self):
+        _, _, starts, targets = self._setup()
+        plan = hungarian_plan(starts, targets)
+        assert plan.name == "Hungarian"
+        assert plan.total_distance == pytest.approx(300.0)
+        assert np.allclose(plan.trajectory.end_positions, plan.final_positions)
+
+    def test_direct_translation_two_phases(self):
+        m1, m2, starts, targets = self._setup()
+        plan = direct_translation_plan(starts, targets, m1, m2)
+        # Pure translation scenario: adjustment cost ~0.
+        assert plan.total_distance == pytest.approx(300.0, rel=1e-6)
+        assert np.allclose(plan.trajectory.end_positions, targets)
+
+    def test_direct_translation_rigid_phase_preserves_shape(self):
+        m1, m2, starts, targets = self._setup()
+        plan = direct_translation_plan(starts, targets, m1, m2)
+        early = plan.trajectory.positions_at(0.3)
+        rel0 = starts - starts[0]
+        rel = early - early[0]
+        assert np.allclose(rel, rel0, atol=1e-6)
+
+    def test_greedy_plan(self):
+        _, _, starts, targets = self._setup()
+        plan = greedy_plan(starts, targets)
+        assert plan.total_distance >= 300.0 - 1e-9
+
+    def test_assignment_applied(self):
+        _, _, starts, _ = self._setup()
+        targets = starts[::-1] + [100.0, 0.0]
+        plan = hungarian_plan(starts, targets)
+        assert np.allclose(
+            plan.final_positions, targets[plan.assignment]
+        )

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_args(self):
+        args = build_parser().parse_args(["scenario", "3", "--separation", "15"])
+        assert args.scenario_id == 3
+        assert args.separation == 15.0
+
+    def test_scenario_id_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "9"])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "1"])
+        assert args.separations == [10.0, 40.0, 70.0, 100.0]
+        assert args.figures is None
+
+
+class TestCommands:
+    def test_lemmas_command(self, capsys):
+        assert main(["lemmas"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 1" in out
+        assert "Lemma 2" in out
+
+    def test_scenario_command(self, capsys):
+        code = main(["scenario", "1", "--separation", "12", "--points", "220"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ours (a)" in out
+        assert "Hungarian" in out
+
+    def test_sweep_with_figures(self, capsys, tmp_path):
+        code = main([
+            "sweep", "1",
+            "--separations", "12", "30",
+            "--figures", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scenario 1" in out
+        assert (tmp_path / "scenario1_distance_ratio.svg").exists()
+        assert (tmp_path / "scenario1_stable_links.svg").exists()

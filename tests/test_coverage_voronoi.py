@@ -1,0 +1,80 @@
+"""Tests for exact Voronoi cells (partition + nearest-site properties)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CoverageError
+from repro.coverage import (
+    cell_area,
+    cell_centroid,
+    clipped_voronoi_cells,
+    voronoi_cell,
+    voronoi_cells,
+)
+from repro.geometry import Polygon
+
+WINDOW = [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]
+
+
+class TestVoronoiCells:
+    def test_single_site_gets_window(self):
+        cells = voronoi_cells([[5.0, 5.0]], WINDOW)
+        assert cell_area(cells[0]) == pytest.approx(100.0)
+
+    def test_two_sites_split(self):
+        cells = voronoi_cells([[2.0, 5.0], [8.0, 5.0]], WINDOW)
+        assert cell_area(cells[0]) == pytest.approx(50.0)
+        assert cell_area(cells[1]) == pytest.approx(50.0)
+
+    def test_partition_of_window(self, rng):
+        sites = rng.uniform(0.5, 9.5, (12, 2))
+        cells = voronoi_cells(sites, WINDOW)
+        assert sum(cell_area(c) for c in cells) == pytest.approx(100.0, rel=1e-6)
+
+    def test_site_inside_own_cell(self, rng):
+        sites = rng.uniform(0.5, 9.5, (10, 2))
+        cells = voronoi_cells(sites, WINDOW)
+        for site, cell in zip(sites, cells):
+            assert Polygon(cell).contains(site)
+
+    def test_cell_points_nearest_to_site(self, rng):
+        sites = rng.uniform(0.5, 9.5, (8, 2))
+        cells = voronoi_cells(sites, WINDOW)
+        for i, cell in enumerate(cells):
+            c = cell_centroid(cell)
+            d = np.hypot(*(sites - c).T)
+            assert np.argmin(d) == i
+
+    def test_index_out_of_range(self):
+        with pytest.raises(CoverageError):
+            voronoi_cell([[1.0, 1.0]], 5, WINDOW)
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(CoverageError):
+            voronoi_cells(np.zeros((0, 2)), WINDOW)
+
+
+class TestClippedVoronoi:
+    def test_convex_region_partition(self, rng):
+        region = Polygon([(0, 0), (8, 0), (10, 6), (4, 10), (0, 6)])
+        assert region.is_convex
+        sites = rng.uniform(1, 6, (9, 2))
+        sites = sites[region.contains(sites)]
+        cells = clipped_voronoi_cells(sites, region)
+        assert sum(cell_area(c) for c in cells) == pytest.approx(
+            region.area, rel=1e-6
+        )
+
+    def test_concave_region_rejected(self, concave_polygon):
+        with pytest.raises(CoverageError):
+            clipped_voronoi_cells([[0.5, 0.5]], concave_polygon)
+
+    def test_far_site_empty_cell(self):
+        region = Polygon(WINDOW)
+        cells = clipped_voronoi_cells([[5.0, 5.0], [500.0, 500.0]], region)
+        assert cell_area(cells[0]) == pytest.approx(100.0, rel=1e-6)
+        assert cell_area(cells[1]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_degenerate_centroid_raises(self):
+        with pytest.raises(CoverageError):
+            cell_centroid(np.zeros((0, 2)))

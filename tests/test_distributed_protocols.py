@@ -1,0 +1,135 @@
+"""Equivalence tests: distributed protocols vs centralized oracles."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    flood_aggregate,
+    run_boundary_loop_protocol,
+    run_distributed_harmonic,
+    run_subgroup_detection,
+)
+from repro.errors import ProtocolError
+from repro.harmonic import boundary_parameterization, circle_positions
+from repro.harmonic.solvers import solve_iterative
+from repro.mesh import delaunay_mesh
+from repro.network import adjacency_from_edges, bfs_hops
+
+
+@pytest.fixture(scope="module")
+def ring_mesh():
+    rings = [np.zeros((1, 2))]
+    for r, n in ((1.0, 6), (2.0, 12)):
+        theta = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        rings.append(np.column_stack([r * np.cos(theta), r * np.sin(theta)]))
+    return delaunay_mesh(np.vstack(rings))
+
+
+class TestBoundaryLoopProtocol:
+    def test_angles_match_centralized_uniform(self, ring_mesh):
+        loop = ring_mesh.outer_boundary_loop
+        adjacency = ring_mesh.adjacency
+        angles = run_boundary_loop_protocol(loop, ring_mesh.vertex_count, adjacency)
+        # Centralized oracle.
+        c_loop, c_angles = boundary_parameterization(ring_mesh, mode="uniform")
+        central = dict(zip(c_loop.tolist(), c_angles.tolist()))
+        assert set(angles) == set(central)
+        # The distributed run may traverse the loop in either direction;
+        # angles agree directly or mirrored.
+        direct = all(
+            abs(angles[v] - central[v]) < 1e-9 for v in angles
+        )
+        mirrored = all(
+            abs(((-angles[v]) % (2 * np.pi)) - central[v]) < 1e-9 for v in angles
+        )
+        assert direct or mirrored
+
+    def test_initiator_is_min_id(self, ring_mesh):
+        loop = ring_mesh.outer_boundary_loop
+        angles = run_boundary_loop_protocol(loop, ring_mesh.vertex_count,
+                                            ring_mesh.adjacency)
+        assert angles[min(loop)] == pytest.approx(0.0)
+
+    def test_all_boundary_vertices_assigned(self, ring_mesh):
+        loop = ring_mesh.outer_boundary_loop
+        angles = run_boundary_loop_protocol(loop, ring_mesh.vertex_count,
+                                            ring_mesh.adjacency)
+        assert len(angles) == len(loop)
+        assert len({round(a, 9) for a in angles.values()}) == len(loop)
+
+
+class TestFloodAggregate:
+    def test_sum_on_line(self):
+        adj = adjacency_from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        out = flood_aggregate([1.0, 2.0, 3.0, 4.0], adj)
+        assert out == [10.0, 10.0, 10.0, 10.0]
+
+    def test_max_combiner(self):
+        adj = adjacency_from_edges(3, [(0, 1), (1, 2)])
+        out = flood_aggregate([5.0, -1.0, 7.0], adj, combine=max)
+        assert out == [7.0, 7.0, 7.0]
+
+    def test_single_node(self):
+        out = flood_aggregate([42.0], [[]])
+        assert out == [42.0]
+
+    def test_disconnected_raises(self):
+        adj = adjacency_from_edges(3, [(0, 1)])
+        with pytest.raises(ProtocolError):
+            flood_aggregate([1.0, 2.0, 3.0], adj)
+
+    def test_matches_oracle_on_mesh(self, ring_mesh, rng):
+        values = rng.uniform(0, 10, ring_mesh.vertex_count)
+        out = flood_aggregate(values.tolist(), ring_mesh.adjacency)
+        assert np.allclose(out, values.sum())
+
+
+class TestSubgroupDetection:
+    def test_matches_bfs_oracle(self, rng):
+        n = 20
+        edges = [(i, i + 1) for i in range(n - 1) if i != 9]  # cut at 9-10
+        adj = adjacency_from_edges(n, edges)
+        isolated, hops = run_subgroup_detection([0], adj)
+        oracle = bfs_hops(adj, [0])
+        assert isolated == [i for i in range(n) if oracle[i] < 0]
+        for i in range(n):
+            expected = None if oracle[i] < 0 else int(oracle[i])
+            assert hops[i] == expected
+
+    def test_multiple_boundary_sources(self):
+        adj = adjacency_from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        isolated, hops = run_subgroup_detection([0, 4], adj)
+        assert isolated == []
+        assert hops == [0, 1, 2, 1, 0]
+
+    def test_everyone_isolated_without_boundary_links(self):
+        adj = adjacency_from_edges(4, [(1, 2), (2, 3)])
+        isolated, hops = run_subgroup_detection([0], adj)
+        assert isolated == [1, 2, 3]
+
+
+class TestDistributedHarmonic:
+    def test_matches_centralized_jacobi(self, ring_mesh):
+        loop, angles = boundary_parameterization(ring_mesh, mode="uniform")
+        bpos = circle_positions(angles)
+        pinned = {int(v): bpos[k] for k, v in enumerate(loop)}
+        rounds = 400
+        distributed = run_distributed_harmonic(ring_mesh.adjacency, pinned, rounds)
+        central, _ = solve_iterative(ring_mesh, loop, bpos, tol=1e-12,
+                                     max_iterations=100_000)
+        assert np.allclose(distributed, central, atol=1e-5)
+
+    def test_boundary_never_moves(self, ring_mesh):
+        loop, angles = boundary_parameterization(ring_mesh, mode="uniform")
+        bpos = circle_positions(angles)
+        pinned = {int(v): bpos[k] for k, v in enumerate(loop)}
+        out = run_distributed_harmonic(ring_mesh.adjacency, pinned, 50)
+        assert np.allclose(out[loop], bpos)
+
+    def test_interior_converges_into_disk(self, ring_mesh):
+        loop, angles = boundary_parameterization(ring_mesh, mode="uniform")
+        bpos = circle_positions(angles)
+        pinned = {int(v): bpos[k] for k, v in enumerate(loop)}
+        out = run_distributed_harmonic(ring_mesh.adjacency, pinned, 300)
+        r = np.hypot(out[:, 0], out[:, 1])
+        assert r.max() <= 1.0 + 1e-9

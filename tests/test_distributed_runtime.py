@@ -1,0 +1,111 @@
+"""Tests for the synchronous message-passing runtime."""
+
+import pytest
+
+from repro.distributed import Message, Node, SyncNetwork
+from repro.errors import ProtocolError
+
+
+class EchoNode(Node):
+    """Sends one greeting to every neighbour, records what it hears."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.state["heard"] = []
+
+    def on_start(self, api):
+        api.broadcast("hello", self.node_id)
+
+    def on_round(self, api, inbox):
+        for msg in inbox:
+            self.state["heard"].append((msg.sender, msg.payload))
+        self.halt()
+
+
+class ChattyNode(Node):
+    """Never halts, always talks - used to test the round guard."""
+
+    def on_start(self, api):
+        api.broadcast("spam")
+
+    def on_round(self, api, inbox):
+        api.broadcast("spam")
+
+
+class TestRuntimeBasics:
+    def test_delivery_to_neighbors_only(self):
+        nodes = [EchoNode(i) for i in range(3)]
+        net = SyncNetwork(nodes, [[1], [0, 2], [1]])
+        net.run()
+        assert nodes[0].state["heard"] == [(1, 1)]
+        assert sorted(nodes[1].state["heard"]) == [(0, 0), (2, 2)]
+
+    def test_non_neighbor_send_rejected(self):
+        class BadNode(Node):
+            def on_start(self, api):
+                api.send(2, "x")
+
+            def on_round(self, api, inbox):
+                self.halt()
+
+        nodes = [BadNode(0), Node(1), Node(2)]
+        net = SyncNetwork(nodes, [[1], [0], []])
+        with pytest.raises(ProtocolError):
+            net.run()
+
+    def test_node_id_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            SyncNetwork([Node(5)], [[]])
+
+    def test_topology_size_mismatch(self):
+        with pytest.raises(ProtocolError):
+            SyncNetwork([Node(0)], [[], []])
+
+    def test_round_guard_raises(self):
+        nodes = [ChattyNode(0), ChattyNode(1)]
+        net = SyncNetwork(nodes, [[1], [0]])
+        with pytest.raises(ProtocolError):
+            net.run(max_rounds=10)
+
+    def test_quiescence_terminates(self):
+        nodes = [EchoNode(i) for i in range(2)]
+        net = SyncNetwork(nodes, [[1], [0]])
+        rounds = net.run()
+        assert rounds <= 3
+        assert net.delivered_messages == 2
+
+    def test_message_dataclass(self):
+        msg = Message(sender=0, receiver=1, kind="k", payload=42)
+        assert msg.payload == 42
+
+
+class TestDynamicTopology:
+    def test_link_must_exist_at_delivery(self):
+        """A message sent in round k is dropped if the edge is gone in
+        round k+1 - modelling robots moving out of range mid-protocol."""
+
+        class Sender(Node):
+            def on_start(self, api):
+                api.broadcast("hi")
+
+            def on_round(self, api, inbox):
+                self.halt()
+
+        class Receiver(Node):
+            def __init__(self, node_id):
+                super().__init__(node_id)
+                self.state["got"] = 0
+
+            def on_round(self, api, inbox):
+                self.state["got"] += len(inbox)
+                self.halt()
+
+        def topology(round_index):
+            if round_index == 0:
+                return [[1], [0]]
+            return [[], []]  # link vanishes before delivery
+
+        nodes = [Sender(0), Receiver(1)]
+        net = SyncNetwork(nodes, topology)
+        net.run()
+        assert nodes[1].state["got"] == 0

@@ -1,0 +1,49 @@
+"""Gated smoke tests running every example script end to end.
+
+The examples use paper-scale swarms (100-144 robots) and take a few
+minutes in total, so they only run when ``REPRO_RUN_EXAMPLES=1`` is
+set (CI's nightly job, or a release check).  The fast suite still
+guards the examples' building blocks through the unit tests.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "multi_foi_mission.py",
+    "density_adaptive.py",
+    "holes_and_detours.py",
+    "distributed_protocols.py",
+    "failure_recovery.py",
+    "transition_trace.py",
+]
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_RUN_EXAMPLES") != "1",
+    reason="set REPRO_RUN_EXAMPLES=1 to run the full example scripts",
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=EXAMPLES_DIR.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+def test_all_examples_listed():
+    """Every example on disk is covered by the smoke list."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES)

@@ -1,0 +1,124 @@
+"""Tests for scenarios, the lemma constructions, tables and the harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.experiments import (
+    SCENARIOS,
+    format_table,
+    get_scenario,
+    lemma1_example,
+    lemma2_example,
+    render_sweep,
+    render_table1,
+    run_scenario,
+)
+
+
+class TestScenarioRegistry:
+    def test_seven_scenarios(self):
+        assert sorted(SCENARIOS) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_lookup(self):
+        spec = get_scenario(3)
+        assert spec.scenario_id == 3
+        assert spec.robot_count == 144
+        assert spec.comm_range == 80.0
+
+    def test_unknown_raises(self):
+        with pytest.raises(ScenarioError):
+            get_scenario(12)
+
+    def test_separation_respected(self):
+        spec = get_scenario(1)
+        m1, m2 = spec.build(separation_factor=25.0)
+        gap = np.hypot(*(m2.centroid - m1.centroid))
+        assert gap == pytest.approx(25.0 * 80.0)
+
+    def test_negative_separation_rejected(self):
+        with pytest.raises(ScenarioError):
+            get_scenario(1).build(-1.0)
+
+    def test_hole_classification(self):
+        assert not get_scenario(1).has_holes
+        assert get_scenario(3).has_holes
+        assert get_scenario(6).has_holes
+
+
+class TestLemma1:
+    def test_tradeoff_exists(self):
+        ex = lemma1_example()
+        assert ex.tradeoff_holds
+
+    def test_hungarian_strictly_shorter(self):
+        ex = lemma1_example()
+        assert ex.min_distance < ex.preserving_distance
+
+    def test_preserving_keeps_strictly_more_links(self):
+        ex = lemma1_example()
+        assert ex.preserving_links > ex.min_distance_links
+
+    def test_assignments_differ(self):
+        ex = lemma1_example()
+        assert not np.array_equal(
+            ex.link_preserving_assignment, ex.min_distance_assignment
+        )
+
+
+class TestLemma2:
+    def test_full_preservation_impossible(self):
+        """Lemma 2 verified exhaustively over all 5040 assignments."""
+        ex = lemma2_example()
+        assert ex.full_preservation_impossible
+
+    def test_hexagon_has_twelve_links(self):
+        ex = lemma2_example()
+        assert ex.total_links == 12  # 6 rim + 6 spokes
+
+    def test_at_least_two_links_lost(self):
+        # The paper: some robots "have to break at least two
+        # communication links individually".
+        ex = lemma2_example()
+        assert ex.total_links - ex.best_preserved >= 2
+
+    def test_line_preserves_chain_links(self):
+        # A line of 7 robots has 6 adjacent links; the best assignment
+        # can keep at most those.
+        ex = lemma2_example()
+        assert ex.best_preserved <= 6
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_harness_and_renderers(self):
+        """One small end-to-end harness run exercising the renderers."""
+        spec = get_scenario(1)
+        run = run_scenario(
+            spec,
+            separation_factor=12.0,
+            foi_target_points=220,
+            lloyd_grid_target=900,
+            resolution=16,
+        )
+        assert set(run.evaluations) == {
+            "ours (a)", "ours (b)", "direct translation", "Hungarian"
+        }
+        ours = run.evaluations["ours (a)"]
+        hung = run.evaluations["Hungarian"]
+        # Qualitative shape of the paper's results.
+        assert ours.globally_connected
+        assert ours.stable_link_ratio > hung.stable_link_ratio
+        assert run.distance_ratio("ours (a)") < 2.0
+        table = render_table1({1: run}, list(run.evaluations))
+        assert "Scenario 1" in table
+        assert "Y" in table
+
+    def test_run_scenario_unknown_method(self):
+        with pytest.raises(ValueError):
+            run_scenario(get_scenario(1), methods=("teleport",))

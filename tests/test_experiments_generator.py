@@ -1,0 +1,79 @@
+"""Tests for the random scenario generator + fuzz runs of the planner."""
+
+import numpy as np
+import pytest
+
+from repro.coverage import LloydConfig
+from repro.experiments import random_foi, random_scenario
+from repro.marching import MarchingConfig, MarchingPlanner
+from repro.metrics import connectivity_report
+
+FAST = MarchingConfig(
+    foi_target_points=200, lloyd=LloydConfig(grid_target=700, max_iterations=20)
+)
+
+
+class TestRandomFoi:
+    def test_area_respected(self, rng):
+        foi = random_foi(rng, area=123_456.0)
+        assert foi.area == pytest.approx(123_456.0)
+
+    def test_deterministic_per_seed(self):
+        a = random_foi(np.random.default_rng(5), area=100_000.0)
+        b = random_foi(np.random.default_rng(5), area=100_000.0)
+        assert np.array_equal(a.outer.vertices, b.outer.vertices)
+        assert len(a.holes) == len(b.holes)
+
+    def test_zero_holes_possible(self):
+        foi = random_foi(np.random.default_rng(0), max_holes=0)
+        assert not foi.has_holes
+
+    def test_holes_inside(self, rng):
+        for seed in range(5):
+            foi = random_foi(np.random.default_rng(seed), max_holes=2)
+            for hole in foi.holes:
+                assert foi.outer.contains(hole.vertices).all()
+
+
+class TestRandomScenario:
+    def test_swarm_deployable_and_connected(self):
+        sc = random_scenario(seed=1, robot_count=49)
+        assert sc.swarm.size == 49
+        assert sc.swarm.is_connected()
+        assert sc.m1.contains(sc.swarm.positions).all()
+
+    def test_separation_in_range(self):
+        sc = random_scenario(seed=2, separation_range=(12.0, 14.0))
+        gap = np.hypot(*(sc.m2.centroid - sc.m1.centroid))
+        assert 12.0 * sc.comm_range <= gap <= 14.0 * sc.comm_range + 1e-6
+
+    def test_deterministic(self):
+        a = random_scenario(seed=7)
+        b = random_scenario(seed=7)
+        assert np.array_equal(a.swarm.positions, b.swarm.positions)
+        assert np.allclose(a.m2.centroid, b.m2.centroid)
+
+
+class TestFuzzPlanner:
+    """The planner's guarantees must hold on arbitrary valid geometry,
+    not just the paper's seven scenarios."""
+
+    @pytest.mark.parametrize("seed", [11, 23, 37])
+    def test_plan_on_random_scenarios(self, seed):
+        sc = random_scenario(seed, robot_count=49, max_holes=1,
+                             separation_range=(8.0, 20.0))
+        result = MarchingPlanner(FAST).plan(sc.swarm, sc.m2)
+        # Guarantee 1: global connectivity.
+        rep = connectivity_report(
+            result.trajectory, sc.comm_range, result.boundary_anchors
+        )
+        assert rep.connected, f"seed {seed} lost connectivity"
+        # Guarantee 2: everyone ends inside the target free region.
+        assert sc.m2.contains(result.final_positions).all()
+        # Guarantee 3: distance sane (>= straight-line lower bound).
+        d = result.total_distance
+        lower = float(
+            np.hypot(*(result.final_positions - sc.swarm.positions).T).sum()
+        )
+        assert d >= lower - 1e-6
+        assert d < 5.0 * lower + 1e5

@@ -1,0 +1,65 @@
+"""Tests for the markdown report builder and the Kershner bound."""
+
+import numpy as np
+import pytest
+
+from repro.coverage import kershner_bound
+from repro.errors import CoverageError
+from repro.experiments import build_report, write_report
+
+
+class TestKershnerBound:
+    def test_formula(self):
+        # 2A / (3 sqrt(3) r^2), rounded up.
+        assert kershner_bound(100.0, 2.0) == int(
+            np.ceil(200.0 / (3 * np.sqrt(3) * 4.0))
+        )
+
+    def test_scenario_sizes_satisfiable(self):
+        """144 robots with r_s = 80/sqrt(3) m suffice for every scenario FoI."""
+        from repro.foi import SCENARIO_AREAS, M1_AREA
+        from repro.robots import RadioSpec
+
+        rs = RadioSpec.from_comm_range(80.0).sensing_range
+        for area in [M1_AREA, *SCENARIO_AREAS.values()]:
+            assert kershner_bound(area, rs) <= 144
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CoverageError):
+            kershner_bound(-1.0, 2.0)
+        with pytest.raises(CoverageError):
+            kershner_bound(10.0, 0.0)
+
+    def test_monotonicity(self):
+        assert kershner_bound(200.0, 2.0) >= kershner_bound(100.0, 2.0)
+        assert kershner_bound(100.0, 1.0) >= kershner_bound(100.0, 2.0)
+
+
+class TestReport:
+    def test_single_scenario_report(self):
+        text = build_report(
+            separation_factor=12.0,
+            scenario_ids=[1],
+            foi_target_points=220,
+            lloyd_grid_target=900,
+            resolution=12,
+        )
+        assert "# Optimal Marching - reproduction report" in text
+        assert "Table I" in text
+        assert "Scenario 1" in text
+        assert "ours (a)" in text
+        # Markdown tables well-formed: same pipe counts per block line.
+        lines = [l for l in text.splitlines() if l.startswith("|")]
+        assert lines and all(l.count("|") >= 5 for l in lines)
+
+    def test_write_report(self, tmp_path):
+        path = write_report(
+            tmp_path / "report.md",
+            separation_factor=12.0,
+            scenario_ids=[1],
+            foi_target_points=220,
+            lloyd_grid_target=900,
+            resolution=12,
+        )
+        assert path.exists()
+        assert path.read_text().startswith("# Optimal Marching")

@@ -1,0 +1,96 @@
+"""Tests for hole-avoiding detour paths (Sec. III-D3)."""
+
+import numpy as np
+import pytest
+
+from repro.foi import (
+    FieldOfInterest,
+    detour_path,
+    ellipse_polygon,
+    flower_polygon,
+    m2_scenario3,
+    path_blocked_by_hole,
+)
+from repro.geometry import Polygon, polyline_length
+
+OUTER = Polygon([(0, 0), (20, 0), (20, 20), (0, 20)])
+
+
+@pytest.fixture(scope="module")
+def round_hole_foi():
+    return FieldOfInterest(OUTER, [ellipse_polygon(3.0, 3.0, samples=24, center=(10, 10))])
+
+
+@pytest.fixture(scope="module")
+def two_hole_foi():
+    return FieldOfInterest(
+        OUTER,
+        [
+            ellipse_polygon(2.0, 2.0, samples=20, center=(6, 10)),
+            ellipse_polygon(2.0, 2.0, samples=20, center=(14, 10)),
+        ],
+    )
+
+
+class TestBlockedPredicate:
+    def test_clear_path(self, round_hole_foi):
+        assert path_blocked_by_hole(round_hole_foi, [1, 1], [3, 1]) is None
+
+    def test_blocked_through_center(self, round_hole_foi):
+        assert path_blocked_by_hole(round_hole_foi, [2, 10], [18, 10]) == 0
+
+    def test_grazing_tangent_not_blocked(self, round_hole_foi):
+        # Passes above the hole (hole spans y in [7, 13]).
+        assert path_blocked_by_hole(round_hole_foi, [2, 14], [18, 14]) is None
+
+    def test_first_hole_reported(self, two_hole_foi):
+        assert path_blocked_by_hole(two_hole_foi, [1, 10], [19, 10]) == 0
+        assert path_blocked_by_hole(two_hole_foi, [19, 10], [1, 10]) == 1
+
+
+class TestDetourPath:
+    def test_straight_when_clear(self, round_hole_foi):
+        path = detour_path(round_hole_foi, [1, 1], [19, 1])
+        assert len(path) == 2
+
+    def test_detour_avoids_hole(self, round_hole_foi):
+        path = detour_path(round_hole_foi, [2, 10], [18, 10])
+        assert len(path) > 2
+        # Every segment of the result is clear of holes.
+        for a, b in zip(path, path[1:]):
+            assert path_blocked_by_hole(round_hole_foi, a, b) is None
+
+    def test_endpoints_preserved(self, round_hole_foi):
+        path = detour_path(round_hole_foi, [2, 10], [18, 10])
+        assert np.allclose(path[0], [2, 10])
+        assert np.allclose(path[-1], [18, 10])
+
+    def test_detour_longer_than_straight_but_bounded(self, round_hole_foi):
+        path = detour_path(round_hole_foi, [2, 10], [18, 10])
+        straight = 16.0
+        length = polyline_length(path)
+        assert length > straight
+        # Walking half the hole circumference adds at most ~pi*r.
+        assert length < straight + np.pi * 3.5
+
+    def test_shorter_arc_chosen(self, round_hole_foi):
+        # Start slightly above centre: the upper arc is shorter.
+        path = detour_path(round_hole_foi, [2.0, 10.8], [18.0, 10.8])
+        assert max(p[1] for p in path) > 10.8  # went over the top
+        assert min(p[1] for p in path) > 7.5  # never dove under the hole
+
+    def test_two_holes_both_avoided(self, two_hole_foi):
+        path = detour_path(two_hole_foi, [1, 10], [19, 10])
+        for a, b in zip(path, path[1:]):
+            assert path_blocked_by_hole(two_hole_foi, a, b) is None
+
+    def test_concave_flower_hole(self):
+        foi = m2_scenario3()
+        hole = foi.holes[0]
+        c = hole.centroid
+        span = 3.0 * np.sqrt(hole.area)
+        p = foi.project_inside(c + [-span, 0.0])
+        q = foi.project_inside(c + [span, 0.0])
+        path = detour_path(foi, p, q)
+        for a, b in zip(path, path[1:]):
+            assert path_blocked_by_hole(foi, a, b) is None

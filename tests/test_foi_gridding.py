@@ -1,0 +1,67 @@
+"""Tests for FoI point sampling (grid_foi)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.foi import grid_foi, m2_scenario4, suggest_spacing
+
+
+class TestSuggestSpacing:
+    def test_yields_roughly_target(self, square_foi):
+        spacing = suggest_spacing(square_foi, target_points=400)
+        pts = square_foi.grid_points(spacing)
+        assert 250 <= len(pts) <= 600
+
+    def test_rejects_tiny_targets(self, square_foi):
+        with pytest.raises(GeometryError):
+            suggest_spacing(square_foi, target_points=4)
+
+
+class TestGridFoi:
+    def test_structure(self, holed_foi):
+        ps = grid_foi(holed_foi, target_points=300)
+        n = len(ps.points)
+        assert n > 200
+        # Boundary index arrays partition correctly.
+        assert ps.outer_boundary[0] == 0
+        assert len(ps.hole_boundaries) == 1
+        all_boundary = set(ps.outer_boundary.tolist())
+        for h in ps.hole_boundaries:
+            all_boundary.update(h.tolist())
+        interior = set(ps.interior.tolist())
+        assert all_boundary.isdisjoint(interior)
+        assert all_boundary | interior == set(range(n))
+
+    def test_outer_boundary_points_on_outer(self, holed_foi):
+        ps = grid_foi(holed_foi, target_points=300)
+        for idx in ps.outer_boundary:
+            assert holed_foi.outer.boundary_distance(ps.points[idx]) < 1e-6
+
+    def test_hole_boundary_points_on_hole(self, holed_foi):
+        ps = grid_foi(holed_foi, target_points=300)
+        hole = holed_foi.holes[0]
+        for idx in ps.hole_boundaries[0]:
+            assert hole.boundary_distance(ps.points[idx]) < 1e-6
+
+    def test_interior_points_have_margin(self, holed_foi):
+        ps = grid_foi(holed_foi, target_points=300)
+        margin = 0.45 * ps.spacing
+        for idx in ps.interior:
+            assert holed_foi.boundary_distance(ps.points[idx]) >= margin - 1e-9
+
+    def test_explicit_spacing(self, square_foi):
+        ps = grid_foi(square_foi, spacing=5.0)
+        assert ps.spacing == pytest.approx(5.0)
+
+    def test_rejects_bad_spacing(self, square_foi):
+        with pytest.raises(GeometryError):
+            grid_foi(square_foi, spacing=-1.0)
+
+    def test_concave_scenario_shape(self):
+        foi = m2_scenario4()
+        ps = grid_foi(foi, target_points=350)
+        inside = foi.contains(ps.points)
+        # Boundary samples may sit exactly on the outline; everything else
+        # must be strictly in the free region.
+        assert inside.mean() > 0.95

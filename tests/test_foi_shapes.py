@@ -1,0 +1,115 @@
+"""Tests for the scenario shape library (areas and structure per the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.foi import (
+    M1_AREA,
+    SCENARIO_AREAS,
+    flower_polygon,
+    m1_base,
+    m1_scenario6,
+    m1_scenario7,
+    m2_scenario1,
+    m2_scenario2,
+    m2_scenario3,
+    m2_scenario4,
+    m2_scenario5,
+    m2_scenario6,
+    m2_scenario7,
+    radial_blob,
+    regular_polygon,
+    rounded_rectangle,
+    unit_disk_polygon,
+)
+
+PAPER_AREAS = {
+    m1_base: M1_AREA,
+    m2_scenario1: SCENARIO_AREAS[1],
+    m2_scenario2: SCENARIO_AREAS[2],
+    m2_scenario3: SCENARIO_AREAS[3],
+    m2_scenario4: SCENARIO_AREAS[4],
+    m2_scenario5: SCENARIO_AREAS[5],
+    m2_scenario6: SCENARIO_AREAS[6],
+    m2_scenario7: SCENARIO_AREAS[7],
+}
+
+
+class TestPaperAreas:
+    @pytest.mark.parametrize("builder", list(PAPER_AREAS), ids=lambda b: b.__name__)
+    def test_free_area_matches_paper(self, builder):
+        foi = builder()
+        assert foi.area == pytest.approx(PAPER_AREAS[builder], rel=1e-6)
+
+    def test_m1_quoted_value(self):
+        # Sec. IV: "The current FoI M1 ... has size 308,261 m^2".
+        assert m1_base().area == pytest.approx(308_261.0)
+
+
+class TestHoleStructure:
+    def test_scenario_1_2_no_holes(self):
+        assert not m2_scenario1().has_holes
+        assert not m2_scenario2().has_holes
+
+    def test_scenario_3_has_concave_flower(self):
+        foi = m2_scenario3()
+        assert len(foi.holes) == 1
+        assert not foi.holes[0].is_convex  # the flower pond is concave
+
+    def test_scenario_4_has_convex_hole(self):
+        foi = m2_scenario4()
+        assert len(foi.holes) == 1
+        assert foi.holes[0].is_convex
+
+    def test_scenario_5_multiple_small_holes(self):
+        foi = m2_scenario5()
+        assert len(foi.holes) >= 3
+        assert all(h.area < 0.05 * foi.outer.area for h in foi.holes)
+
+    def test_hole_to_hole_scenarios(self):
+        assert m1_scenario6().has_holes and m2_scenario6().has_holes
+        assert m1_scenario7().has_holes and m2_scenario7().has_holes
+        assert len(m1_scenario7().holes) == 2
+
+    def test_scenario2_is_slim(self):
+        # Slim: bounding box strongly anisotropic.
+        xmin, ymin, xmax, ymax = m2_scenario2().bounds
+        aspect = (xmax - xmin) / (ymax - ymin)
+        assert aspect > 2.5
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("builder", list(PAPER_AREAS), ids=lambda b: b.__name__)
+    def test_builders_deterministic(self, builder):
+        a = builder()
+        b = builder()
+        assert np.array_equal(a.outer.vertices, b.outer.vertices)
+        assert len(a.holes) == len(b.holes)
+
+
+class TestPrimitives:
+    def test_radial_blob_valid(self):
+        blob = radial_blob({2: (0.1, 0.0), 3: (0.05, 0.05)})
+        assert blob.is_simple()
+        assert blob.area > 0
+
+    def test_flower_petal_count_concavity(self):
+        flower = flower_polygon(petals=5, petal_depth=0.4)
+        assert not flower.is_convex
+        assert flower.is_simple()
+
+    def test_rounded_rectangle_bounds(self):
+        rect = rounded_rectangle(4.0, 2.0)
+        xmin, ymin, xmax, ymax = rect.bounds
+        assert xmax - xmin == pytest.approx(4.0, abs=1e-9)
+        assert ymax - ymin == pytest.approx(2.0, abs=1e-9)
+        assert rect.area < 8.0  # corners shaved off
+
+    def test_regular_polygon(self):
+        hexagon = regular_polygon(6, radius=2.0)
+        assert len(hexagon) == 6
+        assert hexagon.is_convex
+
+    def test_unit_disk_polygon_area(self):
+        disk = unit_disk_polygon(samples=256)
+        assert disk.area == pytest.approx(np.pi, rel=1e-3)

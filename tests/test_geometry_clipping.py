@@ -1,0 +1,95 @@
+"""Tests for half-plane and convex-window clipping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Polygon,
+    bounding_box_polygon,
+    clip_convex,
+    clip_halfplane,
+    signed_area,
+)
+
+SQUARE = [(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]
+
+
+class TestClipHalfplane:
+    def test_cut_in_half(self):
+        out = clip_halfplane(SQUARE, [1.0, 0.0], [1.0, 0.0])
+        assert abs(signed_area(out)) == pytest.approx(2.0)
+        assert np.all(out[:, 0] <= 1.0 + 1e-9)
+
+    def test_keep_everything(self):
+        out = clip_halfplane(SQUARE, [5.0, 0.0], [1.0, 0.0])
+        assert abs(signed_area(out)) == pytest.approx(4.0)
+
+    def test_remove_everything(self):
+        out = clip_halfplane(SQUARE, [-1.0, 0.0], [1.0, 0.0])
+        assert len(out) == 0
+
+    def test_empty_input_stays_empty(self):
+        out = clip_halfplane(np.zeros((0, 2)), [0, 0], [1, 0])
+        assert len(out) == 0
+
+    @given(st.floats(-3, 3), st.floats(0, 2 * np.pi))
+    @settings(max_examples=100)
+    def test_area_never_grows(self, offset, angle):
+        normal = [np.cos(angle), np.sin(angle)]
+        point = np.asarray(normal) * offset + [1.0, 1.0]
+        out = clip_halfplane(SQUARE, point, normal)
+        area = abs(signed_area(out)) if len(out) >= 3 else 0.0
+        assert area <= 4.0 + 1e-9
+
+
+class TestClipConvex:
+    def test_identical_windows(self):
+        out = clip_convex(SQUARE, SQUARE)
+        assert abs(signed_area(out)) == pytest.approx(4.0)
+
+    def test_quarter_overlap(self):
+        window = [(1.0, 1.0), (3.0, 1.0), (3.0, 3.0), (1.0, 3.0)]
+        out = clip_convex(SQUARE, window)
+        assert abs(signed_area(out)) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        window = [(5.0, 5.0), (6.0, 5.0), (6.0, 6.0), (5.0, 6.0)]
+        assert len(clip_convex(SQUARE, window)) == 0
+
+    def test_window_too_small_raises(self):
+        with pytest.raises(GeometryError):
+            clip_convex(SQUARE, [(0, 0), (1, 1)])
+
+    def test_triangle_square_intersection(self):
+        # Hypotenuse x + y = 3 cuts the corner of the 2x2 square above it
+        # (a right triangle with legs of length 1), leaving area 4 - 0.5.
+        tri = [(0.0, 0.0), (3.0, 0.0), (0.0, 3.0)]
+        out = clip_convex(tri, SQUARE)
+        poly = Polygon(out)
+        assert poly.area == pytest.approx(3.5)
+
+    def test_result_inside_both(self, rng):
+        subject = Polygon(rng.uniform(0, 4, (3, 2)))
+        out = clip_convex(subject.vertices, SQUARE)
+        if len(out) >= 3:
+            result = Polygon(out)
+            assert Polygon(SQUARE).contains(result.vertices).all()
+            assert subject.contains(result.vertices).all()
+
+
+class TestBoundingBox:
+    def test_covers_points(self, rng):
+        pts = rng.uniform(-5, 5, (30, 2))
+        box = Polygon(bounding_box_polygon(pts, margin=0.1))
+        assert box.contains(pts).all()
+
+    def test_margin(self):
+        box = bounding_box_polygon([[0, 0], [1, 1]], margin=1.0)
+        assert box[:, 0].min() == pytest.approx(-1.0)
+        assert box[:, 0].max() == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            bounding_box_polygon(np.zeros((0, 2)))

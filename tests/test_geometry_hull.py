@@ -1,0 +1,68 @@
+"""Convex hull tests, with scipy as the independent oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.spatial import ConvexHull as ScipyHull
+
+from repro.errors import GeometryError
+from repro.geometry import Polygon, convex_hull, signed_area
+
+coord = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+class TestConvexHullBasics:
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            convex_hull(np.zeros((0, 2)))
+
+    def test_single_point(self):
+        hull = convex_hull([[1.0, 2.0]])
+        assert hull.shape == (1, 2)
+
+    def test_two_points(self):
+        hull = convex_hull([[0, 0], [1, 1]])
+        assert hull.shape == (2, 2)
+
+    def test_collinear_points(self):
+        hull = convex_hull([[0, 0], [1, 0], [2, 0], [3, 0]])
+        assert len(hull) == 2
+
+    def test_square_with_interior(self):
+        pts = [[0, 0], [1, 0], [1, 1], [0, 1], [0.5, 0.5], [0.2, 0.8]]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert signed_area(hull) == pytest.approx(1.0)
+
+    def test_ccw_orientation(self):
+        hull = convex_hull([[0, 0], [2, 0], [1, 2], [1, 0.5]])
+        assert signed_area(hull) > 0
+
+    def test_duplicates_ignored(self):
+        hull = convex_hull([[0, 0], [0, 0], [1, 0], [1, 0], [0, 1]])
+        assert len(hull) == 3
+
+
+class TestAgainstScipy:
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=4, max_size=40)
+    )
+    @settings(max_examples=100)
+    def test_same_area_as_scipy(self, pts):
+        arr = np.unique(np.asarray(pts, dtype=float), axis=0)
+        mine = convex_hull(arr)
+        if len(mine) < 3 or abs(signed_area(mine)) < 1e-6:
+            # (Near-)degenerate input: qhull rejects it; nothing to compare.
+            return
+        theirs = ScipyHull(arr)
+        assert signed_area(mine) == pytest.approx(theirs.volume, rel=1e-7)
+
+    @given(st.lists(st.tuples(coord, coord), min_size=3, max_size=30))
+    @settings(max_examples=100)
+    def test_all_points_inside_hull(self, pts):
+        arr = np.asarray(pts, dtype=float)
+        hull = convex_hull(arr)
+        if len(hull) < 3 or abs(signed_area(hull)) < 1e-6:
+            return
+        poly = Polygon(hull)
+        assert poly.contains(arr).all()

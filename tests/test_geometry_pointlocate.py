@@ -1,0 +1,85 @@
+"""Tests for the triangle locator spatial index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import TriangleLocator, from_barycentric
+from repro.mesh import delaunay_mesh
+
+
+@pytest.fixture(scope="module")
+def grid_mesh():
+    xs, ys = np.meshgrid(np.linspace(0, 1, 6), np.linspace(0, 1, 6))
+    pts = np.column_stack([xs.ravel(), ys.ravel()])
+    return delaunay_mesh(pts)
+
+
+@pytest.fixture(scope="module")
+def locator(grid_mesh):
+    return TriangleLocator(grid_mesh.vertices, grid_mesh.triangles)
+
+
+class TestConstruction:
+    def test_requires_triangles(self):
+        with pytest.raises(GeometryError):
+            TriangleLocator([[0, 0], [1, 0], [0, 1]], np.zeros((0, 3), dtype=int))
+
+    def test_rejects_bad_indices(self):
+        with pytest.raises(GeometryError):
+            TriangleLocator([[0, 0], [1, 0], [0, 1]], [[0, 1, 5]])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            TriangleLocator([[0, 0], [1, 0], [0, 1]], [[0, 1]])
+
+
+class TestLocate:
+    def test_interior_points_found(self, grid_mesh, locator, rng):
+        for _ in range(50):
+            p = rng.uniform(0.05, 0.95, 2)
+            hit = locator.locate(p)
+            assert hit is not None
+            tri_idx, bary = hit
+            corners = grid_mesh.triangles[tri_idx]
+            back = from_barycentric(
+                bary,
+                grid_mesh.vertices[corners[0]],
+                grid_mesh.vertices[corners[1]],
+                grid_mesh.vertices[corners[2]],
+            )
+            assert np.allclose(back, p, atol=1e-9)
+            assert np.all(bary >= -1e-9)
+
+    def test_outside_returns_none(self, locator):
+        assert locator.locate([5.0, 5.0]) is None
+        assert locator.locate([-1.0, 0.5]) is None
+
+    def test_vertex_location(self, grid_mesh, locator):
+        hit = locator.locate(grid_mesh.vertices[7])
+        assert hit is not None
+
+    def test_shared_edge_point(self, locator):
+        # A point on an interior edge must still be located exactly once.
+        hit = locator.locate([0.2, 0.2])
+        assert hit is not None
+
+
+class TestLocateNearest:
+    def test_inside_same_as_locate(self, locator):
+        p = [0.31, 0.47]
+        assert locator.locate_nearest(p)[0] == locator.locate(p)[0]
+
+    def test_outside_clamps_to_simplex(self, grid_mesh, locator):
+        tri_idx, bary = locator.locate_nearest([10.0, 10.0])
+        assert 0 <= tri_idx < grid_mesh.triangle_count
+        assert bary.sum() == pytest.approx(1.0)
+        assert np.all(bary >= 0)
+
+    def test_far_point_maps_near_boundary(self, grid_mesh, locator):
+        tri_idx, bary = locator.locate_nearest([2.0, 0.5])
+        corners = grid_mesh.triangles[tri_idx]
+        point = (bary[:, None] * grid_mesh.vertices[corners]).sum(axis=0)
+        # The clamped image stays inside the unit square mesh.
+        assert -1e-6 <= point[0] <= 1 + 1e-6
+        assert -1e-6 <= point[1] <= 1 + 1e-6

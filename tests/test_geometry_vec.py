@@ -1,0 +1,160 @@
+"""Unit tests for the vector helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    angle_of,
+    as_point,
+    as_points,
+    cross2,
+    distance,
+    dot2,
+    lerp,
+    norm,
+    normalize,
+    pairwise_distances,
+    perpendicular,
+    polyline_length,
+    rotate,
+    rotation_matrix,
+)
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestAsPoint:
+    def test_accepts_lists_tuples_arrays(self):
+        for raw in ([1, 2], (1.0, 2.0), np.array([1.0, 2.0])):
+            p = as_point(raw)
+            assert p.shape == (2,)
+            assert p.dtype == np.float64
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(GeometryError):
+            as_point([1.0, 2.0, 3.0])
+        with pytest.raises(GeometryError):
+            as_point([[1.0, 2.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            as_point([np.nan, 0.0])
+
+    def test_rejects_inf(self):
+        with pytest.raises(GeometryError):
+            as_point([np.inf, 0.0])
+
+
+class TestAsPoints:
+    def test_empty_input_gives_0x2(self):
+        assert as_points([]).shape == (0, 2)
+
+    def test_normal_input(self):
+        pts = as_points([[0, 0], [1, 1]])
+        assert pts.shape == (2, 2)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            as_points([[1, 2, 3]])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(GeometryError):
+            as_points([[1.0, np.nan]])
+
+
+class TestCrossDot:
+    def test_cross_right_hand(self):
+        assert cross2([1, 0], [0, 1]) == pytest.approx(1.0)
+        assert cross2([0, 1], [1, 0]) == pytest.approx(-1.0)
+
+    def test_cross_parallel_is_zero(self):
+        assert cross2([2, 2], [1, 1]) == pytest.approx(0.0)
+
+    def test_dot(self):
+        assert dot2([1, 2], [3, 4]) == pytest.approx(11.0)
+
+    @given(finite, finite, finite, finite)
+    def test_cross_antisymmetric(self, ax, ay, bx, by):
+        a, b = [ax, ay], [bx, by]
+        assert cross2(a, b) == pytest.approx(-cross2(b, a), abs=1e-3)
+
+
+class TestNormNormalize:
+    def test_norm_345(self):
+        assert norm([3, 4]) == pytest.approx(5.0)
+
+    def test_normalize_unit(self):
+        v = normalize([3, 4])
+        assert norm(v) == pytest.approx(1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(GeometryError):
+            normalize([0.0, 0.0])
+
+
+class TestDistances:
+    def test_distance(self):
+        assert distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_pairwise_self(self):
+        pts = [[0, 0], [1, 0], [0, 1]]
+        d = pairwise_distances(pts)
+        assert d.shape == (3, 3)
+        assert np.allclose(np.diag(d), 0.0)
+        assert d[1, 2] == pytest.approx(np.sqrt(2))
+
+    def test_pairwise_cross(self):
+        d = pairwise_distances([[0, 0]], [[3, 4], [6, 8]])
+        assert d.shape == (1, 2)
+        assert np.allclose(d, [[5.0, 10.0]])
+
+    @given(st.lists(st.tuples(finite, finite), min_size=1, max_size=8))
+    def test_pairwise_symmetric_nonnegative(self, pts):
+        d = pairwise_distances(pts)
+        assert np.all(d >= 0)
+        assert np.allclose(d, d.T)
+
+
+class TestRotate:
+    def test_rotation_matrix_orthogonal(self):
+        r = rotation_matrix(0.7)
+        assert np.allclose(r @ r.T, np.eye(2))
+
+    def test_quarter_turn(self):
+        assert np.allclose(rotate([1.0, 0.0], np.pi / 2), [0.0, 1.0], atol=1e-12)
+
+    def test_rotate_about_center(self):
+        out = rotate([2.0, 1.0], np.pi, center=[1.0, 1.0])
+        assert np.allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_rotate_array_shape_preserved(self):
+        pts = np.array([[1.0, 0.0], [0.0, 1.0]])
+        out = rotate(pts, 0.3)
+        assert out.shape == pts.shape
+
+    @given(st.floats(-10, 10), finite, finite)
+    def test_rotation_preserves_norm(self, theta, x, y):
+        assert norm(rotate([x, y], theta)) == pytest.approx(norm([x, y]), abs=1e-6)
+
+
+class TestMisc:
+    def test_perpendicular(self):
+        assert np.allclose(perpendicular([1.0, 0.0]), [0.0, 1.0])
+        assert dot2([2.0, 3.0], perpendicular([2.0, 3.0])) == pytest.approx(0.0)
+
+    def test_lerp_endpoints(self):
+        assert np.allclose(lerp([0, 0], [2, 4], 0.0), [0, 0])
+        assert np.allclose(lerp([0, 0], [2, 4], 1.0), [2, 4])
+        assert np.allclose(lerp([0, 0], [2, 4], 0.5), [1, 2])
+
+    def test_polyline_length(self):
+        assert polyline_length([[0, 0], [3, 4], [3, 5]]) == pytest.approx(6.0)
+        assert polyline_length([[1, 1]]) == 0.0
+
+    def test_angle_of_quadrants(self):
+        assert angle_of([1, 0]) == pytest.approx(0.0)
+        assert angle_of([0, 1]) == pytest.approx(np.pi / 2)
+        assert angle_of([-1, 0]) == pytest.approx(np.pi)
+        assert angle_of([0, -1]) == pytest.approx(3 * np.pi / 2)

@@ -1,0 +1,121 @@
+"""Tests for boundary parameterization and the harmonic solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.harmonic import (
+    boundary_parameterization,
+    circle_positions,
+    harmonic_energy,
+    solve_iterative,
+    solve_linear,
+)
+from repro.mesh import TriMesh, delaunay_mesh
+
+
+@pytest.fixture(scope="module")
+def disk_mesh():
+    """A small disk-like mesh: rings of points around the origin."""
+    rings = [np.zeros((1, 2))]
+    for r, n in ((1.0, 8), (2.0, 16)):
+        theta = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        rings.append(np.column_stack([r * np.cos(theta), r * np.sin(theta)]))
+    return delaunay_mesh(np.vstack(rings))
+
+
+class TestBoundaryParameterization:
+    def test_loop_starts_at_min_id(self, disk_mesh):
+        loop, angles = boundary_parameterization(disk_mesh)
+        assert loop[0] == min(loop)
+        assert angles[0] == pytest.approx(0.0)
+
+    def test_uniform_mode_equal_spacing(self, disk_mesh):
+        loop, angles = boundary_parameterization(disk_mesh, mode="uniform")
+        gaps = np.diff(angles)
+        assert np.allclose(gaps, gaps[0])
+
+    def test_chord_mode_spacing_proportional(self, disk_mesh):
+        loop, angles = boundary_parameterization(disk_mesh, mode="chord")
+        # Outer ring is equally spaced, so chord == uniform here.
+        gaps = np.diff(angles)
+        assert np.allclose(gaps, gaps[0], atol=1e-9)
+
+    def test_angles_cover_circle_once(self, disk_mesh):
+        loop, angles = boundary_parameterization(disk_mesh)
+        assert angles.min() >= 0.0
+        assert angles.max() < 2 * np.pi
+        assert len(np.unique(np.round(angles, 12))) == len(angles)
+
+    def test_unknown_mode_raises(self, disk_mesh):
+        with pytest.raises(MappingError):
+            boundary_parameterization(disk_mesh, mode="mystery")
+
+    def test_circle_positions_unit_norm(self):
+        pos = circle_positions(np.linspace(0, 6, 17))
+        assert np.allclose(np.hypot(pos[:, 0], pos[:, 1]), 1.0)
+
+
+class TestSolvers:
+    def _setup(self, mesh):
+        loop, angles = boundary_parameterization(mesh)
+        return loop, circle_positions(angles)
+
+    def test_linear_boundary_pinned(self, disk_mesh):
+        loop, bpos = self._setup(disk_mesh)
+        out = solve_linear(disk_mesh, loop, bpos)
+        assert np.allclose(out[loop], bpos)
+
+    def test_linear_interior_is_neighbor_average(self, disk_mesh):
+        loop, bpos = self._setup(disk_mesh)
+        out = solve_linear(disk_mesh, loop, bpos)
+        boundary = set(loop.tolist())
+        for v in range(disk_mesh.vertex_count):
+            if v in boundary:
+                continue
+            nbrs = disk_mesh.neighbors(v)
+            assert np.allclose(out[v], out[nbrs].mean(axis=0), atol=1e-9)
+
+    def test_iterative_matches_linear(self, disk_mesh):
+        loop, bpos = self._setup(disk_mesh)
+        lin = solve_linear(disk_mesh, loop, bpos)
+        it, sweeps = solve_iterative(disk_mesh, loop, bpos, tol=1e-10)
+        assert sweeps > 0
+        assert np.allclose(lin, it, atol=1e-7)
+
+    def test_linear_minimises_energy(self, disk_mesh, rng):
+        loop, bpos = self._setup(disk_mesh)
+        out = solve_linear(disk_mesh, loop, bpos)
+        base = harmonic_energy(disk_mesh, out)
+        boundary = set(loop.tolist())
+        interior = [v for v in range(disk_mesh.vertex_count) if v not in boundary]
+        # Any perturbation of interior vertices must not lower the energy.
+        for _ in range(10):
+            perturbed = out.copy()
+            perturbed[interior] += rng.normal(0, 0.05, (len(interior), 2))
+            assert harmonic_energy(disk_mesh, perturbed) >= base - 1e-12
+
+    def test_result_inside_unit_disk(self, disk_mesh):
+        loop, bpos = self._setup(disk_mesh)
+        out = solve_linear(disk_mesh, loop, bpos)
+        assert np.hypot(out[:, 0], out[:, 1]).max() <= 1.0 + 1e-9
+
+    def test_duplicate_boundary_rejected(self, disk_mesh):
+        loop, bpos = self._setup(disk_mesh)
+        bad = np.concatenate([loop, loop[:1]])
+        with pytest.raises(MappingError):
+            solve_linear(disk_mesh, bad, np.vstack([bpos, bpos[:1]]))
+
+    def test_shape_mismatch_rejected(self, disk_mesh):
+        loop, bpos = self._setup(disk_mesh)
+        with pytest.raises(MappingError):
+            solve_linear(disk_mesh, loop, bpos[:-1])
+
+    def test_no_boundary_rejected(self, disk_mesh):
+        with pytest.raises(MappingError):
+            solve_linear(disk_mesh, np.zeros(0, dtype=int), np.zeros((0, 2)))
+
+    def test_iterative_nonconvergence_raises(self, disk_mesh):
+        loop, bpos = self._setup(disk_mesh)
+        with pytest.raises(MappingError):
+            solve_iterative(disk_mesh, loop, bpos, tol=1e-14, max_iterations=3)

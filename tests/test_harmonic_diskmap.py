@@ -1,0 +1,96 @@
+"""Tests for disk embeddings (Tutte validity, holes, rotation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.harmonic import compute_disk_map
+from repro.mesh import orientation_signs, triangulate_foi
+
+
+class TestDiskMapPlain:
+    def test_is_embedding(self, square_foi_mesh):
+        dm = compute_disk_map(square_foi_mesh.mesh)
+        assert dm.is_embedding()
+
+    def test_boundary_on_unit_circle(self, square_foi_mesh):
+        dm = compute_disk_map(square_foi_mesh.mesh)
+        loop = dm.filled.mesh.outer_boundary_loop
+        r = np.hypot(*dm.disk_positions[loop].T)
+        assert np.allclose(r, 1.0)
+
+    def test_interior_strictly_inside(self, square_foi_mesh):
+        dm = compute_disk_map(square_foi_mesh.mesh)
+        interior = dm.filled.mesh.interior_vertices
+        r = np.hypot(*dm.disk_positions[interior].T)
+        assert r.max() < 1.0
+
+    def test_max_radius(self, square_foi_mesh):
+        dm = compute_disk_map(square_foi_mesh.mesh)
+        assert dm.max_radius() == pytest.approx(1.0)
+
+    def test_unique_positions(self, square_foi_mesh):
+        dm = compute_disk_map(square_foi_mesh.mesh)
+        rounded = np.round(dm.disk_positions, 9)
+        assert len(np.unique(rounded, axis=0)) == len(rounded)
+
+    def test_solver_choice_equivalent(self, square_foi_mesh):
+        lin = compute_disk_map(square_foi_mesh.mesh, solver="linear")
+        it = compute_disk_map(square_foi_mesh.mesh, solver="iterative", tol=1e-9)
+        assert it.iterations > 0
+        assert np.allclose(lin.disk_positions, it.disk_positions, atol=1e-6)
+
+    def test_unknown_solver(self, square_foi_mesh):
+        with pytest.raises(MappingError):
+            compute_disk_map(square_foi_mesh.mesh, solver="quantum")
+
+
+class TestDiskMapWithHoles:
+    def test_holed_mesh_embeds(self, holed_foi_mesh):
+        dm = compute_disk_map(holed_foi_mesh.mesh)
+        assert dm.is_embedding()
+        assert len(dm.filled.virtual_vertices) == 1
+
+    def test_robot_positions_strip_virtual(self, holed_foi_mesh):
+        dm = compute_disk_map(holed_foi_mesh.mesh)
+        assert len(dm.robot_disk_positions) == holed_foi_mesh.mesh.vertex_count
+
+    def test_virtual_vertex_interior(self, holed_foi_mesh):
+        dm = compute_disk_map(holed_foi_mesh.mesh)
+        v = dm.filled.virtual_vertices[0]
+        assert np.hypot(*dm.disk_positions[v]) < 1.0
+
+
+class TestRotation:
+    def test_rotation_preserves_radii(self, square_foi_mesh):
+        dm = compute_disk_map(square_foi_mesh.mesh)
+        rotated = dm.rotated_positions(1.234)
+        assert np.allclose(
+            np.hypot(*rotated.T), np.hypot(*dm.disk_positions.T)
+        )
+
+    def test_zero_rotation_identity(self, square_foi_mesh):
+        dm = compute_disk_map(square_foi_mesh.mesh)
+        assert np.allclose(dm.rotated_positions(0.0), dm.disk_positions)
+
+    def test_rotation_keeps_embedding(self, square_foi_mesh):
+        dm = compute_disk_map(square_foi_mesh.mesh)
+        rotated_mesh = dm.filled.mesh.with_vertices(dm.rotated_positions(2.2))
+        assert np.all(orientation_signs(rotated_mesh) > 0)
+
+
+class TestScenarioMeshes:
+    def test_concave_scenario_embeds(self):
+        from repro.foi import m2_scenario3
+
+        fm = triangulate_foi(m2_scenario3(), target_points=350)
+        dm = compute_disk_map(fm.mesh)
+        assert dm.is_embedding()
+
+    def test_multi_hole_scenario_embeds(self):
+        from repro.foi import m2_scenario5
+
+        fm = triangulate_foi(m2_scenario5(), target_points=350)
+        dm = compute_disk_map(fm.mesh)
+        assert dm.is_embedding()
+        assert len(dm.filled.virtual_vertices) == len(fm.foi.holes)

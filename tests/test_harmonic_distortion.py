@@ -1,0 +1,82 @@
+"""Tests for the stretch/distortion analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.harmonic import edge_stretch, stretch_report
+
+
+SQUARE_EDGES = np.array([[0, 1], [1, 2], [2, 3], [3, 0]])
+SQUARE = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+
+
+class TestEdgeStretch:
+    def test_identity_map(self):
+        r = edge_stretch(SQUARE_EDGES, SQUARE, SQUARE)
+        assert np.allclose(r, 1.0)
+
+    def test_uniform_scaling(self):
+        r = edge_stretch(SQUARE_EDGES, SQUARE, 3.0 * SQUARE)
+        assert np.allclose(r, 3.0)
+
+    def test_anisotropic_scaling(self):
+        image = SQUARE * np.array([2.0, 0.5])
+        r = edge_stretch(SQUARE_EDGES, SQUARE, image)
+        assert sorted(np.round(r, 6).tolist()) == [0.5, 0.5, 2.0, 2.0]
+
+    def test_degenerate_source_edge_inf(self):
+        src = SQUARE.copy()
+        src[1] = src[0]
+        r = edge_stretch(SQUARE_EDGES, src, SQUARE)
+        assert np.isinf(r[0])
+
+    def test_count_mismatch(self):
+        with pytest.raises(MappingError):
+            edge_stretch(SQUARE_EDGES, SQUARE, SQUARE[:3])
+
+
+class TestStretchReport:
+    def test_summary_fields(self):
+        image = SQUARE * np.array([2.0, 1.0])
+        rep = stretch_report(SQUARE_EDGES, SQUARE, image, threshold=1.5)
+        assert rep.max_stretch == pytest.approx(2.0)
+        assert rep.median_stretch == pytest.approx(1.5)
+        assert rep.stretched_fraction == pytest.approx(0.5)
+
+    def test_breaking_edges(self):
+        image = SQUARE * 5.0
+        rep = stretch_report(SQUARE_EDGES, SQUARE, image)
+        lengths = np.ones(4)
+        # Image edges are 5 long; range 4 breaks them all.
+        assert rep.breaking_edges(lengths, comm_range=4.0).all()
+        assert not rep.breaking_edges(lengths, comm_range=6.0).any()
+
+    def test_all_degenerate_raises(self):
+        src = np.zeros((4, 2))
+        with pytest.raises(MappingError):
+            stretch_report(SQUARE_EDGES, src, SQUARE)
+
+    def test_harmonic_march_stretch_is_bounded(self, m1_small_swarm):
+        """The planner's march should stretch the median link only
+        mildly (the least-stretched-map property showing up end to end)."""
+        from repro.coverage import LloydConfig
+        from repro.foi import m2_scenario1
+        from repro.marching import MarchingConfig, MarchingPlanner
+        from repro.network import extract_triangulation
+
+        m2 = m2_scenario1().translated((2500.0, 0.0))
+        cfg = MarchingConfig(
+            foi_target_points=220,
+            lloyd=LloydConfig(grid_target=800, max_iterations=20),
+        )
+        result = MarchingPlanner(cfg).plan(m1_small_swarm, m2)
+        mesh, vmap = extract_triangulation(
+            m1_small_swarm.positions, m1_small_swarm.radio.comm_range
+        )
+        rep = stretch_report(
+            mesh.edges,
+            m1_small_swarm.positions[vmap],
+            result.march_targets[vmap],
+        )
+        assert rep.median_stretch < 1.5

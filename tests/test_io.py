@@ -1,0 +1,81 @@
+"""Round-trip tests for plan serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.coverage import LloydConfig
+from repro.errors import ReproError
+from repro.foi import FieldOfInterest, ellipse_polygon
+from repro.io import load_result_dict, result_to_dict, save_result, trajectory_from_dict
+from repro.marching import MarchingConfig, MarchingPlanner
+from repro.metrics import stable_link_ratio, total_moving_distance
+from repro.robots import RadioSpec, Swarm
+
+
+@pytest.fixture(scope="module")
+def planned():
+    radio = RadioSpec.from_comm_range(80.0)
+    m1 = FieldOfInterest(
+        ellipse_polygon(1.0, 1.0, samples=32).scaled_to_area(100_000.0), name="m1"
+    )
+    swarm = Swarm.deploy_lattice(m1, 36, radio)
+    m2 = FieldOfInterest(
+        ellipse_polygon(1.1, 0.9, samples=32).scaled_to_area(95_000.0), name="m2"
+    ).translated((900.0, 0.0))
+    cfg = MarchingConfig(
+        foi_target_points=180, lloyd=LloydConfig(grid_target=600, max_iterations=15)
+    )
+    return MarchingPlanner(cfg).plan(swarm, m2)
+
+
+class TestRoundTrip:
+    def test_dict_is_json_serialisable(self, planned):
+        doc = result_to_dict(planned)
+        text = json.dumps(doc)
+        assert json.loads(text)["method"] == "ours (a)"
+
+    def test_save_and_load(self, planned, tmp_path):
+        path = save_result(planned, tmp_path / "plan.json")
+        loaded = load_result_dict(path)
+        assert loaded["method"] == planned.method
+        assert np.allclose(loaded["start_positions"], planned.start_positions)
+        assert np.allclose(loaded["final_positions"], planned.final_positions)
+        assert loaded["repair"].rounds == planned.repair.rounds
+
+    def test_metrics_survive_round_trip(self, planned, tmp_path):
+        path = save_result(planned, tmp_path / "plan.json")
+        loaded = load_result_dict(path)
+        original_d = total_moving_distance(planned.trajectory)
+        loaded_d = total_moving_distance(loaded["trajectory"])
+        assert loaded_d == pytest.approx(original_d, rel=1e-9)
+        original_l = stable_link_ratio(planned.links, planned.trajectory)
+        loaded_l = stable_link_ratio(loaded["links"], loaded["trajectory"])
+        assert loaded_l == pytest.approx(original_l)
+
+    def test_trajectory_positions_identical(self, planned, tmp_path):
+        path = save_result(planned, tmp_path / "plan.json")
+        loaded = load_result_dict(path)
+        for t in (0.0, 0.33, 0.8, 1.0):
+            assert np.allclose(
+                loaded["trajectory"].positions_at(t),
+                planned.trajectory.positions_at(t),
+                atol=1e-12,
+            )
+
+    def test_version_checked(self, planned, tmp_path):
+        doc = result_to_dict(planned)
+        doc["format_version"] = 999
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ReproError):
+            load_result_dict(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_result_dict(tmp_path / "nope.json")
+
+    def test_malformed_trajectory(self):
+        with pytest.raises(ReproError):
+            trajectory_from_dict({"paths": [{"waypoints": [[0, 0]]}]})

@@ -1,0 +1,73 @@
+"""Tests for the multi-FoI mission planner."""
+
+import numpy as np
+import pytest
+
+from repro.coverage import LloydConfig, gaussian_hotspot_density
+from repro.errors import PlanningError
+from repro.foi import FieldOfInterest, ellipse_polygon
+from repro.marching import MarchingConfig, MissionPlanner
+from repro.robots import RadioSpec, Swarm
+
+FAST = MarchingConfig(
+    foi_target_points=180, lloyd=LloydConfig(grid_target=600, max_iterations=15)
+)
+
+
+def blob(rx, ry, area, offset, name):
+    return FieldOfInterest(
+        ellipse_polygon(rx, ry, samples=32).scaled_to_area(area), name=name
+    ).translated(offset)
+
+
+@pytest.fixture(scope="module")
+def mission_setup():
+    radio = RadioSpec.from_comm_range(80.0)
+    m1 = blob(1.0, 1.0, 100_000.0, (0.0, 0.0), "start")
+    swarm = Swarm.deploy_lattice(m1, 36, radio)
+    targets = [
+        blob(1.2, 0.8, 90_000.0, (900.0, 0.0), "leg1"),
+        blob(0.9, 1.1, 95_000.0, (1700.0, 300.0), "leg2"),
+    ]
+    return m1, swarm, targets
+
+
+class TestMissionPlanner:
+    def test_two_leg_mission(self, mission_setup):
+        m1, swarm, targets = mission_setup
+        report = MissionPlanner(FAST).run(swarm, targets, source_foi=m1)
+        assert len(report.legs) == 2
+        assert report.all_connected
+        assert report.total_distance == pytest.approx(
+            sum(leg.total_distance for leg in report.legs)
+        )
+        assert 0.0 < report.worst_stable_link_ratio <= 1.0
+        # The final swarm sits on the last target.
+        assert targets[-1].contains(report.final_swarm.positions).all()
+        assert report.final_swarm.is_connected()
+
+    def test_legs_chain_positions(self, mission_setup):
+        m1, swarm, targets = mission_setup
+        report = MissionPlanner(FAST).run(swarm, targets, source_foi=m1)
+        leg1, leg2 = report.legs
+        assert np.allclose(
+            leg2.result.start_positions, leg1.result.final_positions
+        )
+
+    def test_per_leg_densities(self, mission_setup):
+        m1, swarm, targets = mission_setup
+        hot = gaussian_hotspot_density(targets[0].centroid, sigma=80.0, peak=6.0)
+        report = MissionPlanner(FAST).run(
+            swarm, targets, source_foi=m1, densities=[hot, None]
+        )
+        assert len(report.legs) == 2
+
+    def test_empty_targets_rejected(self, mission_setup):
+        _, swarm, _ = mission_setup
+        with pytest.raises(PlanningError):
+            MissionPlanner(FAST).run(swarm, [])
+
+    def test_misaligned_densities_rejected(self, mission_setup):
+        m1, swarm, targets = mission_setup
+        with pytest.raises(PlanningError):
+            MissionPlanner(FAST).run(swarm, targets, densities=[None])

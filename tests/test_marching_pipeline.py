@@ -1,0 +1,64 @@
+"""Tests for the Fig. 2 pipeline runner and its stage artifacts."""
+
+import numpy as np
+import pytest
+
+from repro.coverage import LloydConfig
+from repro.foi import FieldOfInterest, ellipse_polygon
+from repro.marching import MarchingConfig, run_pipeline
+from repro.robots import RadioSpec, Swarm
+
+FAST = MarchingConfig(
+    foi_target_points=220, lloyd=LloydConfig(grid_target=800, max_iterations=25)
+)
+
+
+@pytest.fixture(scope="module")
+def stages():
+    radio = RadioSpec.from_comm_range(80.0)
+    m1 = FieldOfInterest(
+        ellipse_polygon(1.0, 1.0, samples=40).scaled_to_area(150_000.0), name="m1"
+    )
+    swarm = Swarm.deploy_lattice(m1, 49, radio)
+    m2 = FieldOfInterest(
+        ellipse_polygon(1.3, 0.8, samples=40).scaled_to_area(140_000.0), name="m2"
+    ).translated((1200.0, 0.0))
+    return run_pipeline(swarm, m2, config=FAST)
+
+
+class TestStages:
+    def test_panel_a_graph(self, stages):
+        assert stages.m1_graph.node_count == 49
+        assert stages.m1_graph.is_connected()
+
+    def test_panel_b_triangulation(self, stages):
+        assert stages.t_mesh.vertex_count == 49
+        assert stages.t_mesh.is_topological_disk()
+        assert len(stages.t_vertex_map) == 49
+
+    def test_panel_c_disk_map(self, stages):
+        assert stages.disk_map_t.is_embedding()
+        assert stages.disk_map_t.max_radius() == pytest.approx(1.0)
+
+    def test_panel_d_foi_mesh(self, stages):
+        assert stages.foi_mesh.mesh.is_connected()
+        assert stages.disk_map_m2.is_embedding()
+
+    def test_panels_e_f_positions(self, stages):
+        m2 = stages.foi_mesh.foi
+        r = stages.result
+        assert m2.contains(r.final_positions).all()
+        # March targets land inside or at worst on the target boundary.
+        near = m2.contains(r.march_targets)
+        assert near.mean() > 0.9
+
+    def test_preserved_mask_shape(self, stages):
+        mask = stages.preserved_link_mask()
+        assert mask.shape == (stages.result.links.link_count,)
+        assert mask.any()
+
+    def test_new_links_disjoint_from_initial(self, stages):
+        new = stages.new_links()
+        initial = {tuple(e) for e in stages.result.links.links.tolist()}
+        for e in new.tolist():
+            assert tuple(e) not in initial

@@ -1,0 +1,154 @@
+"""Integration tests for the marching planner (the paper's pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.coverage import LloydConfig
+from repro.errors import PlanningError
+from repro.foi import FieldOfInterest, ellipse_polygon, m2_scenario3
+from repro.marching import MarchingConfig, MarchingPlanner
+from repro.metrics import connectivity_report, stable_link_ratio
+from repro.robots import RadioSpec, Swarm
+
+FAST = MarchingConfig(
+    foi_target_points=250, lloyd=LloydConfig(grid_target=900, max_iterations=30)
+)
+
+
+@pytest.fixture(scope="module")
+def planner_setup():
+    radio = RadioSpec.from_comm_range(80.0)
+    m1 = FieldOfInterest(
+        ellipse_polygon(1.1, 0.9, samples=48).scaled_to_area(200_000.0), name="m1"
+    )
+    swarm = Swarm.deploy_lattice(m1, 64, radio)
+    m2 = FieldOfInterest(
+        ellipse_polygon(0.8, 1.2, samples=48).scaled_to_area(180_000.0), name="m2"
+    ).translated((1500.0, 100.0))
+    return swarm, m2
+
+
+class TestPlanBasics:
+    def test_result_structure(self, planner_setup):
+        swarm, m2 = planner_setup
+        result = MarchingPlanner(FAST).plan(swarm, m2)
+        n = swarm.size
+        assert result.start_positions.shape == (n, 2)
+        assert result.march_targets.shape == (n, 2)
+        assert result.final_positions.shape == (n, 2)
+        assert result.method == "ours (a)"
+        assert 0 <= result.rotation_angle < 2 * np.pi
+        assert result.rotation_evaluations > 0
+        assert len(result.boundary_anchors) >= 3
+
+    def test_final_positions_inside_target(self, planner_setup):
+        swarm, m2 = planner_setup
+        result = MarchingPlanner(FAST).plan(swarm, m2)
+        assert m2.contains(result.final_positions).all()
+
+    def test_trajectory_consistent(self, planner_setup):
+        swarm, m2 = planner_setup
+        result = MarchingPlanner(FAST).plan(swarm, m2)
+        assert np.allclose(result.trajectory.start_positions, swarm.positions)
+        assert np.allclose(
+            result.trajectory.end_positions, result.final_positions, atol=1e-6
+        )
+
+    def test_global_connectivity_guaranteed(self, planner_setup):
+        swarm, m2 = planner_setup
+        result = MarchingPlanner(FAST).plan(swarm, m2)
+        rep = connectivity_report(
+            result.trajectory, swarm.radio.comm_range, result.boundary_anchors
+        )
+        assert rep.connected
+
+    def test_high_stable_link_ratio(self, planner_setup):
+        swarm, m2 = planner_setup
+        result = MarchingPlanner(FAST).plan(swarm, m2)
+        assert stable_link_ratio(result.links, result.trajectory) > 0.7
+
+    def test_distance_not_absurd(self, planner_setup):
+        swarm, m2 = planner_setup
+        result = MarchingPlanner(FAST).plan(swarm, m2)
+        # Lower bound: everyone travels at least most of the separation.
+        lower = swarm.size * 1000.0
+        assert lower < result.total_distance < 4.0 * swarm.size * 1500.0
+
+
+class TestMethodB:
+    def test_method_b_shorter_or_equal_distance(self, planner_setup):
+        swarm, m2 = planner_setup
+        res_a = MarchingPlanner(FAST).plan(swarm, m2)
+        cfg_b = MarchingConfig(
+            method="b",
+            foi_target_points=250,
+            lloyd=LloydConfig(grid_target=900, max_iterations=30),
+        )
+        res_b = MarchingPlanner(cfg_b).plan(swarm, m2)
+        # Method (b) optimises D; allow a small tolerance since the
+        # adjustment phase differs.
+        assert res_b.total_distance <= res_a.total_distance * 1.05
+        assert res_b.method == "ours (b)"
+
+
+class TestHoledTarget:
+    def test_plan_into_flower_pond(self, radio):
+        from repro.foi import m1_base
+
+        swarm = Swarm.deploy_lattice(m1_base(), 64, radio)
+        m2 = m2_scenario3().translated((2500.0, 0.0))
+        result = MarchingPlanner(FAST).plan(swarm, m2)
+        assert m2.contains(result.final_positions).all()
+        rep = connectivity_report(
+            result.trajectory, radio.comm_range, result.boundary_anchors
+        )
+        assert rep.connected
+
+    def test_no_robot_parked_in_hole(self, radio):
+        from repro.foi import m1_base
+
+        swarm = Swarm.deploy_lattice(m1_base(), 64, radio)
+        m2 = m2_scenario3().translated((2500.0, 0.0))
+        result = MarchingPlanner(FAST).plan(swarm, m2)
+        hole = m2.holes[0]
+        assert not hole.contains(result.final_positions, include_boundary=False).any()
+
+
+class TestConfigValidation:
+    def test_bad_method(self):
+        with pytest.raises(PlanningError):
+            MarchingConfig(method="c")
+
+    def test_bad_depth(self):
+        with pytest.raises(PlanningError):
+            MarchingConfig(search_depth=-1)
+
+    def test_bad_time(self):
+        with pytest.raises(PlanningError):
+            MarchingConfig(transition_time=0.0)
+
+    def test_disconnected_swarm_rejected(self, radio):
+        positions = np.array([[0.0, 0.0], [10_000.0, 0.0], [0.0, 10_000.0], [1.0, 1.0]])
+        swarm = Swarm(positions, radio)
+        m2 = FieldOfInterest([(0, 0), (100, 0), (100, 100), (0, 100)])
+        with pytest.raises(PlanningError):
+            MarchingPlanner(FAST).plan(swarm, m2)
+
+
+class TestArtifacts:
+    def test_artifacts_kept_on_request(self, planner_setup):
+        swarm, m2 = planner_setup
+        cfg = MarchingConfig(
+            foi_target_points=250,
+            lloyd=LloydConfig(grid_target=900, max_iterations=30),
+            keep_artifacts=True,
+        )
+        result = MarchingPlanner(cfg).plan(swarm, m2)
+        assert {"t_mesh", "disk_map_t", "foi_mesh", "disk_map_m2"} <= set(
+            result.artifacts
+        )
+
+    def test_artifacts_empty_by_default(self, planner_setup):
+        swarm, m2 = planner_setup
+        result = MarchingPlanner(FAST).plan(swarm, m2)
+        assert result.artifacts == {}

@@ -1,0 +1,94 @@
+"""Tests for Delaunay builders and FoI triangulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.foi import m2_scenario3, m2_scenario5
+from repro.mesh import delaunay_mesh, delaunay_with_max_edge, triangulate_foi
+
+
+class TestDelaunayMesh:
+    def test_too_few_points(self):
+        with pytest.raises(MeshError):
+            delaunay_mesh([[0, 0], [1, 1]])
+
+    def test_collinear_fails(self):
+        with pytest.raises(MeshError):
+            delaunay_mesh([[0, 0], [1, 0], [2, 0], [3, 0]])
+
+    def test_grid_triangulation_covers_area(self, rng):
+        pts = rng.uniform(0, 10, (60, 2))
+        mesh = delaunay_mesh(pts)
+        # Delaunay of a point set triangulates its convex hull.
+        from scipy.spatial import ConvexHull
+
+        assert mesh.triangle_areas().sum() == pytest.approx(
+            ConvexHull(pts).volume, rel=1e-9
+        )
+
+    def test_all_points_used(self, rng):
+        pts = rng.uniform(0, 10, (40, 2))
+        mesh = delaunay_mesh(pts)
+        assert set(np.unique(mesh.triangles)) == set(range(40))
+
+
+class TestDelaunayMaxEdge:
+    def test_long_edges_removed(self):
+        # Two clusters far apart: no triangle may span the gap.
+        left = np.array([[0, 0], [1, 0], [0.5, 1], [1.5, 1]])
+        right = left + [100.0, 0.0]
+        mesh, vmap = delaunay_with_max_edge(np.vstack([left, right]), max_edge=3.0)
+        assert mesh.edge_lengths().max() <= 3.0
+        # Only one cluster survives (largest component).
+        assert mesh.vertex_count == 4
+
+    def test_impossible_bound_raises(self):
+        pts = np.array([[0, 0], [10, 0], [0, 10], [10, 10]])
+        with pytest.raises(MeshError):
+            delaunay_with_max_edge(pts, max_edge=1.0)
+
+    def test_vertex_map_identity_when_nothing_dropped(self, rng):
+        pts = rng.uniform(0, 5, (30, 2))
+        mesh, vmap = delaunay_with_max_edge(pts, max_edge=100.0)
+        assert np.array_equal(vmap, np.arange(30))
+        assert np.allclose(mesh.vertices, pts)
+
+
+class TestTriangulateFoi:
+    def test_plain_foi(self, square_foi):
+        fm = triangulate_foi(square_foi, target_points=200)
+        assert fm.mesh.is_topological_disk()
+        assert fm.mesh.triangle_areas().sum() == pytest.approx(
+            square_foi.area, rel=0.05
+        )
+
+    def test_holed_foi_boundary_loops(self, holed_foi):
+        fm = triangulate_foi(holed_foi, target_points=250)
+        assert len(fm.mesh.boundary_loops) == 2
+        assert fm.mesh.is_connected()
+
+    def test_triangles_inside_free_region(self, holed_foi):
+        fm = triangulate_foi(holed_foi, target_points=250)
+        a = fm.mesh.vertices[fm.mesh.triangles[:, 0]]
+        b = fm.mesh.vertices[fm.mesh.triangles[:, 1]]
+        c = fm.mesh.vertices[fm.mesh.triangles[:, 2]]
+        centroids = (a + b + c) / 3.0
+        assert holed_foi.contains(centroids).all()
+
+    def test_multi_hole_scenario(self):
+        foi = m2_scenario5()
+        fm = triangulate_foi(foi, target_points=450)
+        assert len(fm.mesh.boundary_loops) == 1 + len(foi.holes)
+
+    def test_concave_hole_scenario(self):
+        foi = m2_scenario3()
+        fm = triangulate_foi(foi, target_points=450)
+        assert len(fm.mesh.boundary_loops) == 2
+        assert fm.mesh.triangle_areas().sum() == pytest.approx(foi.area, rel=0.08)
+
+    def test_vertex_map_consistent(self, square_foi):
+        fm = triangulate_foi(square_foi, target_points=200)
+        assert np.allclose(
+            fm.mesh.vertices, fm.point_set.points[fm.vertex_map]
+        )

@@ -1,0 +1,121 @@
+"""Tests for mesh quality measures and virtual-vertex hole filling."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    TriMesh,
+    fill_holes,
+    min_angle,
+    orientation_signs,
+    quality_report,
+    triangle_angles,
+)
+
+
+def square_two_triangles():
+    return TriMesh([(0, 0), (1, 0), (1, 1), (0, 1)], [(0, 1, 2), (0, 2, 3)])
+
+
+def annulus_mesh():
+    outer = [(0, 0), (4, 0), (4, 4), (0, 4)]
+    inner = [(1, 1), (3, 1), (3, 3), (1, 3)]
+    tris = [
+        (0, 1, 4), (1, 5, 4), (1, 2, 5), (2, 6, 5),
+        (2, 3, 6), (3, 7, 6), (3, 0, 7), (0, 4, 7),
+    ]
+    return TriMesh(outer + inner, tris)
+
+
+class TestQuality:
+    def test_angles_sum_to_pi(self):
+        mesh = square_two_triangles()
+        angles = triangle_angles(mesh)
+        assert np.allclose(angles.sum(axis=1), np.pi)
+
+    def test_right_isoceles_angles(self):
+        mesh = TriMesh([(0, 0), (1, 0), (0, 1)], [(0, 1, 2)])
+        angles = np.sort(triangle_angles(mesh)[0])
+        assert np.allclose(angles, [np.pi / 4, np.pi / 4, np.pi / 2])
+
+    def test_min_angle(self):
+        mesh = square_two_triangles()
+        assert min_angle(mesh) == pytest.approx(np.pi / 4)
+
+    def test_orientation_signs_all_positive(self):
+        mesh = square_two_triangles()
+        assert np.all(orientation_signs(mesh) > 0)
+
+    def test_orientation_detects_fold(self):
+        mesh = square_two_triangles()
+        # Fold vertex 3 across the diagonal: triangle (0,2,3) flips.
+        folded = mesh.with_vertices(
+            np.array([(0, 0), (1, 0), (1, 1), (0.9, 0.2)])
+        )
+        # with_vertices re-normalises orientation, so test on a raw copy.
+        verts = np.array([(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.9, 0.2)])
+        signs_area = []
+        for tri in mesh.triangles:
+            a, b, c = verts[tri]
+            signs_area.append(
+                np.sign((b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0]))
+            )
+        assert -1 in signs_area
+
+    def test_quality_report_fields(self):
+        rep = quality_report(square_two_triangles())
+        assert rep.triangle_count == 2
+        assert rep.total_area == pytest.approx(1.0)
+        assert rep.min_edge == pytest.approx(1.0)
+        assert rep.max_edge == pytest.approx(np.sqrt(2))
+        assert "triangles" in str(rep)
+
+
+class TestFillHoles:
+    def test_no_holes_is_identity(self):
+        mesh = square_two_triangles()
+        filled = fill_holes(mesh)
+        assert filled.mesh is mesh
+        assert filled.virtual_vertices == ()
+
+    def test_annulus_filled_to_disk(self):
+        mesh = annulus_mesh()
+        filled = fill_holes(mesh)
+        assert filled.mesh.is_topological_disk()
+        assert len(filled.virtual_vertices) == 1
+        assert filled.original_vertex_count == 8
+        assert filled.mesh.vertex_count == 9
+
+    def test_virtual_vertex_at_hole_centroid(self):
+        mesh = annulus_mesh()
+        filled = fill_holes(mesh)
+        v = filled.mesh.vertices[filled.virtual_vertices[0]]
+        assert np.allclose(v, [2.0, 2.0])
+
+    def test_fan_covers_hole_area(self):
+        mesh = annulus_mesh()
+        filled = fill_holes(mesh)
+        # Ring area 16 - 4 = 12 plus filled hole area 4 = 16.
+        assert filled.mesh.triangle_areas().sum() == pytest.approx(16.0)
+
+    def test_is_virtual_mask(self):
+        filled = fill_holes(annulus_mesh())
+        mask = filled.is_virtual
+        assert mask.sum() == 1
+        assert mask[8]
+
+    def test_strip_virtual(self):
+        filled = fill_holes(annulus_mesh())
+        data = np.arange(9, dtype=float)[:, None] * np.ones((1, 2))
+        stripped = filled.strip_virtual(data)
+        assert stripped.shape == (8, 2)
+
+    def test_original_vertices_unchanged(self):
+        mesh = annulus_mesh()
+        filled = fill_holes(mesh)
+        assert np.allclose(filled.mesh.vertices[:8], mesh.vertices)
+
+    def test_foi_mesh_fill(self, holed_foi_mesh):
+        filled = fill_holes(holed_foi_mesh.mesh)
+        assert filled.mesh.is_topological_disk()
+        assert len(filled.virtual_vertices) == 1

@@ -1,0 +1,71 @@
+"""Tests for pinch removal and fan analysis."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import TriMesh, remove_pinches, vertex_fans
+from repro.network import extract_triangulation
+
+
+def pinched_mesh():
+    """Two triangle fans joined only at vertex 2."""
+    verts = [(0, 0), (1, 0), (0.5, 0.5), (0, 1), (1, 1), (2, 0.5), (1.8, 1.2)]
+    tris = [(0, 1, 2), (2, 3, 4), (2, 4, 6)]
+    return TriMesh(verts, tris)
+
+
+class TestVertexFans:
+    def test_manifold_vertex_one_fan(self):
+        mesh = TriMesh([(0, 0), (1, 0), (1, 1), (0, 1)], [(0, 1, 2), (0, 2, 3)])
+        assert len(vertex_fans(mesh, 0)) == 1
+        assert len(vertex_fans(mesh, 1)) == 1
+
+    def test_pinched_vertex_two_fans(self):
+        mesh = pinched_mesh()
+        fans = vertex_fans(mesh, 2)
+        assert len(fans) == 2
+        assert len(fans[0]) == 2  # largest first
+
+    def test_isolated_vertex_no_fans(self):
+        mesh = TriMesh([(0, 0), (1, 0), (0, 1), (5, 5)], [(0, 1, 2)])
+        assert vertex_fans(mesh, 3) == []
+
+
+class TestRemovePinches:
+    def test_manifold_mesh_untouched(self):
+        mesh = TriMesh([(0, 0), (1, 0), (1, 1), (0, 1)], [(0, 1, 2), (0, 2, 3)])
+        repaired, vmap = remove_pinches(mesh)
+        assert repaired.triangle_count == 2
+        assert np.array_equal(vmap, np.arange(4))
+
+    def test_pinch_resolved(self):
+        mesh = pinched_mesh()
+        with pytest.raises(Exception):
+            _ = mesh.boundary_loops  # confirms the fixture is pinched
+        repaired, vmap = remove_pinches(mesh)
+        assert len(repaired.boundary_loops) >= 1  # manifold now
+        # The larger fan (2 triangles) survives.
+        assert repaired.triangle_count == 2
+        assert 0 not in vmap or repaired.triangle_count == 2
+
+    def test_repaired_mesh_is_disk(self):
+        repaired, _ = remove_pinches(pinched_mesh())
+        assert repaired.is_topological_disk()
+
+    def test_extraction_handles_midmarch_swarms(self, rng):
+        """Randomly stretched configurations (mid-march snapshots) must
+        always yield a manifold triangulation."""
+        for _ in range(10):
+            n = 40
+            base = np.column_stack([
+                np.linspace(0, 30, n), rng.normal(0, 2.0, n)
+            ])
+            jitter = rng.normal(0, 1.0, (n, 2))
+            pts = base + jitter
+            try:
+                mesh, vmap = extract_triangulation(pts, comm_range=4.0)
+            except Exception:
+                continue  # too sparse: acceptable, just not pinched
+            assert len(mesh.boundary_loops) >= 1
+            loops_ok = mesh.outer_boundary_loop  # no MeshError
+            assert len(loops_ok) >= 3

@@ -1,0 +1,110 @@
+"""Grab-bag behavioural tests for small public surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaselinePlan
+from repro.errors import GeometryError
+from repro.experiments import format_table
+from repro.foi import grid_foi
+from repro.geometry import Polygon
+from repro.marching import RepairInfo
+from repro.mesh import quality_report, triangulate_foi
+from repro.robots import RadioSpec, straight_transition
+from repro.viz import SvgCanvas
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert out.splitlines()[0].startswith("a")
+        assert len(out.splitlines()) == 2
+
+    def test_wide_cells_expand_columns(self):
+        out = format_table(["x"], [["something long"]])
+        header, rule, row = out.splitlines()
+        assert len(header) == len(rule) == len(row)
+
+    def test_mixed_types(self):
+        out = format_table(["k", "v"], [["a", 1], ["b", 2.5]])
+        assert "2.5" in out
+
+
+class TestRepairInfo:
+    def test_escort_count(self):
+        info = RepairInfo(
+            escorted=(3, 5), references={3: 1, 5: 2}, rounds=2, isolated_before=2
+        )
+        assert info.escort_count == 2
+
+    def test_empty(self):
+        info = RepairInfo(escorted=(), references={}, rounds=1, isolated_before=0)
+        assert info.escort_count == 0
+
+
+class TestBaselinePlanType:
+    def test_total_distance_property(self):
+        traj = straight_transition([[0, 0]], [[3, 4]])
+        plan = BaselinePlan(
+            name="x",
+            assignment=np.array([0]),
+            final_positions=np.array([[3.0, 4.0]]),
+            trajectory=traj,
+        )
+        assert plan.total_distance == pytest.approx(5.0)
+
+
+class TestQualityReportStr:
+    def test_str_contains_stats(self, square_foi):
+        fm = triangulate_foi(square_foi, target_points=120)
+        rep = quality_report(fm.mesh)
+        text = str(rep)
+        assert "triangles" in text
+        assert "area" in text
+
+
+class TestRadioSpecProperties:
+    def test_lattice_spacing_equals_comm_range_at_tight_spec(self):
+        spec = RadioSpec.from_comm_range(100.0)
+        assert spec.lattice_spacing == pytest.approx(100.0)
+
+    def test_slack_spec_smaller_spacing(self):
+        spec = RadioSpec(comm_range=100.0, sensing_range=20.0)
+        assert spec.lattice_spacing == pytest.approx(20.0 * np.sqrt(3.0))
+        assert spec.lattice_spacing < spec.comm_range
+
+
+class TestFoiPointSetInterior:
+    def test_interior_complement(self, square_foi):
+        ps = grid_foi(square_foi, target_points=120)
+        interior = set(ps.interior.tolist())
+        boundary = set(ps.outer_boundary.tolist())
+        assert interior.isdisjoint(boundary)
+        assert len(interior) + len(boundary) == len(ps.points)
+
+
+class TestSvgCanvasEdges:
+    def test_margin_layout(self):
+        canvas = SvgCanvas((0, 0, 10, 5), width=220, margin=10)
+        assert canvas.height == int(np.ceil(5 * (220 - 20) / 10)) + 20
+
+    def test_to_screen_corners(self):
+        canvas = SvgCanvas((0, 0, 10, 10), width=120, margin=10)
+        x0, y0 = canvas.to_screen([0, 0])
+        x1, y1 = canvas.to_screen([10, 10])
+        assert (x0, y0) == (10, 110)
+        assert (x1, y1) == (110, 10)
+
+
+class TestPolygonEdges:
+    def test_edges_shape_and_closure(self, unit_square):
+        e = unit_square.edges()
+        assert e.shape == (4, 2, 2)
+        assert np.allclose(e[-1, 1], unit_square.vertices[0])
+
+    def test_repr_contains_area(self):
+        poly = Polygon([(0, 0), (2, 0), (0, 2)])
+        assert "area" in repr(poly)
+
+    def test_bounds(self, unit_square):
+        assert unit_square.bounds == (0.0, 0.0, 1.0, 1.0)

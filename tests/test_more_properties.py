@@ -1,0 +1,94 @@
+"""Second property-test wave: clipping, Voronoi, energy-churn theorems."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.coverage import cell_area, voronoi_cells
+from repro.geometry import Polygon, clip_convex, signed_area
+from repro.metrics import link_churn
+from repro.robots import straight_transition
+
+coord = st.floats(-20, 20, allow_nan=False, allow_infinity=False)
+point = st.tuples(coord, coord)
+
+WINDOW = [(-25.0, -25.0), (25.0, -25.0), (25.0, 25.0), (-25.0, 25.0)]
+
+
+class TestClippingProperties:
+    @given(st.lists(point, min_size=3, max_size=8))
+    @settings(max_examples=100)
+    def test_intersection_area_bounded(self, pts):
+        try:
+            subject = Polygon(pts)
+        except Exception:
+            assume(False)
+        assume(subject.is_simple())
+        out = clip_convex(subject.vertices, WINDOW)
+        area = abs(signed_area(out)) if len(out) >= 3 else 0.0
+        assert area <= subject.area + 1e-6
+        assert area <= abs(signed_area(WINDOW)) + 1e-6
+
+    @given(st.lists(point, min_size=3, max_size=8))
+    @settings(max_examples=100)
+    def test_subject_inside_window_unchanged(self, pts):
+        try:
+            subject = Polygon(pts)
+        except Exception:
+            assume(False)
+        assume(subject.is_simple())
+        # WINDOW spans [-25, 25]^2 and points are drawn from [-20, 20].
+        out = clip_convex(subject.vertices, WINDOW)
+        assert abs(signed_area(out)) == pytest.approx(subject.area, rel=1e-9)
+
+
+class TestVoronoiProperties:
+    @given(st.integers(2, 12), st.integers(0, 100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        sites = rng.uniform(-20, 20, (n, 2))
+        assume(len(np.unique(np.round(sites, 6), axis=0)) == n)
+        cells = voronoi_cells(sites, WINDOW)
+        total = sum(cell_area(c) for c in cells)
+        assert total == pytest.approx(abs(signed_area(WINDOW)), rel=1e-6)
+
+    @given(st.integers(2, 10), st.integers(0, 100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_cells_disjoint_interiors(self, n, seed):
+        rng = np.random.default_rng(seed)
+        sites = rng.uniform(-20, 20, (n, 2))
+        assume(len(np.unique(np.round(sites, 6), axis=0)) == n)
+        cells = voronoi_cells(sites, WINDOW)
+        # Each cell's centroid is closest to its own site - combined
+        # with the partition property this pins disjoint interiors.
+        for i, cell in enumerate(cells):
+            if len(cell) < 3:
+                continue
+            c = cell.mean(axis=0)
+            d = np.hypot(*(sites - c).T)
+            assert int(np.argmin(d)) == i
+
+
+class TestChurnTheorems:
+    @given(st.integers(2, 10), st.integers(0, 100_000))
+    @settings(max_examples=80, deadline=None)
+    def test_pairing_events_dominate_required(self, n, seed):
+        """Every 'new' final link needed at least one pairing event."""
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 10, (n, 2))
+        target = pos + rng.normal(0, 3, (n, 2))
+        traj = straight_transition(pos, target)
+        report = link_churn(traj, 3.0, resolution=16)
+        assert report.pairing_events >= report.new_pairings_required
+
+    @given(st.integers(2, 10), st.integers(0, 100_000))
+    @settings(max_examples=80, deadline=None)
+    def test_stable_bounded_by_endpoints(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 10, (n, 2))
+        target = pos + rng.normal(0, 2, (n, 2))
+        traj = straight_transition(pos, target)
+        report = link_churn(traj, 3.0, resolution=16)
+        assert report.stable_links <= min(report.initial_links, report.final_links)
+        assert report.new_pairings_required >= 0

@@ -1,0 +1,100 @@
+"""Tests for triangulation extraction from connectivity graphs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeshError
+from repro.network import (
+    UnitDiskGraph,
+    edge_shared_neighbor_counts,
+    extract_triangulation,
+    extract_triangulation_localized,
+)
+from repro.geometry import segments_properly_cross
+
+
+def lattice_positions(rows=5, cols=6, spacing=1.0):
+    pts = []
+    for r in range(rows):
+        offset = 0.0 if r % 2 == 0 else spacing / 2
+        for c in range(cols):
+            pts.append((c * spacing + offset, r * spacing * np.sqrt(3) / 2))
+    return np.array(pts)
+
+
+class TestCentralizedExtraction:
+    def test_lattice_full_coverage(self):
+        pts = lattice_positions()
+        mesh, vmap = extract_triangulation(pts, comm_range=1.1)
+        assert len(vmap) == len(pts)
+        assert mesh.is_topological_disk()
+
+    def test_edges_within_range(self):
+        pts = lattice_positions()
+        mesh, _ = extract_triangulation(pts, comm_range=1.1)
+        assert mesh.edge_lengths().max() <= 1.1
+
+    def test_planarity(self):
+        pts = lattice_positions()
+        mesh, _ = extract_triangulation(pts, comm_range=1.1)
+        edges = mesh.edges
+        v = mesh.vertices
+        for i in range(len(edges)):
+            for j in range(i + 1, len(edges)):
+                a, b = edges[i]
+                c, d = edges[j]
+                assert not segments_properly_cross(v[a], v[b], v[c], v[d])
+
+    def test_swarm_deployment(self, m1_small_swarm):
+        mesh, vmap = extract_triangulation(
+            m1_small_swarm.positions, m1_small_swarm.radio.comm_range
+        )
+        assert len(vmap) == m1_small_swarm.size
+        assert len(mesh.boundary_loops) == 1
+
+    def test_sparse_raises(self):
+        pts = np.array([[0, 0], [10, 0], [0, 10], [10, 10]], dtype=float)
+        with pytest.raises(MeshError):
+            extract_triangulation(pts, comm_range=1.0)
+
+
+class TestLocalizedExtraction:
+    def test_matches_centralized_on_lattice(self):
+        pts = lattice_positions()
+        central, _ = extract_triangulation(pts, comm_range=1.1)
+        local, _ = extract_triangulation_localized(pts, comm_range=1.1)
+        central_tris = {tuple(sorted(t)) for t in central.triangles.tolist()}
+        local_tris = {tuple(sorted(t)) for t in local.triangles.tolist()}
+        assert local_tris == central_tris
+
+    def test_matches_on_swarm(self, m1_small_swarm):
+        pts = m1_small_swarm.positions
+        rc = m1_small_swarm.radio.comm_range
+        central, _ = extract_triangulation(pts, rc)
+        local, _ = extract_triangulation_localized(pts, rc)
+        central_tris = {tuple(sorted(t)) for t in central.triangles.tolist()}
+        local_tris = {tuple(sorted(t)) for t in local.triangles.tolist()}
+        # The localized rule is conservative: never invents triangles.
+        assert local_tris <= central_tris
+        # And keeps the overwhelming majority on dense deployments.
+        assert len(local_tris) >= 0.9 * len(central_tris)
+
+    def test_edges_are_links(self):
+        pts = lattice_positions()
+        mesh, _ = extract_triangulation_localized(pts, comm_range=1.1)
+        assert mesh.edge_lengths().max() <= 1.1
+
+
+class TestEdgeWeights:
+    def test_lattice_interior_edges_two_triangles(self):
+        pts = lattice_positions()
+        graph = UnitDiskGraph(pts, 1.1)
+        counts = edge_shared_neighbor_counts(graph)
+        assert set(counts.values()) <= {1, 2}
+        assert max(counts.values()) == 2
+
+    def test_counts_cover_all_links(self):
+        pts = lattice_positions()
+        graph = UnitDiskGraph(pts, 1.1)
+        counts = edge_shared_neighbor_counts(graph)
+        assert len(counts) == len(graph.edges)

@@ -1,0 +1,128 @@
+"""Tests for unit-disk graphs and link bookkeeping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.network import LinkTable, UnitDiskGraph, links_alive, udg_edges
+
+LINE = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [5.0, 0.0]])
+
+
+class TestUdgEdges:
+    def test_chain(self):
+        e = udg_edges(LINE, 1.5)
+        assert e.tolist() == [[0, 1], [1, 2]]
+
+    def test_no_edges(self):
+        e = udg_edges(LINE, 0.5)
+        assert len(e) == 0
+
+    def test_complete(self):
+        e = udg_edges(LINE, 10.0)
+        assert len(e) == 6
+
+    def test_single_node(self):
+        assert len(udg_edges([[0.0, 0.0]], 1.0)) == 0
+
+    def test_bad_range(self):
+        with pytest.raises(GeometryError):
+            udg_edges(LINE, 0.0)
+
+    def test_boundary_inclusive(self):
+        e = udg_edges([[0, 0], [1, 0]], 1.0)
+        assert len(e) == 1
+
+
+class TestUnitDiskGraph:
+    def test_neighbors(self):
+        g = UnitDiskGraph(LINE, 1.5)
+        assert g.neighbors(1) == [0, 2]
+        assert g.neighbors(3) == []
+        assert g.degree(0) == 1
+
+    def test_has_edge(self):
+        g = UnitDiskGraph(LINE, 1.5)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 3)
+
+    def test_components(self):
+        g = UnitDiskGraph(LINE, 1.5)
+        comps = g.components
+        assert comps[0] == [0, 1, 2]
+        assert comps[1] == [3]
+        assert not g.is_connected()
+
+    def test_connected(self):
+        g = UnitDiskGraph(LINE[:3], 1.5)
+        assert g.is_connected()
+
+    def test_single_node_connected(self):
+        assert UnitDiskGraph([[0.0, 0.0]], 1.0).is_connected()
+
+    def test_nodes_connected_to(self):
+        g = UnitDiskGraph(LINE, 1.5)
+        mask = g.nodes_connected_to([0])
+        assert mask.tolist() == [True, True, True, False]
+
+    def test_anchor_out_of_range(self):
+        g = UnitDiskGraph(LINE, 1.5)
+        with pytest.raises(GeometryError):
+            g.nodes_connected_to([99])
+
+    @given(st.integers(2, 12), st.floats(0.5, 3.0))
+    @settings(max_examples=50)
+    def test_edge_symmetry_property(self, n, rc):
+        rng = np.random.default_rng(n)
+        pts = rng.uniform(0, 5, (n, 2))
+        g = UnitDiskGraph(pts, rc)
+        d = np.hypot(*(pts[:, None] - pts[None, :]).T)
+        for i, j in g.edges:
+            assert d[i, j] <= rc + 1e-12
+        # Every in-range pair is present.
+        expected = sum(
+            1 for i in range(n) for j in range(i + 1, n) if d[i, j] <= rc
+        )
+        assert len(g.edges) == expected
+
+
+class TestLinkTable:
+    def test_from_positions(self):
+        table = LinkTable.from_positions(LINE, 1.5)
+        assert table.link_count == 2
+
+    def test_alive_mask_after_move(self):
+        table = LinkTable.from_positions(LINE, 1.5)
+        moved = LINE + np.array([[0, 0], [0, 2.0], [0, 0], [0, 0]])
+        mask = table.alive_mask(moved)
+        assert mask.tolist() == [False, False]  # robot 1 moved away from both
+
+    def test_surviving_fraction(self):
+        table = LinkTable.from_positions(LINE, 1.5)
+        assert table.surviving_fraction(LINE) == 1.0
+
+    def test_empty_links_fraction_one(self):
+        table = LinkTable.from_positions(LINE, 0.5)
+        assert table.surviving_fraction(LINE) == 1.0
+
+    def test_stable_mask_over_snapshots(self):
+        table = LinkTable.from_positions(LINE, 1.5)
+        mid = LINE + np.array([[0, 0], [0, 5.0], [0, 0], [0, 0]])
+        snaps = [LINE, mid, LINE]  # link breaks mid-way then returns
+        stable = table.stable_mask_over(snaps)
+        assert stable.tolist() == [False, False]
+
+    def test_stable_ratio_definition(self):
+        table = LinkTable.from_positions(LINE, 1.5)
+        mid = LINE + np.array([[0, 0], [0, 0], [0, 5.0], [0, 0]])
+        # Only link (1,2) breaks; (0,1) stays.
+        ratio = table.stable_link_ratio_over([LINE, mid])
+        assert ratio == pytest.approx(0.5)
+
+    def test_links_alive_function(self):
+        links = np.array([[0, 1], [1, 2]])
+        alive = links_alive(links, LINE, 1.5)
+        assert alive.tolist() == [True, True]
+        alive = links_alive(np.zeros((0, 2), dtype=int), LINE, 1.5)
+        assert len(alive) == 0

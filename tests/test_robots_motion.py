@@ -1,0 +1,150 @@
+"""Tests for timed paths and swarm trajectories."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlanningError
+from repro.robots import SwarmTrajectory, TimedPath
+
+coord = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+class TestTimedPath:
+    def test_constant_speed_times(self):
+        path = TimedPath.constant_speed([[0, 0], [3, 0], [3, 4]], 0.0, 1.0)
+        # Leg lengths 3 and 4: breakpoints at 0, 3/7, 1.
+        assert np.allclose(path.times, [0.0, 3 / 7, 1.0])
+
+    def test_position_interpolation(self):
+        path = TimedPath.constant_speed([[0, 0], [10, 0]], 0.0, 1.0)
+        assert np.allclose(path.position_at(0.25), [2.5, 0.0])
+
+    def test_clamping_outside_span(self):
+        path = TimedPath.constant_speed([[0, 0], [10, 0]], 0.0, 1.0)
+        assert np.allclose(path.position_at(-5.0), [0, 0])
+        assert np.allclose(path.position_at(5.0), [10, 0])
+
+    def test_stationary(self):
+        path = TimedPath.stationary([2.0, 3.0], 0.0)
+        assert np.allclose(path.position_at(0.7), [2.0, 3.0])
+        assert path.length == 0.0
+
+    def test_length(self):
+        path = TimedPath.constant_speed([[0, 0], [3, 0], [3, 4]], 0.0, 1.0)
+        assert path.length == pytest.approx(7.0)
+
+    def test_zero_length_multiwaypoint(self):
+        path = TimedPath.constant_speed([[1, 1], [1, 1]], 0.0, 1.0)
+        assert path.length == 0.0
+
+    def test_times_must_align(self):
+        with pytest.raises(PlanningError):
+            TimedPath([[0, 0], [1, 1]], [0.0])
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(PlanningError):
+            TimedPath([[0, 0], [1, 1]], [1.0, 0.0])
+
+    def test_then_concatenates(self):
+        a = TimedPath.constant_speed([[0, 0], [1, 0]], 0.0, 0.5)
+        b = TimedPath.constant_speed([[1, 0], [1, 1]], 0.5, 1.0)
+        joined = a.then(b)
+        assert joined.length == pytest.approx(2.0)
+        assert np.allclose(joined.position_at(0.75), [1.0, 0.5])
+
+    def test_then_requires_junction(self):
+        a = TimedPath.constant_speed([[0, 0], [1, 0]], 0.0, 0.5)
+        b = TimedPath.constant_speed([[5, 0], [6, 0]], 0.5, 1.0)
+        with pytest.raises(PlanningError):
+            a.then(b)
+
+    def test_positions_at_many_matches_scalar(self):
+        path = TimedPath.constant_speed([[0, 0], [4, 0], [4, 4]], 0.0, 2.0)
+        ts = np.linspace(-0.5, 2.5, 13)
+        many = path.positions_at_many(ts)
+        for t, p in zip(ts, many):
+            assert np.allclose(p, path.position_at(t), atol=1e-12)
+
+    @given(st.lists(st.tuples(coord, coord), min_size=2, max_size=6))
+    @settings(max_examples=100)
+    def test_distance_convex_along_pairs(self, pts):
+        """Inter-robot distance is convex in t for synchronous linear motion,
+        so the max over a sub-interval is attained at its endpoints."""
+        a = TimedPath.constant_speed([pts[0], pts[-1]], 0.0, 1.0)
+        b = TimedPath.constant_speed([pts[1], pts[0]], 0.0, 1.0)
+
+        def dist(t):
+            return float(np.hypot(*(a.position_at(t) - b.position_at(t))))
+
+        end_max = max(dist(0.0), dist(1.0))
+        for t in np.linspace(0, 1, 9):
+            assert dist(t) <= end_max + 1e-6
+
+
+class TestSwarmTrajectory:
+    def _simple(self):
+        paths = [
+            TimedPath.constant_speed([[0, 0], [10, 0]], 0.0, 1.0),
+            TimedPath.constant_speed([[0, 1], [10, 1]], 0.0, 1.0),
+        ]
+        return SwarmTrajectory(paths, 0.0, 1.0)
+
+    def test_positions_at(self):
+        traj = self._simple()
+        mid = traj.positions_at(0.5)
+        assert np.allclose(mid, [[5, 0], [5, 1]])
+
+    def test_start_end(self):
+        traj = self._simple()
+        assert np.allclose(traj.start_positions, [[0, 0], [0, 1]])
+        assert np.allclose(traj.end_positions, [[10, 0], [10, 1]])
+
+    def test_total_distance(self):
+        assert self._simple().total_distance() == pytest.approx(20.0)
+
+    def test_sample_times_include_critical(self):
+        paths = [
+            TimedPath.constant_speed([[0, 0], [1, 0], [1, 5]], 0.0, 1.0),
+            TimedPath.constant_speed([[0, 1], [10, 1]], 0.0, 1.0),
+        ]
+        traj = SwarmTrajectory(paths, 0.0, 1.0)
+        ts = traj.sample_times(8)
+        assert 1.0 / 6.0 == pytest.approx(ts[np.argmin(np.abs(ts - 1 / 6))], abs=1e-9)
+
+    def test_positions_over_table(self):
+        traj = self._simple()
+        table = traj.positions_over([0.0, 0.5, 1.0])
+        assert table.shape == (3, 2, 2)
+        assert np.allclose(table[1], [[5, 0], [5, 1]])
+
+    def test_snapshots_match_positions_at(self):
+        traj = self._simple()
+        for t, snap in zip(traj.sample_times(5), traj.snapshots(5)):
+            assert np.allclose(snap, traj.positions_at(t))
+
+    def test_then_chains(self):
+        first = self._simple()
+        second = SwarmTrajectory(
+            [
+                TimedPath.constant_speed([[10, 0], [10, 10]], 1.0, 2.0),
+                TimedPath.constant_speed([[10, 1], [0, 1]], 1.0, 2.0),
+            ],
+            1.0,
+            2.0,
+        )
+        joined = first.then(second)
+        assert joined.duration == pytest.approx(2.0)
+        assert joined.total_distance() == pytest.approx(20.0 + 20.0)
+
+    def test_then_count_mismatch(self):
+        first = self._simple()
+        second = SwarmTrajectory(
+            [TimedPath.constant_speed([[10, 0], [0, 0]], 1.0, 2.0)], 1.0, 2.0
+        )
+        with pytest.raises(PlanningError):
+            first.then(second)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlanningError):
+            SwarmTrajectory([], 0.0, 1.0)

@@ -1,0 +1,56 @@
+"""Deep geometry checks across all seven scenario FoIs."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SCENARIOS, get_scenario, lemma1_example
+from repro.harmonic import compute_disk_map
+from repro.mesh import fill_holes, triangulate_foi
+
+
+@pytest.mark.parametrize("sid", sorted(SCENARIOS))
+class TestScenarioGeometry:
+    def test_both_fois_triangulate_and_embed(self, sid):
+        """Every scenario FoI must grid, triangulate, fill, and embed -
+        the minimum the pipeline demands of the geometry."""
+        spec = get_scenario(sid)
+        for foi in spec.build(separation_factor=15.0):
+            fm = triangulate_foi(foi, target_points=260)
+            assert fm.mesh.is_connected()
+            assert len(fm.mesh.boundary_loops) == 1 + len(foi.holes)
+            filled = fill_holes(fm.mesh)
+            assert filled.mesh.is_topological_disk()
+            dm = compute_disk_map(fm.mesh)
+            assert dm.is_embedding()
+
+    def test_mesh_area_matches_foi(self, sid):
+        spec = get_scenario(sid)
+        _, m2 = spec.build(separation_factor=15.0)
+        fm = triangulate_foi(m2, target_points=260)
+        assert fm.mesh.triangle_areas().sum() == pytest.approx(m2.area, rel=0.1)
+
+    def test_fois_simple_polygons(self, sid):
+        spec = get_scenario(sid)
+        m1, m2 = spec.build(separation_factor=15.0)
+        for foi in (m1, m2):
+            assert foi.outer.is_simple()
+            for hole in foi.holes:
+                assert hole.is_simple()
+
+
+class TestLemma1Robustness:
+    @pytest.mark.parametrize("spacing", [0.5, 1.0, 3.0, 10.0])
+    def test_tradeoff_scale_invariant(self, spacing):
+        """The Lemma-1 contradiction is geometric: it must hold at any
+        lattice scale (with the communication range scaled along)."""
+        ex = lemma1_example(spacing=spacing)
+        assert ex.tradeoff_holds
+
+    def test_identity_not_optimal_distance(self):
+        ex = lemma1_example()
+        # Sanity on the construction: the Hungarian really found a
+        # strictly cheaper, different permutation.
+        assert not np.array_equal(
+            ex.min_distance_assignment, ex.link_preserving_assignment
+        )
+        assert ex.min_distance < ex.preserving_distance - 1e-9

@@ -1,0 +1,92 @@
+"""Stress shapes (deep concavity) and the SVG transition animation."""
+
+import numpy as np
+import pytest
+
+from repro.coverage import LloydConfig
+from repro.foi import FieldOfInterest, ellipse_polygon, ring_with_gap, u_corridor
+from repro.marching import MarchingConfig, MarchingPlanner
+from repro.mesh import triangulate_foi
+from repro.metrics import connectivity_report
+from repro.harmonic import compute_disk_map
+from repro.robots import RadioSpec, Swarm, straight_transition
+from repro.viz import animate_transition
+
+FAST = MarchingConfig(
+    foi_target_points=260, lloyd=LloydConfig(grid_target=900, max_iterations=25)
+)
+
+
+class TestStressShapes:
+    def test_u_corridor_valid(self):
+        foi = u_corridor().scaled_to_area(120_000.0)
+        assert foi.area == pytest.approx(120_000.0)
+        assert not foi.outer.is_convex
+        assert foi.outer.is_simple()
+
+    def test_ring_with_gap_valid(self):
+        foi = ring_with_gap().scaled_to_area(120_000.0)
+        assert foi.outer.is_simple()
+        assert not foi.has_holes  # the gap keeps it a topological disk
+
+    def test_u_corridor_mesh_and_diskmap(self):
+        foi = u_corridor().scaled_to_area(120_000.0)
+        fm = triangulate_foi(foi, target_points=350)
+        assert fm.mesh.is_topological_disk()
+        dm = compute_disk_map(fm.mesh)
+        assert dm.is_embedding()
+
+    def test_ring_mesh_and_diskmap(self):
+        foi = ring_with_gap().scaled_to_area(120_000.0)
+        fm = triangulate_foi(foi, target_points=400)
+        assert fm.mesh.is_topological_disk()
+        dm = compute_disk_map(fm.mesh)
+        assert dm.is_embedding()
+
+    def test_march_into_u_corridor_keeps_guarantee(self):
+        """The headline guarantee must survive a deeply concave target."""
+        radio = RadioSpec.from_comm_range(80.0)
+        m1 = FieldOfInterest(
+            ellipse_polygon(1.0, 1.0, samples=32).scaled_to_area(120_000.0),
+            name="m1",
+        )
+        swarm = Swarm.deploy_lattice(m1, 49, radio)
+        m2 = u_corridor().scaled_to_area(110_000.0)
+        m2 = m2.translated(m1.centroid + np.array([1000.0, 0.0]) - m2.centroid)
+        result = MarchingPlanner(FAST).plan(swarm, m2)
+        rep = connectivity_report(
+            result.trajectory, radio.comm_range, result.boundary_anchors
+        )
+        assert rep.connected
+        assert m2.contains(result.final_positions).all()
+
+
+class TestAnimation:
+    def test_animated_svg_written(self, tmp_path):
+        pos = np.array([[0.0, 0.0], [10.0, 0.0], [5.0, 8.0]])
+        traj = straight_transition(pos, pos + [50.0, 10.0])
+        foi = FieldOfInterest([(40, -10), (70, -10), (70, 25), (40, 25)])
+        out = animate_transition(traj, [foi], tmp_path / "anim.svg", samples=10)
+        text = out.read_text()
+        assert text.count("<animate ") == 6  # cx + cy per robot
+        assert 'repeatCount="indefinite"' in text
+        assert "keyTimes" in text
+
+    def test_keyframe_counts(self, tmp_path):
+        pos = np.array([[0.0, 0.0]])
+        traj = straight_transition(pos, pos + [10.0, 0.0])
+        foi = FieldOfInterest([(0, -5), (15, -5), (15, 5), (0, 5)])
+        out = animate_transition(traj, [foi], tmp_path / "a.svg", samples=7)
+        text = out.read_text()
+        # 7 keyTimes entries -> 6 separators in each values list.
+        values = text.split('values="')[1].split('"')[0]
+        assert values.count(";") == 6
+
+    def test_invalid_params(self, tmp_path):
+        pos = np.array([[0.0, 0.0]])
+        traj = straight_transition(pos, pos)
+        foi = FieldOfInterest([(0, 0), (1, 0), (1, 1), (0, 1)])
+        with pytest.raises(ValueError):
+            animate_transition(traj, [foi], tmp_path / "x.svg", duration_seconds=0)
+        with pytest.raises(ValueError):
+            animate_transition(traj, [foi], tmp_path / "x.svg", samples=1)

@@ -1,0 +1,100 @@
+"""Tests for the SVG canvas and figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.foi import FieldOfInterest, ellipse_polygon
+from repro.network import LinkTable
+from repro.viz import SvgCanvas, render_deployment, render_disk_map, render_mesh
+from repro.mesh import delaunay_mesh
+
+
+class TestSvgCanvas:
+    def test_document_structure(self):
+        canvas = SvgCanvas((0, 0, 10, 10), width=200)
+        canvas.circle([5, 5])
+        canvas.line([0, 0], [10, 10])
+        canvas.polygon([[0, 0], [10, 0], [5, 10]])
+        canvas.polyline([[0, 0], [5, 5], [10, 0]])
+        canvas.text([1, 1], "hello <&>")
+        doc = canvas.to_string()
+        assert doc.startswith("<svg")
+        assert doc.count("<circle") == 1
+        assert doc.count("<line") == 1
+        assert "&lt;" in doc and "&amp;" in doc
+
+    def test_y_axis_flipped(self):
+        canvas = SvgCanvas((0, 0, 10, 10), width=120, margin=10)
+        _, y_low = canvas.to_screen([5, 0])
+        _, y_high = canvas.to_screen([5, 10])
+        assert y_high < y_low  # larger world-y is higher on screen
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            SvgCanvas((0, 0, 0, 10))
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas((0, 0, 1, 1))
+        out = canvas.save(tmp_path / "fig" / "test.svg")
+        assert out.exists()
+        assert out.read_text().startswith("<svg")
+
+
+class TestRenderers:
+    def test_render_deployment_link_colors(self, tmp_path):
+        foi = FieldOfInterest([(0, 0), (10, 0), (10, 10), (0, 10)])
+        pos = np.array([[2.0, 5.0], [5.0, 5.0], [8.0, 5.0]])
+        links = LinkTable.from_positions(pos, 3.5)
+        doc = render_deployment(
+            foi, pos, 3.5, initial_links=links.links,
+            path=tmp_path / "dep.svg",
+        )
+        assert "#1f77b4" in doc  # preserved links drawn blue
+        assert (tmp_path / "dep.svg").exists()
+
+    def test_render_deployment_new_links_red(self):
+        foi = FieldOfInterest([(0, 0), (10, 0), (10, 10), (0, 10)])
+        pos = np.array([[2.0, 5.0], [5.0, 5.0]])
+        # No initial links at all: current link must be red.
+        doc = render_deployment(
+            foi, pos, 4.0, initial_links=np.zeros((0, 2), dtype=int)
+        )
+        assert "#d62728" in doc
+
+    def test_render_mesh(self, rng):
+        mesh = delaunay_mesh(rng.uniform(0, 10, (15, 2)))
+        doc = render_mesh(mesh)
+        assert doc.count("<line") == len(mesh.edges)
+        assert doc.count("<circle") == mesh.vertex_count
+
+    def test_render_disk_map(self, rng):
+        mesh = delaunay_mesh(rng.uniform(-0.5, 0.5, (12, 2)))
+        doc = render_disk_map(mesh.vertices, mesh.triangles)
+        assert doc.count("<circle") == mesh.vertex_count
+
+
+class TestPipelineFigure:
+    def test_six_panels_written(self, tmp_path):
+        from repro.coverage import LloydConfig
+        from repro.foi import ellipse_polygon as ep
+        from repro.marching import MarchingConfig, run_pipeline
+        from repro.robots import RadioSpec, Swarm
+        from repro.viz import render_pipeline_figure
+
+        radio = RadioSpec.from_comm_range(80.0)
+        m1 = FieldOfInterest(
+            ep(1.0, 1.0, samples=32).scaled_to_area(100_000.0), name="m1"
+        )
+        swarm = Swarm.deploy_lattice(m1, 36, radio)
+        m2 = FieldOfInterest(
+            ep(1.2, 0.9, samples=32).scaled_to_area(90_000.0), name="m2"
+        ).translated((900.0, 0.0))
+        cfg = MarchingConfig(
+            foi_target_points=180, lloyd=LloydConfig(grid_target=600, max_iterations=20)
+        )
+        stages = run_pipeline(swarm, m2, config=cfg)
+        written = render_pipeline_figure(stages, tmp_path, radio.comm_range)
+        assert len(written) == 6
+        for path in written:
+            assert path.exists()
+            assert path.read_text().startswith("<svg")

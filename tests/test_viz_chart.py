@@ -1,0 +1,97 @@
+"""Tests for the SVG line charts and sweep figure generation."""
+
+import numpy as np
+import pytest
+
+from repro.viz import LineChart, METHOD_COLORS
+from repro.viz.chart import _nice_ticks
+
+
+class TestNiceTicks:
+    def test_unit_interval(self):
+        ticks = _nice_ticks(0.0, 1.0)
+        assert 0.0 in ticks and 1.0 in ticks
+        assert len(ticks) <= 6
+
+    def test_round_steps(self):
+        ticks = _nice_ticks(0.0, 87.0)
+        steps = np.diff(ticks)
+        assert np.allclose(steps, steps[0])
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 1
+
+
+class TestLineChart:
+    def _chart(self):
+        chart = LineChart("T", "x", "y")
+        chart.add_series("ours (a)", [1, 2, 3], [1.0, 1.1, 1.2])
+        chart.add_series("Hungarian", [1, 2, 3], [1.0, 1.0, 1.0])
+        return chart
+
+    def test_document_structure(self):
+        doc = self._chart().to_string()
+        assert doc.startswith("<svg")
+        assert doc.count("<polyline") == 2
+        # Markers: 3 per series + 1 legend-ish dot per direct label.
+        assert doc.count("<circle") >= 8
+
+    def test_fixed_method_colors(self):
+        doc = self._chart().to_string()
+        assert METHOD_COLORS["ours (a)"] in doc
+        assert METHOD_COLORS["Hungarian"] in doc
+
+    def test_color_follows_entity_not_rank(self):
+        """Dropping a series must not repaint the survivors."""
+        solo = LineChart("T", "x", "y")
+        solo.add_series("Hungarian", [1, 2], [1.0, 1.0])
+        assert METHOD_COLORS["Hungarian"] in solo.to_string()
+
+    def test_direct_labels_present(self):
+        doc = self._chart().to_string()
+        # Name appears twice: once in the legend, once as direct label.
+        assert doc.count("ours (a)") == 2
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ValueError):
+            LineChart("T", "x", "y").to_string()
+
+    def test_mismatched_series_rejected(self):
+        chart = LineChart("T", "x", "y")
+        with pytest.raises(ValueError):
+            chart.add_series("a", [1, 2], [1.0])
+
+    def test_y_range_respected(self):
+        chart = LineChart("T", "x", "y", y_range=(0.0, 1.0))
+        chart.add_series("ours (a)", [0, 1], [0.2, 0.8])
+        doc = chart.to_string()
+        assert "<svg" in doc
+
+    def test_save(self, tmp_path):
+        path = self._chart().save(tmp_path / "chart.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+
+class TestSweepFigures:
+    def test_write_sweep_figures(self, tmp_path):
+        from repro.experiments import write_sweep_figures
+        from repro.experiments.harness import SweepPoint, SweepResult
+
+        methods = ["ours (a)", "ours (b)", "direct translation", "Hungarian"]
+        points = [
+            SweepPoint(
+                separation_factor=s,
+                distance_ratio={m: 1.0 + 0.1 / s for m in methods},
+                stable_link_ratio={m: 0.5 for m in methods},
+                connected={m: True for m in methods},
+            )
+            for s in (10.0, 40.0)
+        ]
+        sweep = SweepResult(scenario_id=9, points=points)
+        written = write_sweep_figures(sweep, tmp_path)
+        assert len(written) == 2
+        for p in written:
+            assert p.exists()
+            assert "Scenario 9" in p.read_text()
