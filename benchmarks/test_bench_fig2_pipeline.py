@@ -12,6 +12,7 @@ from pathlib import Path
 from repro.coverage import LloydConfig, coverage_fraction
 from repro.experiments import get_scenario
 from repro.marching import MarchingConfig, run_pipeline
+from repro.obs import Tracer, activate
 from repro.robots import RadioSpec, Swarm
 from repro.viz import render_pipeline_figure
 
@@ -26,14 +27,21 @@ def _run():
     radio = RadioSpec.from_comm_range(spec.comm_range)
     m1, m2 = spec.build(separation_factor=15.0)
     swarm = Swarm.deploy_lattice(m1, spec.robot_count, radio)
-    stages = run_pipeline(swarm, m2, config=CFG)
+    tracer = Tracer()
+    with activate(tracer):
+        stages = run_pipeline(swarm, m2, config=CFG)
     paths = render_pipeline_figure(stages, OUTPUT_DIR, spec.comm_range)
-    return stages, paths
+    return stages, paths, tracer
 
 
 def test_fig2_pipeline(benchmark):
-    stages, paths = benchmark.pedantic(_run, rounds=1, iterations=1)
-    print(f"\nFig. 2 panels written to {OUTPUT_DIR}:")
+    stages, paths, tracer = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\nPipeline phase timings:")
+    for name, row in tracer.phase_timings().items():
+        if name.startswith(("pipeline.", "plan.")):
+            print(f"  {name:30s} {row['total_s'] * 1000:9.2f} ms")
+            benchmark.extra_info[name] = round(row["total_s"], 6)
+    print(f"Fig. 2 panels written to {OUTPUT_DIR}:")
     for p in paths:
         print(f"  {p.name}")
     assert len(paths) == 6 and all(p.exists() for p in paths)

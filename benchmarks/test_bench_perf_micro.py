@@ -57,3 +57,18 @@ def test_perf_lloyd_iteration(benchmark, rng):
     sites = foi.sample_free_points(144, rng)
     out = benchmark(lloyd_iteration, sites, foi, grid, weights)
     assert out.shape == (144, 2)
+
+
+def test_perf_disabled_span_overhead(benchmark):
+    """A thousand ambient no-op spans: the cost instrumentation adds to
+    hot paths when no tracer is activated (must stay negligible)."""
+    from repro.obs import get_tracer, span
+
+    assert not get_tracer().enabled
+
+    def enter_spans():
+        for _ in range(1000):
+            with span("bench.noop"):
+                pass
+
+    benchmark(enter_spans)

@@ -7,9 +7,14 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro table1
     python -m repro lemmas
     python -m repro pipeline 3 --output out/fig2
+    python -m repro plan 3 --trace out.jsonl
 
 Every command prints the same rows the paper reports and exits non-zero
 on failure, so the CLI doubles as a smoke test in CI.
+
+Every subcommand accepts ``--trace FILE``: it activates the tracer in
+:mod:`repro.obs` for the run and streams every closed span (plus a
+final metrics snapshot) to ``FILE`` as JSON lines.
 """
 
 from __future__ import annotations
@@ -30,8 +35,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a JSONL span trace (plus metrics) of the run to FILE",
+    )
+
     p_scenario = sub.add_parser(
-        "scenario", help="run all four methods on one scenario instance"
+        "scenario", help="run all four methods on one scenario instance",
+        parents=[common],
     )
     p_scenario.add_argument("scenario_id", type=int, choices=range(1, 8))
     p_scenario.add_argument("--separation", type=float, default=20.0,
@@ -40,7 +52,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help="target FoI grid resolution")
 
     p_sweep = sub.add_parser(
-        "sweep", help="Fig. 3-style separation sweep for one scenario"
+        "sweep", help="Fig. 3-style separation sweep for one scenario",
+        parents=[common],
     )
     p_sweep.add_argument("scenario_id", type=int, choices=range(1, 8))
     p_sweep.add_argument("--separations", type=float, nargs="+",
@@ -48,11 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--figures", metavar="DIR", default=None,
                          help="also write the two SVG figure panels here")
 
-    sub.add_parser("table1", help="Table I: global connectivity per scenario")
-    sub.add_parser("lemmas", help="the Fig. 1 / Lemma 1-2 constructions")
+    sub.add_parser(
+        "table1", help="Table I: global connectivity per scenario",
+        parents=[common],
+    )
+    sub.add_parser(
+        "lemmas", help="the Fig. 1 / Lemma 1-2 constructions",
+        parents=[common],
+    )
 
     p_report = sub.add_parser(
-        "report", help="run all scenarios and write a markdown report"
+        "report", help="run all scenarios and write a markdown report",
+        parents=[common],
     )
     p_report.add_argument("--output", default="reproduction_report.md")
     p_report.add_argument("--separation", type=float, default=20.0)
@@ -60,11 +80,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="subset of scenario ids (default: all)")
 
     p_pipe = sub.add_parser(
-        "pipeline", help="run the Fig. 2 pipeline and write its six panels"
+        "pipeline", help="run the Fig. 2 pipeline and write its six panels",
+        parents=[common],
     )
     p_pipe.add_argument("scenario_id", type=int, choices=range(1, 8))
     p_pipe.add_argument("--output", default="output/fig2")
     p_pipe.add_argument("--separation", type=float, default=15.0)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="plan one scenario transition and report per-stage timings",
+        parents=[common],
+    )
+    p_plan.add_argument("scenario_id", type=int, choices=range(1, 8))
+    p_plan.add_argument("--separation", type=float, default=15.0,
+                        help="M1-M2 distance in communication ranges")
+    p_plan.add_argument("--points", type=int, default=400,
+                        help="target FoI grid resolution")
+    p_plan.add_argument("--method", choices=("a", "b"), default="a")
     return parser
 
 
@@ -183,6 +216,39 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    from repro.experiments import get_scenario
+    from repro.marching import MarchingConfig, run_pipeline
+    from repro.obs import get_tracer
+    from repro.robots import RadioSpec, Swarm
+
+    spec = get_scenario(args.scenario_id)
+    radio = RadioSpec.from_comm_range(spec.comm_range)
+    m1, m2 = spec.build(separation_factor=args.separation)
+    swarm = Swarm.deploy_lattice(m1, spec.robot_count, radio)
+    cfg = MarchingConfig(method=args.method, foi_target_points=args.points)
+    stages = run_pipeline(swarm, m2, config=cfg)
+    result = stages.result
+    print(
+        f"Scenario {args.scenario_id}: planned {swarm.size} robots "
+        f"(method {args.method})"
+    )
+    print(
+        f"  rotation angle : {result.rotation_angle:.4f} rad "
+        f"({result.rotation_evaluations} objective evaluations)"
+    )
+    print(f"  total distance : {result.total_distance / 1000:.2f} km")
+    tracer = get_tracer()
+    if tracer.enabled:
+        print("  phase timings:")
+        for name, row in tracer.phase_timings().items():
+            print(
+                f"    {name:34s} {row['calls']:5d} calls "
+                f"{row['total_s'] * 1000:10.2f} ms"
+            )
+    return 0
+
+
 _COMMANDS = {
     "scenario": _cmd_scenario,
     "sweep": _cmd_sweep,
@@ -190,12 +256,34 @@ _COMMANDS = {
     "lemmas": _cmd_lemmas,
     "report": _cmd_report,
     "pipeline": _cmd_pipeline,
+    "plan": _cmd_plan,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "trace", None):
+        from repro.obs import (
+            JsonlSink,
+            Metrics,
+            Tracer,
+            activate,
+            activate_metrics,
+        )
+
+        try:
+            sink_cm = JsonlSink(args.trace)
+        except OSError as exc:
+            print(f"error: cannot open trace file: {exc}", file=sys.stderr)
+            return 2
+        with sink_cm as sink:
+            tracer = Tracer(sink=sink)
+            metrics = Metrics()
+            with activate(tracer), activate_metrics(metrics):
+                code = _COMMANDS[args.command](args)
+            sink.emit_metrics(metrics)
+        return code
     return _COMMANDS[args.command](args)
 
 

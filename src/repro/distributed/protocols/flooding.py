@@ -17,6 +17,7 @@ from typing import Callable
 
 from repro.errors import ProtocolError
 from repro.distributed.runtime import Node, NodeApi, SyncNetwork
+from repro.obs import span
 
 __all__ = ["FloodSumNode", "flood_aggregate"]
 
@@ -97,7 +98,9 @@ def flood_aggregate(
     n = len(values)
     nodes = [FloodSumNode(i, float(values[i]), n) for i in range(n)]
     net = SyncNetwork(nodes, adjacency)
-    net.run(max_rounds=max_rounds or (2 * n + 4))
+    with span("distributed.flood_aggregate", nodes=n) as sp_:
+        rounds = net.run(max_rounds=max_rounds or (2 * n + 4))
+        sp_.set_attributes(rounds=rounds, delivered=net.delivered_messages)
     out = []
     for node in nodes:
         if len(node.state["records"]) != n:

@@ -37,6 +37,7 @@ from repro.errors import ProtocolError
 from repro.geometry.vec import rotate
 from repro.harmonic.rotation import TWO_PI, AngleSearchResult
 from repro.harmonic.transfer import InducedMap
+from repro.obs import get_metrics, span
 
 __all__ = ["DistributedRotationSearch", "distributed_rotation_search"]
 
@@ -131,35 +132,55 @@ class DistributedRotationSearch:
         """Execute the search; returns the result and the winning targets."""
         if depth < 0:
             raise ProtocolError("depth must be non-negative")
-        best: _Candidate | None = None
-        evaluations = 0
-        width = TWO_PI / max(1, initial_samples)
-        for i in range(max(1, initial_samples)):
-            cand = self._evaluate(((i + 0.5) * width) % TWO_PI, maximize)
+        with span(
+            "distributed.rotation_search",
+            depth=depth,
+            initial_samples=initial_samples,
+            robots=len(self.disk),
+        ) as sp:
+            best: _Candidate | None = None
+            evaluations = 0
+            width = TWO_PI / max(1, initial_samples)
+            for i in range(max(1, initial_samples)):
+                cand = self._evaluate(((i + 0.5) * width) % TWO_PI, maximize)
+                evaluations += 1
+                if best is None or cand.global_score > best.global_score:
+                    best = cand
+            assert best is not None
+            lo = best.angle - width / 2.0
+            hi = best.angle + width / 2.0
+            for _ in range(depth):
+                mid = 0.5 * (lo + hi)
+                left = self._evaluate((0.5 * (lo + mid)) % TWO_PI, maximize)
+                right = self._evaluate((0.5 * (mid + hi)) % TWO_PI, maximize)
+                evaluations += 2
+                if left.global_score >= right.global_score:
+                    hi = mid
+                    if left.global_score > best.global_score:
+                        best = left
+                else:
+                    lo = mid
+                    if right.global_score > best.global_score:
+                        best = right
+            # One last flooded evaluation of the final bracket's centre,
+            # mirroring the centralized search so the two stay
+            # bit-identical and share the ``initial + 2*depth + 1``
+            # evaluation budget.
+            final = self._evaluate((0.5 * (lo + hi)) % TWO_PI, maximize)
             evaluations += 1
-            if best is None or cand.global_score > best.global_score:
-                best = cand
-        assert best is not None
-        lo = best.angle - width / 2.0
-        hi = best.angle + width / 2.0
-        for _ in range(depth):
-            mid = 0.5 * (lo + hi)
-            left = self._evaluate((0.5 * (lo + mid)) % TWO_PI, maximize)
-            right = self._evaluate((0.5 * (mid + hi)) % TWO_PI, maximize)
-            evaluations += 2
-            if left.global_score >= right.global_score:
-                hi = mid
-                if left.global_score > best.global_score:
-                    best = left
-            else:
-                lo = mid
-                if right.global_score > best.global_score:
-                    best = right
-        result = AngleSearchResult(
-            angle=best.angle % TWO_PI,
-            score=best.global_score,
-            evaluations=evaluations,
-        )
+            if final.global_score > best.global_score:
+                best = final
+            result = AngleSearchResult(
+                angle=best.angle % TWO_PI,
+                score=best.global_score,
+                evaluations=evaluations,
+            )
+            sp.set_attributes(
+                angle=result.angle,
+                evaluations=evaluations,
+                flood_rounds=self.flood_rounds,
+            )
+        get_metrics().counter("rotation.objective_evaluations").inc(evaluations)
         return result, best.targets
 
 

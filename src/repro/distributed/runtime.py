@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ProtocolError
+from repro.obs import get_metrics, span
 
 __all__ = ["Message", "Node", "SyncNetwork"]
 
@@ -179,6 +180,23 @@ class SyncNetwork:
         ProtocolError
             If ``max_rounds`` is exceeded (livelock guard).
         """
+        with span("distributed.network_run", nodes=len(self.nodes)) as sp_:
+            delivered_at_start = self.delivered_messages
+            dropped_at_start = self.dropped_messages
+            rounds = self._run_rounds(max_rounds)
+            delivered = self.delivered_messages - delivered_at_start
+            dropped = self.dropped_messages - dropped_at_start
+            sp_.set_attributes(
+                rounds=rounds, delivered=delivered, dropped=dropped
+            )
+        m = get_metrics()
+        m.counter("distributed.rounds").inc(rounds)
+        m.counter("distributed.messages_delivered").inc(delivered)
+        if dropped:
+            m.counter("distributed.messages_dropped").inc(dropped)
+        return rounds
+
+    def _run_rounds(self, max_rounds: int) -> int:
         adj = self._adjacency()
         self.round_index = 0
         for i, node in enumerate(self.nodes):

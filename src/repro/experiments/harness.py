@@ -29,6 +29,7 @@ from repro.metrics import (
 )
 from repro.network.extract import extract_triangulation
 from repro.network.links import LinkTable
+from repro.obs import span
 from repro.robots import RadioSpec, Swarm
 from repro.robots.motion import SwarmTrajectory
 
@@ -180,32 +181,48 @@ def run_scenario(
     q_targets = cache.q_canonical + offset
 
     evaluations: dict[str, TransitionEvaluation] = {}
-    for method in methods:
-        if method == "ours (a)" or method == "ours (b)":
-            cfg = MarchingConfig(
-                method="a" if method.endswith("(a)") else "b",
-                foi_target_points=foi_target_points,
-                lloyd=LloydConfig(grid_target=lloyd_grid_target),
-            )
-            result = MarchingPlanner(cfg).plan(cache.swarm, m2, source_foi=m1)
-            evaluations[method] = evaluate_trajectory(
-                method, result.trajectory, result.links, result.boundary_anchors,
-                resolution,
-            )
-        elif method == "direct translation":
-            plan = direct_translation_plan(
-                cache.swarm.positions, q_targets, m1, m2
-            )
-            evaluations[method] = evaluate_trajectory(
-                method, plan.trajectory, cache.links, cache.anchors, resolution
-            )
-        elif method == "Hungarian":
-            plan = hungarian_plan(cache.swarm.positions, q_targets)
-            evaluations[method] = evaluate_trajectory(
-                method, plan.trajectory, cache.links, cache.anchors, resolution
-            )
-        else:
-            raise ValueError(f"unknown method {method!r}")
+    with span(
+        "experiment.run_scenario",
+        scenario=spec.scenario_id,
+        separation=separation_factor,
+    ):
+        for method in methods:
+            with span("experiment.method", method=method) as sp_:
+                if method == "ours (a)" or method == "ours (b)":
+                    cfg = MarchingConfig(
+                        method="a" if method.endswith("(a)") else "b",
+                        foi_target_points=foi_target_points,
+                        lloyd=LloydConfig(grid_target=lloyd_grid_target),
+                    )
+                    result = MarchingPlanner(cfg).plan(
+                        cache.swarm, m2, source_foi=m1
+                    )
+                    evaluations[method] = evaluate_trajectory(
+                        method, result.trajectory, result.links,
+                        result.boundary_anchors, resolution,
+                    )
+                elif method == "direct translation":
+                    plan = direct_translation_plan(
+                        cache.swarm.positions, q_targets, m1, m2
+                    )
+                    evaluations[method] = evaluate_trajectory(
+                        method, plan.trajectory, cache.links, cache.anchors,
+                        resolution,
+                    )
+                elif method == "Hungarian":
+                    plan = hungarian_plan(cache.swarm.positions, q_targets)
+                    evaluations[method] = evaluate_trajectory(
+                        method, plan.trajectory, cache.links, cache.anchors,
+                        resolution,
+                    )
+                else:
+                    raise ValueError(f"unknown method {method!r}")
+                e = evaluations[method]
+                sp_.set_attributes(
+                    total_distance=e.total_distance,
+                    stable_link_ratio=e.stable_link_ratio,
+                    connected=e.globally_connected,
+                )
     return ScenarioRun(
         scenario_id=spec.scenario_id,
         separation_factor=separation_factor,

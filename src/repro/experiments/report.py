@@ -14,6 +14,7 @@ from typing import Sequence
 
 from repro.experiments.harness import DEFAULT_METHODS, ScenarioRun, run_scenario
 from repro.experiments.scenarios import SCENARIOS, get_scenario
+from repro.obs import Tracer, activate
 
 __all__ = ["build_report", "write_report"]
 
@@ -35,10 +36,12 @@ def build_report(
     """Run the scenarios and return the markdown report text."""
     ids = sorted(scenario_ids or SCENARIOS)
     runs: dict[int, ScenarioRun] = {}
-    for sid in ids:
-        runs[sid] = run_scenario(
-            get_scenario(sid), separation_factor, methods, **run_kwargs
-        )
+    tracer = Tracer()
+    with activate(tracer):
+        for sid in ids:
+            runs[sid] = run_scenario(
+                get_scenario(sid), separation_factor, methods, **run_kwargs
+            )
 
     parts = [
         "# Optimal Marching - reproduction report",
@@ -80,6 +83,19 @@ def build_report(
                 ],
             ),
         ])
+    parts.extend([
+        "",
+        "## Phase timings",
+        "",
+        _md_table(
+            ["span", "calls", "total (s)", "mean (ms)"],
+            [
+                [name, row["calls"], f"{row['total_s']:.3f}",
+                 f"{row['mean_s'] * 1000:.2f}"]
+                for name, row in tracer.phase_timings().items()
+            ],
+        ),
+    ])
     parts.append("")
     return "\n".join(parts)
 

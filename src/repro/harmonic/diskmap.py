@@ -22,6 +22,7 @@ from repro.harmonic.solvers import solve_iterative, solve_linear
 from repro.mesh.holes import FilledMesh, fill_holes
 from repro.mesh.quality import orientation_signs
 from repro.mesh.trimesh import TriMesh
+from repro.obs import span
 
 __all__ = ["DiskMap", "compute_disk_map"]
 
@@ -111,24 +112,33 @@ def compute_disk_map(
     MappingError
         If the solver fails or the result is not an embedding.
     """
-    filled = fill_holes(mesh)
-    loop, angles = boundary_parameterization(filled.mesh, mode=boundary_mode)
-    bpos = circle_positions(angles)
-    if solver == "linear":
-        positions = solve_linear(filled.mesh, loop, bpos)
-        iterations = 0
-    elif solver == "iterative":
-        positions, iterations = solve_iterative(filled.mesh, loop, bpos, tol=tol)
-    else:
-        raise MappingError(f"unknown solver {solver!r}")
-    dm = DiskMap(
-        source=mesh,
-        filled=filled,
-        disk_positions=positions,
+    with span(
+        "harmonic.disk_map",
+        vertices=mesh.vertex_count,
         boundary_mode=boundary_mode,
         solver=solver,
-        iterations=iterations,
-    )
-    if dm.max_radius() > 1.0 + 1e-6:
-        raise MappingError("disk map escapes the unit disk")
+    ) as sp_:
+        filled = fill_holes(mesh)
+        loop, angles = boundary_parameterization(filled.mesh, mode=boundary_mode)
+        bpos = circle_positions(angles)
+        if solver == "linear":
+            positions = solve_linear(filled.mesh, loop, bpos)
+            iterations = 0
+        elif solver == "iterative":
+            positions, iterations = solve_iterative(
+                filled.mesh, loop, bpos, tol=tol
+            )
+        else:
+            raise MappingError(f"unknown solver {solver!r}")
+        dm = DiskMap(
+            source=mesh,
+            filled=filled,
+            disk_positions=positions,
+            boundary_mode=boundary_mode,
+            solver=solver,
+            iterations=iterations,
+        )
+        if dm.max_radius() > 1.0 + 1e-6:
+            raise MappingError("disk map escapes the unit disk")
+        sp_.set_attributes(iterations=iterations, max_radius=dm.max_radius())
     return dm

@@ -21,6 +21,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs import get_metrics, span
+
 __all__ = ["AngleSearchResult", "hierarchical_angle_search", "exhaustive_angle_search"]
 
 TWO_PI = 2.0 * np.pi
@@ -71,6 +73,9 @@ def hierarchical_angle_search(
     Returns
     -------
     AngleSearchResult
+        The budget is exact: ``initial_samples`` seed evaluations, two
+        probes per halving level, and one final evaluation of the last
+        bracket's centre - ``initial_samples + 2*depth + 1`` in total.
     """
     if depth < 0:
         raise ValueError("depth must be non-negative")
@@ -82,34 +87,52 @@ def hierarchical_angle_search(
         evaluations += 1
         return sign * float(objective(angle % TWO_PI))
 
-    best_angle = 0.0
-    best_score = -np.inf
-    width = TWO_PI / max(1, initial_samples)
-    seeds = [(i + 0.5) * width for i in range(max(1, initial_samples))]
-    for a in seeds:
-        s = score(a)
-        if s > best_score:
-            best_angle, best_score = a, s
-    lo = best_angle - width / 2.0
-    hi = best_angle + width / 2.0
+    with span(
+        "harmonic.rotation_search", depth=depth, initial_samples=initial_samples
+    ) as sp:
+        best_angle = 0.0
+        best_score = -np.inf
+        width = TWO_PI / max(1, initial_samples)
+        seeds = [(i + 0.5) * width for i in range(max(1, initial_samples))]
+        for a in seeds:
+            s = score(a)
+            if s > best_score:
+                best_angle, best_score = a, s
+        lo = best_angle - width / 2.0
+        hi = best_angle + width / 2.0
 
-    for _ in range(depth):
-        mid = 0.5 * (lo + hi)
-        left_mid = 0.5 * (lo + mid)
-        right_mid = 0.5 * (mid + hi)
-        s_left = score(left_mid)
-        s_right = score(right_mid)
-        if s_left >= s_right:
-            hi = mid
-            if s_left > best_score:
-                best_angle, best_score = left_mid, s_left
-        else:
-            lo = mid
-            if s_right > best_score:
-                best_angle, best_score = right_mid, s_right
-    return AngleSearchResult(
-        angle=best_angle % TWO_PI, score=best_score, evaluations=evaluations
-    )
+        for _ in range(depth):
+            mid = 0.5 * (lo + hi)
+            left_mid = 0.5 * (lo + mid)
+            right_mid = 0.5 * (mid + hi)
+            s_left = score(left_mid)
+            s_right = score(right_mid)
+            if s_left >= s_right:
+                hi = mid
+                if s_left > best_score:
+                    best_angle, best_score = left_mid, s_left
+            else:
+                lo = mid
+                if s_right > best_score:
+                    best_angle, best_score = right_mid, s_right
+        # Score the centre of the final bracket before returning.  The
+        # halving rule above happens to land the centre on the last
+        # winning probe, but only up to floating-point associativity and
+        # only while that exact tie-break is in force; scoring it makes
+        # the bracket centre unconditionally part of the candidate set
+        # and pins the budget at ``initial_samples + 2*depth + 1``.
+        final_mid = 0.5 * (lo + hi)
+        s_mid = score(final_mid)
+        if s_mid > best_score:
+            best_angle, best_score = final_mid, s_mid
+        result = AngleSearchResult(
+            angle=best_angle % TWO_PI, score=best_score, evaluations=evaluations
+        )
+        sp.set_attributes(
+            angle=result.angle, score=result.score, evaluations=evaluations
+        )
+    get_metrics().counter("rotation.objective_evaluations").inc(evaluations)
+    return result
 
 
 def exhaustive_angle_search(
@@ -121,9 +144,12 @@ def exhaustive_angle_search(
     if samples < 1:
         raise ValueError("samples must be positive")
     sign = 1.0 if maximize else -1.0
-    angles = np.arange(samples) * (TWO_PI / samples)
-    scores = np.array([sign * float(objective(a)) for a in angles])
-    best = int(np.argmax(scores))
+    with span("harmonic.rotation_exhaustive", samples=samples) as sp:
+        angles = np.arange(samples) * (TWO_PI / samples)
+        scores = np.array([sign * float(objective(a)) for a in angles])
+        best = int(np.argmax(scores))
+        sp.set("angle", float(angles[best]))
+    get_metrics().counter("rotation.objective_evaluations").inc(samples)
     return AngleSearchResult(
         angle=float(angles[best]), score=float(scores[best]), evaluations=samples
     )

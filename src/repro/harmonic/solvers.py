@@ -24,6 +24,7 @@ import scipy.sparse.linalg as spla
 
 from repro.errors import MappingError
 from repro.mesh.trimesh import TriMesh
+from repro.obs import span
 
 __all__ = ["solve_linear", "solve_iterative", "harmonic_energy"]
 
@@ -72,36 +73,50 @@ def solve_linear(
     if len(interior) == 0:
         return out
 
+    ni = len(interior)
     pos_in_interior = -np.ones(n, dtype=int)
-    pos_in_interior[interior] = np.arange(len(interior))
+    pos_in_interior[interior] = np.arange(ni)
     adj = mesh.adjacency
-    rows: list[int] = []
-    cols: list[int] = []
-    vals: list[float] = []
-    rhs = np.zeros((len(interior), 2))
-    for k, v in enumerate(interior):
-        nbrs = adj[v]
-        if not nbrs:
-            raise MappingError(f"interior vertex {v} has no neighbours")
-        deg = float(len(nbrs))
-        rows.append(k)
-        cols.append(k)
-        vals.append(1.0)
-        for w in nbrs:
-            iw = pos_in_interior[w]
-            if iw >= 0:
-                rows.append(k)
-                cols.append(int(iw))
-                vals.append(-1.0 / deg)
-            else:
-                rhs[k] += out[w] / deg
-    mat = sp.csr_matrix((vals, (rows, cols)), shape=(len(interior), len(interior)))
-    solution = spla.spsolve(mat.tocsc(), rhs)
-    if solution.ndim == 1:
-        solution = solution[:, None]
-    if not np.all(np.isfinite(solution)):
-        raise MappingError("harmonic linear solve produced non-finite positions")
-    out[interior] = solution
+    counts = np.array([len(adj[v]) for v in interior])
+    if np.any(counts == 0):
+        v = int(interior[int(np.flatnonzero(counts == 0)[0])])
+        raise MappingError(f"interior vertex {v} has no neighbours")
+
+    with span("harmonic.solve_linear", vertices=n, interior=ni) as sp_:
+        # Vectorised COO assembly: one flattened neighbour array, split
+        # into interior couplings (matrix entries) and boundary
+        # couplings (right-hand-side contributions).
+        nbr_flat = np.concatenate(
+            [np.asarray(adj[v], dtype=int) for v in interior]
+        )
+        seg_ids = np.repeat(np.arange(ni), counts)
+        inv_deg = 1.0 / counts.astype(float)
+        nbr_slot = pos_in_interior[nbr_flat]
+        to_interior = nbr_slot >= 0
+
+        diag = np.arange(ni)
+        rows = np.concatenate([diag, seg_ids[to_interior]])
+        cols = np.concatenate([diag, nbr_slot[to_interior]])
+        vals = np.concatenate([np.ones(ni), -inv_deg[seg_ids[to_interior]]])
+
+        rhs = np.zeros((ni, 2))
+        bnd_rows = seg_ids[~to_interior]
+        np.add.at(
+            rhs, bnd_rows, out[nbr_flat[~to_interior]] * inv_deg[bnd_rows][:, None]
+        )
+
+        mat = sp.csr_matrix((vals, (rows, cols)), shape=(ni, ni))
+        sp_.set_attributes(nnz=int(mat.nnz))
+        solution = spla.spsolve(mat.tocsc(), rhs)
+        if solution.ndim == 1:
+            solution = solution[:, None]
+        if not np.all(np.isfinite(solution)):
+            raise MappingError(
+                "harmonic linear solve produced non-finite positions"
+            )
+        out[interior] = solution
+        residual = mat @ solution - rhs
+        sp_.set_attributes(residual=float(np.abs(residual).max()))
     return out
 
 
@@ -143,17 +158,20 @@ def solve_iterative(
     counts = np.array([len(adj[v]) for v in interior])
     if np.any(counts == 0):
         raise MappingError("interior vertex with no neighbours")
-    offsets = np.concatenate([[0], np.cumsum(counts)])
     seg_ids = np.repeat(np.arange(len(interior)), counts)
 
-    for iteration in range(1, max_iterations + 1):
-        sums = np.zeros((len(interior), 2))
-        np.add.at(sums, seg_ids, pos[nbr_flat])
-        new = sums / counts[:, None]
-        delta = float(np.abs(new - pos[interior]).max())
-        pos[interior] = new
-        if delta < tol:
-            return pos, iteration
+    with span(
+        "harmonic.solve_iterative", vertices=n, interior=len(interior), tol=tol
+    ) as sp_:
+        for iteration in range(1, max_iterations + 1):
+            sums = np.zeros((len(interior), 2))
+            np.add.at(sums, seg_ids, pos[nbr_flat])
+            new = sums / counts[:, None]
+            delta = float(np.abs(new - pos[interior]).max())
+            pos[interior] = new
+            if delta < tol:
+                sp_.set_attributes(iterations=iteration, residual=delta)
+                return pos, iteration
     raise MappingError(
         f"harmonic iteration did not converge in {max_iterations} sweeps"
     )

@@ -22,6 +22,7 @@ from repro.mesh.delaunay import FoiMesh
 from repro.mesh.trimesh import TriMesh
 from repro.network.links import links_alive
 from repro.network.udg import UnitDiskGraph
+from repro.obs import span
 from repro.robots.swarm import Swarm
 
 __all__ = ["PipelineStages", "run_pipeline"]
@@ -89,7 +90,14 @@ def run_pipeline(
 ) -> PipelineStages:
     """Run the full marching pipeline and keep every stage artifact."""
     cfg = replace(config or MarchingConfig(), keep_artifacts=True)
-    result = MarchingPlanner(cfg).plan(swarm, target_foi, density=density)
+    with span(
+        "pipeline.run", robots=swarm.size, method=cfg.method
+    ) as sp_:
+        result = MarchingPlanner(cfg).plan(swarm, target_foi, density=density)
+        sp_.set_attributes(
+            rotation_angle=result.rotation_angle,
+            total_distance=result.total_distance,
+        )
     art = result.artifacts
     return PipelineStages(
         m1_graph=swarm.communication_graph(),

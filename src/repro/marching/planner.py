@@ -41,6 +41,7 @@ from repro.mesh.delaunay import triangulate_foi
 from repro.network.extract import extract_triangulation
 from repro.network.links import LinkTable, links_alive
 from repro.network.udg import UnitDiskGraph
+from repro.obs import span
 from repro.robots.motion import SwarmTrajectory
 from repro.robots.swarm import Swarm
 from repro.robots.transition import detoured_transition, stepwise_trajectory
@@ -156,19 +157,26 @@ class MarchingPlanner:
         links = LinkTable.from_graph(graph)
 
         # Stage 1: triangulation extraction.
-        t_mesh, vmap = extract_triangulation(p, comm_range)
+        with span("plan.extract_triangulation", robots=len(p)) as sp_:
+            t_mesh, vmap = extract_triangulation(p, comm_range)
+            sp_.set_attributes(t_vertices=len(vmap))
         in_t = np.zeros(len(p), dtype=bool)
         in_t[vmap] = True
         anchors = tuple(int(vmap[v]) for v in t_mesh.outer_boundary_loop)
 
         # Stage 2: modified harmonic map.
-        dm_t = compute_disk_map(
-            t_mesh, boundary_mode=cfg.boundary_mode, solver=cfg.solver
-        )
-        foi_mesh = triangulate_foi(target_foi, target_points=cfg.foi_target_points)
-        dm_m2 = compute_disk_map(
-            foi_mesh.mesh, boundary_mode=cfg.boundary_mode, solver=cfg.solver
-        )
+        with span("plan.disk_map_t", solver=cfg.solver):
+            dm_t = compute_disk_map(
+                t_mesh, boundary_mode=cfg.boundary_mode, solver=cfg.solver
+            )
+        with span("plan.triangulate_foi", target_points=cfg.foi_target_points):
+            foi_mesh = triangulate_foi(
+                target_foi, target_points=cfg.foi_target_points
+            )
+        with span("plan.disk_map_m2", solver=cfg.solver):
+            dm_m2 = compute_disk_map(
+                foi_mesh.mesh, boundary_mode=cfg.boundary_mode, solver=cfg.solver
+            )
         induced = InducedMap(dm_m2)
         disk_pts = dm_t.robot_disk_positions
 
@@ -193,12 +201,14 @@ class MarchingPlanner:
 
             maximize = False
 
-        search = hierarchical_angle_search(
-            objective,
-            depth=cfg.search_depth,
-            maximize=maximize,
-            initial_samples=cfg.initial_samples,
-        )
+        with span("plan.rotation_search", method=cfg.method) as sp_:
+            search = hierarchical_angle_search(
+                objective,
+                depth=cfg.search_depth,
+                maximize=maximize,
+                initial_samples=cfg.initial_samples,
+            )
+            sp_.set_attributes(angle=search.angle, evaluations=search.evaluations)
 
         # Stage 3: targets for every robot (escort stragglers outside T).
         q = np.zeros_like(p)
@@ -212,29 +222,38 @@ class MarchingPlanner:
         for i in np.flatnonzero(~inside):
             q[i] = target_foi.project_inside(q[i])
 
-        q, repair_info = repair_targets(
-            p, q, comm_range, anchors, links=links.links
-        )
+        with span("plan.repair"):
+            q, repair_info = repair_targets(
+                p, q, comm_range, anchors, links=links.links
+            )
 
         # Stage 4: the march (with hole detours in the target FoI).
         march_total = float(np.hypot(*(q - p).T).sum())
 
         # Stage 5: Lloyd adjustment to coverage positions.
-        lloyd = run_lloyd(
-            q,
-            target_foi,
-            comm_range=comm_range,
-            density=density,
-            config=cfg.lloyd,
-        )
+        with span("plan.adjust") as sp_:
+            lloyd = run_lloyd(
+                q,
+                target_foi,
+                comm_range=comm_range,
+                density=density,
+                config=cfg.lloyd,
+            )
+            sp_.set_attributes(iterations=lloyd.iterations)
         adjust_total = lloyd.total_movement
 
-        t_split = self._time_split(march_total, adjust_total, cfg.transition_time)
-        march_traj = detoured_transition(
-            p, q, target_foi, 0.0, t_split, source_foi=source_foi
-        )
-        adjust_traj = stepwise_trajectory(lloyd.snapshots, t_split, cfg.transition_time)
-        trajectory = march_traj.then(adjust_traj)
+        with span("plan.march", march_distance=march_total) as sp_:
+            t_split = self._time_split(
+                march_total, adjust_total, cfg.transition_time
+            )
+            march_traj = detoured_transition(
+                p, q, target_foi, 0.0, t_split, source_foi=source_foi
+            )
+            adjust_traj = stepwise_trajectory(
+                lloyd.snapshots, t_split, cfg.transition_time
+            )
+            trajectory = march_traj.then(adjust_traj)
+            sp_.set_attributes(total_distance=trajectory.total_distance())
 
         artifacts: dict[str, object] = {}
         if cfg.keep_artifacts:

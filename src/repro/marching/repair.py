@@ -35,6 +35,7 @@ from repro.marching.result import RepairInfo
 from repro.network.graphs import adjacency_from_edges, bfs_hops, connected_components
 from repro.network.links import links_alive
 from repro.network.udg import UnitDiskGraph
+from repro.obs import get_metrics, span
 
 __all__ = ["repair_targets"]
 
@@ -88,53 +89,76 @@ def repair_targets(
 
     escorted: dict[int, int] = {}
     isolated_before = -1
-    for round_idx in range(1, _MAX_ROUNDS + 1):
-        # Links that survive the synchronous straight march: alive at the
-        # endpoints (distance is convex in t, so endpoints suffice).
-        alive = links_alive(links, q, comm_range) & links_alive(links, p, comm_range)
-        surviving = links[alive]
-        adj = adjacency_from_edges(n, surviving)
-        hops = bfs_hops(adj, anchors)
-        isolated = np.flatnonzero(hops < 0)
-        if round_idx == 1:
-            isolated_before = len(isolated)
-        if len(isolated) == 0:
-            return q, RepairInfo(
-                escorted=tuple(sorted(escorted)),
-                references=dict(escorted),
-                rounds=round_idx,
-                isolated_before=isolated_before,
+    attempted = succeeded = 0
+    metrics = get_metrics()
+    with span("marching.repair", robots=n, anchors=len(anchors)) as rec:
+        for round_idx in range(1, _MAX_ROUNDS + 1):
+            # Links that survive the synchronous straight march: alive at
+            # the endpoints (distance is convex in t, so endpoints
+            # suffice).
+            alive = links_alive(links, q, comm_range) & links_alive(
+                links, p, comm_range
             )
+            surviving = links[alive]
+            adj = adjacency_from_edges(n, surviving)
+            hops = bfs_hops(adj, anchors)
+            isolated = np.flatnonzero(hops < 0)
+            if round_idx == 1:
+                isolated_before = len(isolated)
+            if len(isolated) == 0:
+                rec.set_attributes(
+                    rounds=round_idx,
+                    isolated_before=isolated_before,
+                    escorted=len(escorted),
+                    attempted=attempted,
+                    succeeded=succeeded,
+                )
+                metrics.counter("repair.subgroups_attempted").inc(attempted)
+                metrics.counter("repair.subgroups_escorted").inc(succeeded)
+                return q, RepairInfo(
+                    escorted=tuple(sorted(escorted)),
+                    references=dict(escorted),
+                    rounds=round_idx,
+                    isolated_before=isolated_before,
+                )
 
-        # Group the isolated robots into subgroups over surviving links.
-        iso_set = set(isolated.tolist())
-        sub_adj = [
-            [w for w in adj[v] if w in iso_set] if v in iso_set else []
-            for v in range(n)
-        ]
-        # connected_components returns singletons for non-isolated nodes
-        # too; keep only the genuinely isolated components.
-        comps = [c for c in connected_components(sub_adj) if set(c) <= iso_set]
+            # Group the isolated robots into subgroups over surviving
+            # links.
+            iso_set = set(isolated.tolist())
+            sub_adj = [
+                [w for w in adj[v] if w in iso_set] if v in iso_set else []
+                for v in range(n)
+            ]
+            # connected_components returns singletons for non-isolated
+            # nodes too; keep only the genuinely isolated components.
+            comps = [
+                c for c in connected_components(sub_adj) if set(c) <= iso_set
+            ]
 
-        # Physical one-range neighbours in M1 (any link, surviving or not).
-        full_adj = adjacency_from_edges(n, links)
+            # Physical one-range neighbours in M1 (any link, surviving or
+            # not).
+            full_adj = adjacency_from_edges(n, links)
 
-        progressed = False
-        for comp in comps:
-            root, ref = _choose_root_and_reference(comp, full_adj, hops, p)
-            if root is None or ref is None:
-                continue
-            displacement = q[ref] - p[ref]
-            for member in comp:
-                q[member] = p[member] + displacement
-                escorted[member] = ref
-            progressed = True
-        if not progressed:
-            raise PlanningError(
-                "connectivity repair stalled: an isolated subgroup has no "
-                "reached one-range neighbour"
-            )
-    raise PlanningError(f"connectivity repair did not converge in {_MAX_ROUNDS} rounds")
+            progressed = False
+            for comp in comps:
+                attempted += 1
+                root, ref = _choose_root_and_reference(comp, full_adj, hops, p)
+                if root is None or ref is None:
+                    continue
+                displacement = q[ref] - p[ref]
+                for member in comp:
+                    q[member] = p[member] + displacement
+                    escorted[member] = ref
+                progressed = True
+                succeeded += 1
+            if not progressed:
+                raise PlanningError(
+                    "connectivity repair stalled: an isolated subgroup has "
+                    "no reached one-range neighbour"
+                )
+    raise PlanningError(
+        f"connectivity repair did not converge in {_MAX_ROUNDS} rounds"
+    )
 
 
 def _choose_root_and_reference(

@@ -17,6 +17,7 @@ from repro.foi.gridding import FoiPointSet, grid_foi
 from repro.foi.region import FieldOfInterest
 from repro.geometry.vec import as_points
 from repro.mesh.trimesh import TriMesh
+from repro.obs import span
 
 __all__ = ["delaunay_mesh", "triangulate_foi", "FoiMesh", "delaunay_with_max_edge"]
 
@@ -32,25 +33,27 @@ def delaunay_mesh(points) -> TriMesh:
     pts = as_points(points)
     if len(pts) < 3:
         raise MeshError("Delaunay triangulation needs at least 3 points")
-    try:
-        tri = Delaunay(pts)
-    except Exception as exc:  # qhull raises its own error type
-        raise MeshError(f"Delaunay triangulation failed: {exc}") from exc
-    simplices = np.asarray(tri.simplices, dtype=int)
-    if len(simplices) == 0:
-        raise MeshError("Delaunay triangulation produced no triangles")
-    # Regular (lattice) inputs make qhull emit sliver simplices from
-    # collinear points; drop them before the strict TriMesh validation.
-    a = pts[simplices[:, 0]]
-    b = pts[simplices[:, 1]]
-    c = pts[simplices[:, 2]]
-    area2 = (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1]) - (b[:, 1] - a[:, 1]) * (
-        c[:, 0] - a[:, 0]
-    )
-    scale = max(1.0, float(np.abs(pts).max()) ** 2)
-    keep = np.abs(area2) > 1e-12 * scale
-    if not keep.any():
-        raise MeshError("all Delaunay triangles are degenerate")
+    with span("mesh.delaunay", points=len(pts)) as sp_:
+        try:
+            tri = Delaunay(pts)
+        except Exception as exc:  # qhull raises its own error type
+            raise MeshError(f"Delaunay triangulation failed: {exc}") from exc
+        simplices = np.asarray(tri.simplices, dtype=int)
+        if len(simplices) == 0:
+            raise MeshError("Delaunay triangulation produced no triangles")
+        # Regular (lattice) inputs make qhull emit sliver simplices from
+        # collinear points; drop them before the strict TriMesh validation.
+        a = pts[simplices[:, 0]]
+        b = pts[simplices[:, 1]]
+        c = pts[simplices[:, 2]]
+        area2 = (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1]) - (
+            b[:, 1] - a[:, 1]
+        ) * (c[:, 0] - a[:, 0])
+        scale = max(1.0, float(np.abs(pts).max()) ** 2)
+        keep = np.abs(area2) > 1e-12 * scale
+        if not keep.any():
+            raise MeshError("all Delaunay triangles are degenerate")
+        sp_.set_attributes(triangles=int(keep.sum()))
     return TriMesh(pts, simplices[keep])
 
 

@@ -3,9 +3,14 @@
 A link counts as *stable* when the two robots remain within
 communication range at every instant of the transition.  For
 synchronous piecewise-linear motion the inter-robot distance is convex
-on every common linear sub-interval, so evaluating at the trajectory's
-critical times (all waypoint times) plus a safety grid is exact up to
-the resolution of asynchronous waypoints.
+on every common linear sub-interval, so evaluating at the union of the
+trajectory's critical times (all waypoint times) and a safety grid is
+exact.  Trajectories may additionally contain *discontinuities* -
+duplicated waypoint times modelling instantaneous jumps - where
+interval sampling only sees the post-jump position; the evaluator
+therefore also checks the left-sided limit at each discontinuity so a
+link that is out of range just before a jump is correctly counted as
+broken.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.network.links import LinkTable
+from repro.obs import span
 from repro.robots.motion import SwarmTrajectory
 
 __all__ = ["StableLinkReport", "stable_link_ratio", "stable_link_report"]
@@ -53,12 +59,27 @@ def stable_link_report(
     links: LinkTable, trajectory: SwarmTrajectory, resolution: int = 32
 ) -> StableLinkReport:
     """Detailed stable-link accounting over a trajectory."""
-    stable = links.stable_mask_over(trajectory.snapshots(resolution))
-    m = links.link_count
-    s = int(stable.sum())
+    times = trajectory.sample_times(resolution)
+    with span(
+        "metrics.stable_links",
+        links=links.link_count,
+        samples=int(len(times)),
+    ) as sp:
+        stable = links.stable_mask_over(trajectory.positions_over(times))
+        disc = trajectory.discontinuity_times()
+        if len(disc):
+            # Right-continuous sampling above misses the pre-jump
+            # positions; AND in aliveness at the left-sided limits.
+            stable &= links.stable_mask_over(
+                trajectory.positions_over(disc, side="left")
+            )
+        m = links.link_count
+        s = int(stable.sum())
+        ratio = 1.0 if m == 0 else s / m
+        sp.set_attributes(stable=s, ratio=ratio, discontinuities=int(len(disc)))
     return StableLinkReport(
         initial_links=m,
         stable_links=s,
-        ratio=1.0 if m == 0 else s / m,
+        ratio=ratio,
         broken_mask=~stable,
     )

@@ -30,6 +30,7 @@ from repro.mesh.delaunay import delaunay_with_max_edge
 from repro.mesh.repairs import remove_pinches
 from repro.mesh.trimesh import TriMesh
 from repro.network.udg import UnitDiskGraph
+from repro.obs import span
 
 __all__ = [
     "extract_triangulation",
@@ -56,8 +57,12 @@ def extract_triangulation(positions, comm_range: float) -> tuple[TriMesh, np.nda
     MeshError
         If no triangle can be formed (swarm too sparse for ``comm_range``).
     """
-    mesh, vmap = delaunay_with_max_edge(positions, comm_range)
-    repaired, repair_map = remove_pinches(mesh)
+    with span("network.extract_triangulation", points=len(positions)) as sp_:
+        mesh, vmap = delaunay_with_max_edge(positions, comm_range)
+        repaired, repair_map = remove_pinches(mesh)
+        sp_.set_attributes(
+            vertices=repaired.vertex_count, triangles=len(repaired.triangles)
+        )
     return repaired, vmap[repair_map]
 
 

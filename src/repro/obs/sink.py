@@ -1,0 +1,90 @@
+"""Structured JSON-lines event sink for traces and metrics.
+
+One JSON object per line; spans are emitted as they close (so a trace
+file is useful even if the process dies mid-run) and a metrics snapshot
+can be appended at the end.  :func:`read_jsonl` is the matching loader
+used by tests and by anyone post-processing a ``--trace`` file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any
+
+__all__ = ["JsonlSink", "read_jsonl"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars and other strays into JSON-safe values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):  # numpy array
+        return tolist()
+    return str(value)
+
+
+class JsonlSink:
+    """Writes observability events as JSON lines.
+
+    Parameters
+    ----------
+    target : str, Path or writable file object
+        A path is opened (and owned) by the sink; call :meth:`close`
+        or use the sink as a context manager.  A file object is
+        borrowed and left open.
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+        self.events_written = 0
+
+    def emit(self, record: dict[str, Any]) -> None:
+        """Write one event as a JSON line (flushed immediately)."""
+        self._file.write(json.dumps(_jsonable(record)) + "\n")
+        self._file.flush()
+        self.events_written += 1
+
+    def emit_metrics(self, metrics) -> None:
+        """Append every instrument of a Metrics registry as an event."""
+        for payload in metrics.snapshot().values():
+            record = {"type": "metric"}
+            record.update(payload)
+            self.emit(record)
+
+    def close(self) -> None:
+        if self._owns and not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Load a JSONL trace file back into a list of event dicts."""
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

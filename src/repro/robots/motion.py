@@ -12,6 +12,11 @@ linearly on a common sub-interval, their mutual distance is a convex
 function of time, so it attains its maximum at the sub-interval's
 endpoints.  Sampling at the union of all waypoint times therefore
 bounds link breakage exactly for synchronous piecewise-linear plans.
+The one exception is a *discontinuity* - two waypoints sharing a time
+stamp with different positions (an instantaneous jump): interval
+sampling only sees the post-jump position there, so exact evaluators
+must additionally check the left-sided limit at
+:meth:`SwarmTrajectory.discontinuity_times`.
 """
 
 from __future__ import annotations
@@ -103,14 +108,56 @@ class TimedPath:
         alpha = (t - times[i]) / dt
         return (1.0 - alpha) * self.waypoints[i] + alpha * self.waypoints[i + 1]
 
-    def positions_at_many(self, ts) -> np.ndarray:
-        """Positions at many times at once (vectorised via ``np.interp``)."""
+    def positions_at_many(self, ts, side: str = "right") -> np.ndarray:
+        """Positions at many times at once (vectorised).
+
+        Parameters
+        ----------
+        ts : (k,) array-like
+        side : {"right", "left"}
+            Which one-sided limit to take at a *discontinuity* - a
+            waypoint time duplicated with different positions (an
+            instantaneous jump).  ``"right"`` (default) returns the
+            post-jump position, matching :meth:`position_at`;
+            ``"left"`` returns the position approached from earlier
+            times.  At continuous instants both sides agree.
+        """
         ts = np.asarray(ts, dtype=float)
         if len(self.waypoints) == 1:
             return np.tile(self.waypoints[0], (len(ts), 1))
-        x = np.interp(ts, self.times, self.waypoints[:, 0])
-        y = np.interp(ts, self.times, self.waypoints[:, 1])
-        return np.column_stack([x, y])
+        if side == "right":
+            x = np.interp(ts, self.times, self.waypoints[:, 0])
+            y = np.interp(ts, self.times, self.waypoints[:, 1])
+            return np.column_stack([x, y])
+        if side != "left":
+            raise PlanningError(f"side must be 'left' or 'right', got {side!r}")
+        times = self.times
+        # Segment [j, j+1] with times[j] < t <= times[j+1]; at a
+        # duplicated time this picks the *pre*-jump segment.
+        j = np.searchsorted(times, ts, side="left") - 1
+        j = np.clip(j, 0, len(times) - 2)
+        t0 = times[j]
+        dt = times[j + 1] - t0
+        safe = np.where(dt > 0, dt, 1.0)
+        alpha = np.where(dt > 0, (ts - t0) / safe, (ts > t0).astype(float))
+        alpha = np.clip(alpha, 0.0, 1.0)[:, None]
+        return (1.0 - alpha) * self.waypoints[j] + alpha * self.waypoints[j + 1]
+
+    def discontinuity_times(self) -> np.ndarray:
+        """Times where the position jumps (duplicated waypoint times).
+
+        A :class:`TimedPath` permits two waypoints at the same time
+        stamp, which models an instantaneous position change.  Interval
+        sampling is blind to the pre-jump position at such a time, so
+        evaluators must check both one-sided limits there.
+        """
+        t = self.times
+        if len(t) < 2:
+            return np.empty(0, dtype=float)
+        same_t = np.abs(np.diff(t)) <= 1e-12
+        seg = np.diff(self.waypoints, axis=0)
+        moved = np.hypot(seg[:, 0], seg[:, 1]) > 0.0
+        return np.unique(t[1:][same_t & moved])
 
     def then(self, other: "TimedPath") -> "TimedPath":
         """Concatenate with a later path starting where this one ends.
@@ -192,11 +239,25 @@ class SwarmTrajectory:
         merged = np.union1d(uniform, self.critical_times())
         return merged
 
-    def positions_over(self, times) -> np.ndarray:
-        """Positions for every robot at every time: shape ``(k, n, 2)``."""
+    def discontinuity_times(self) -> np.ndarray:
+        """Union of every path's jump times, clipped to the interval."""
+        ts: set[float] = set()
+        for p in self.paths:
+            ts.update(float(t) for t in p.discontinuity_times())
+        if not ts:
+            return np.empty(0, dtype=float)
+        arr = np.array(sorted(ts))
+        return arr[(arr >= self.t_start - 1e-9) & (arr <= self.t_end + 1e-9)]
+
+    def positions_over(self, times, side: str = "right") -> np.ndarray:
+        """Positions for every robot at every time: shape ``(k, n, 2)``.
+
+        ``side`` selects the one-sided limit taken at discontinuities
+        (see :meth:`TimedPath.positions_at_many`).
+        """
         ts = np.asarray(times, dtype=float)
         per_robot = np.stack(
-            [p.positions_at_many(ts) for p in self.paths], axis=1
+            [p.positions_at_many(ts, side=side) for p in self.paths], axis=1
         )
         return per_robot
 

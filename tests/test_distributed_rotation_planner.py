@@ -94,7 +94,7 @@ class TestDistributedRotationSearch:
             links.links, rc, t_mesh.adjacency,
         )
         result, _ = search.run(depth=2, initial_samples=4)
-        assert search.flood_rounds == result.evaluations == 4 + 2 * 2
+        assert search.flood_rounds == result.evaluations == 4 + 2 * 2 + 1
 
 
 class TestDistributedPlanner:

@@ -113,8 +113,31 @@ class TestAngleSearch:
         assert res.angle == pytest.approx(target, abs=0.2)
 
     def test_evaluation_budget(self):
+        # Seeds + two probes per level + the final bracket's centre.
         res = hierarchical_angle_search(parabola, depth=4, initial_samples=4)
-        assert res.evaluations == 4 + 2 * 4
+        assert res.evaluations == 4 + 2 * 4 + 1
+
+    @pytest.mark.parametrize("depth,samples", [(0, 4), (2, 4), (4, 8), (6, 3)])
+    def test_evaluation_budget_formula(self, depth, samples):
+        res = hierarchical_angle_search(
+            parabola, depth=depth, initial_samples=samples
+        )
+        assert res.evaluations == samples + 2 * depth + 1
+
+    def test_final_bracket_centre_is_scored(self):
+        # Regression: the search must evaluate the centre of the final
+        # interval it narrowed to, not just the quarter-point probes.
+        calls = []
+
+        def tracked(a):
+            calls.append(a)
+            return parabola(a)
+
+        res = hierarchical_angle_search(tracked, depth=3, initial_samples=4)
+        assert len(calls) == res.evaluations
+        # The last evaluation is the final bracket's centre, and the
+        # returned score is the max over every angle actually scored.
+        assert res.score == pytest.approx(max(parabola(a) for a in calls))
 
     def test_exhaustive_oracle(self):
         res = exhaustive_angle_search(parabola, samples=720)
@@ -132,8 +155,9 @@ class TestAngleSearch:
         assert res.score >= max(parabola(a) for a in calls[:4]) - 1e-12
 
     def test_depth_zero_returns_best_seed(self):
+        # Depth 0 still probes the seed bracket's centre once.
         res = hierarchical_angle_search(parabola, depth=0, initial_samples=4)
-        assert res.evaluations == 4
+        assert res.evaluations == 4 + 1
 
     def test_invalid_depth(self):
         with pytest.raises(ValueError):

@@ -48,14 +48,14 @@ class TestBoundaryAndSolverVariants:
     def test_search_depth_zero(self, small_setup):
         swarm, m2 = small_setup
         result = MarchingPlanner(fast_cfg(search_depth=0)).plan(swarm, m2)
-        assert result.rotation_evaluations == 4  # seeds only
+        assert result.rotation_evaluations == 4 + 1  # seeds + bracket centre
 
     def test_more_seeds_more_evaluations(self, small_setup):
         swarm, m2 = small_setup
         result = MarchingPlanner(
             fast_cfg(search_depth=2, initial_samples=8)
         ).plan(swarm, m2)
-        assert result.rotation_evaluations == 8 + 2 * 2
+        assert result.rotation_evaluations == 8 + 2 * 2 + 1
 
 
 class TestTimingAndDensity:

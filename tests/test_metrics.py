@@ -89,6 +89,75 @@ class TestStableLinks:
         assert stable_link_ratio(links, traj) == 1.0
 
 
+class TestStableLinkSamplingExactness:
+    """Definition 1 quantifies over ALL t: the evaluator must not miss
+    breaks that fall between uniform grid samples."""
+
+    def test_detour_break_between_grid_samples(self):
+        # Robot 1 detours out to distance 52 at t=0.4, which falls
+        # strictly between the resolution-32 grid samples 12/31 and
+        # 13/31 (where d <= 50.5).  The detour's waypoint time must be
+        # merged into the evaluation times for the break to be seen.
+        pos = np.array([[0.0, 0.0], [5.0, 0.0]])
+        links = LinkTable.from_positions(pos, 51.0)
+        paths = [
+            TimedPath.stationary([0.0, 0.0], 0.0),
+            TimedPath([[5, 0], [52, 0], [5, 0]], [0.0, 0.4, 1.0]),
+        ]
+        traj = SwarmTrajectory(paths, 0.0, 1.0)
+        rep = stable_link_report(links, traj, resolution=32)
+        assert rep.initial_links == 1
+        assert rep.stable_links == 0
+        assert rep.ratio == 0.0
+
+    def test_pre_jump_break_detected(self):
+        # Robot 1 climbs continuously to distance 50 at t -> 0.5-, then
+        # jumps back to 14 instantaneously (duplicated waypoint time).
+        # Right-continuous sampling sees at most d ~ 48.55 on the grid
+        # and d = 14 at t = 0.5 itself, so only the left-sided limit at
+        # the jump reveals the break at comm range 49.
+        pos = np.array([[0.0, 0.0], [5.0, 0.0]])
+        links = LinkTable.from_positions(pos, 49.0)
+        paths = [
+            TimedPath.stationary([0.0, 0.0], 0.0),
+            TimedPath(
+                [[5, 0], [50, 0], [14, 0], [5, 0]],
+                [0.0, 0.5, 0.5, 1.0],
+            ),
+        ]
+        traj = SwarmTrajectory(paths, 0.0, 1.0)
+        rep = stable_link_report(links, traj, resolution=32)
+        assert rep.stable_links == 0
+        assert rep.ratio == 0.0
+
+    def test_left_and_right_limits(self):
+        path = TimedPath([[0, 0], [10, 0], [2, 0]], [0.0, 0.5, 0.5])
+        assert np.allclose(
+            path.positions_at_many([0.5], side="left")[0], [10, 0]
+        )
+        assert np.allclose(
+            path.positions_at_many([0.5], side="right")[0], [2, 0]
+        )
+        # Continuous instants agree on both sides.
+        assert np.allclose(
+            path.positions_at_many([0.25, 0.75], side="left"),
+            path.positions_at_many([0.25, 0.75], side="right"),
+        )
+
+    def test_discontinuity_times(self):
+        cont = TimedPath.constant_speed([[0, 0], [1, 0]], 0.0, 1.0)
+        assert len(cont.discontinuity_times()) == 0
+        # A duplicated time with identical positions is not a jump.
+        still = TimedPath([[0, 0], [5, 0], [5, 0], [9, 0]], [0, 0.5, 0.5, 1])
+        assert len(still.discontinuity_times()) == 0
+        jump = TimedPath([[0, 0], [5, 0], [7, 0]], [0, 0.5, 0.5])
+        assert np.allclose(jump.discontinuity_times(), [0.5])
+        traj = SwarmTrajectory(
+            [TimedPath.stationary([0, 0], 0.0), jump], 0.0, 0.5
+        )
+        assert np.allclose(traj.discontinuity_times(), [0.5])
+
+
 class TestConnectivity:
     def test_static_chain_connected(self):
         pos = chain_positions()

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.mesh",
     "repro.metrics",
     "repro.network",
+    "repro.obs",
     "repro.robots",
     "repro.viz",
 ]
