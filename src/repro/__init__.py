@@ -20,6 +20,7 @@ The package layers:
 * ``repro.marching``  - the paper's planner (methods (a) and (b))
 * ``repro.baselines`` - Hungarian, direct translation, greedy
 * ``repro.metrics``   - D, L, C (Definitions 1-2)
+* ``repro.exec``      - parallel map engine + content-addressed caching
 * ``repro.experiments`` - the 7 scenarios and the sweep harness
 * ``repro.viz``       - dependency-free SVG figures
 
@@ -37,6 +38,7 @@ Quickstart::
 
 from repro.errors import (
     CoverageError,
+    ExecutionError,
     GeometryError,
     MappingError,
     MeshError,
@@ -68,6 +70,7 @@ __version__ = "1.0.0"
 __all__ = [
     "CoverageError",
     "DistributedMarchingPlanner",
+    "ExecutionError",
     "FailureEvent",
     "FieldOfInterest",
     "GeometryError",

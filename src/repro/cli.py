@@ -15,6 +15,12 @@ on failure, so the CLI doubles as a smoke test in CI.
 Every subcommand accepts ``--trace FILE``: it activates the tracer in
 :mod:`repro.obs` for the run and streams every closed span (plus a
 final metrics snapshot) to ``FILE`` as JSON lines.
+
+The experiment-scale subcommands (``sweep``, ``table1``, ``report``)
+additionally accept ``--workers N`` (fan the independent runs out over
+worker processes; results are byte-identical to ``--workers 1``) and
+``--cache-dir DIR`` (persist the content-addressed disk-map cache
+across invocations).
 """
 
 from __future__ import annotations
@@ -41,6 +47,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a JSONL span trace (plus metrics) of the run to FILE",
     )
 
+    # Experiment-scale commands also get the parallel/caching knobs.
+    parallel = argparse.ArgumentParser(add_help=False)
+    parallel.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for independent runs (default: "
+        "$REPRO_WORKERS or 1); output is identical for any N",
+    )
+    parallel.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist the disk-map cache here, reused across invocations",
+    )
+
     p_scenario = sub.add_parser(
         "scenario", help="run all four methods on one scenario instance",
         parents=[common],
@@ -53,7 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser(
         "sweep", help="Fig. 3-style separation sweep for one scenario",
-        parents=[common],
+        parents=[common, parallel],
     )
     p_sweep.add_argument("scenario_id", type=int, choices=range(1, 8))
     p_sweep.add_argument("--separations", type=float, nargs="+",
@@ -63,7 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "table1", help="Table I: global connectivity per scenario",
-        parents=[common],
+        parents=[common, parallel],
     )
     sub.add_parser(
         "lemmas", help="the Fig. 1 / Lemma 1-2 constructions",
@@ -72,7 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_report = sub.add_parser(
         "report", help="run all scenarios and write a markdown report",
-        parents=[common],
+        parents=[common, parallel],
     )
     p_report.add_argument("--output", default="reproduction_report.md")
     p_report.add_argument("--separation", type=float, default=20.0)
@@ -140,6 +158,7 @@ def _cmd_sweep(args) -> int:
     sweep = sweep_separations(
         get_scenario(args.scenario_id),
         separation_factors=tuple(args.separations),
+        workers=args.workers,
     )
     print(render_sweep(sweep, list(DEFAULT_METHODS)))
     if args.figures:
@@ -153,13 +172,14 @@ def _cmd_table1(args) -> int:
         DEFAULT_METHODS,
         get_scenario,
         render_table1,
-        run_scenario,
+        run_scenarios,
     )
 
-    runs = {
-        sid: run_scenario(get_scenario(sid), separation_factor=20.0)
-        for sid in range(1, 8)
-    }
+    runs = run_scenarios(
+        [get_scenario(sid) for sid in range(1, 8)],
+        separation_factor=20.0,
+        workers=args.workers,
+    )
     print(render_table1(runs, list(DEFAULT_METHODS)))
     ours_ok = all(
         runs[sid].evaluations[m].globally_connected
@@ -195,6 +215,7 @@ def _cmd_report(args) -> int:
         args.output,
         separation_factor=args.separation,
         scenario_ids=args.scenarios,
+        workers=args.workers,
     )
     print(f"wrote {path}")
     return 0
@@ -260,6 +281,16 @@ _COMMANDS = {
 }
 
 
+def _dispatch(args) -> int:
+    """Run the selected command, under a disk-backed cache if requested."""
+    if getattr(args, "cache_dir", None):
+        from repro.exec import activate_cache, disk_backed_cache
+
+        with activate_cache(disk_backed_cache(args.cache_dir)):
+            return _COMMANDS[args.command](args)
+    return _COMMANDS[args.command](args)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -281,10 +312,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             tracer = Tracer(sink=sink)
             metrics = Metrics()
             with activate(tracer), activate_metrics(metrics):
-                code = _COMMANDS[args.command](args)
+                code = _dispatch(args)
             sink.emit_metrics(metrics)
         return code
-    return _COMMANDS[args.command](args)
+    return _dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -42,5 +42,16 @@ class CoverageError(ReproError):
     """A coverage computation (Voronoi / Lloyd) received invalid input."""
 
 
+class ExecutionError(ReproError):
+    """A parallel-execution task failed permanently.
+
+    Raised by :class:`repro.exec.ParallelMap` after a task has exhausted
+    its retry budget - whether the worker raised, timed out, or the task
+    could not even be shipped to the worker (e.g. an unpicklable
+    payload on the process backend).  The original failure is chained as
+    ``__cause__`` when one exists.
+    """
+
+
 class ScenarioError(ReproError):
     """An experiment scenario is mis-specified."""

@@ -8,9 +8,11 @@ from repro.experiments.harness import (
     TransitionEvaluation,
     evaluate_trajectory,
     run_scenario,
+    run_scenarios,
+    sweep_many,
     sweep_separations,
 )
-from repro.experiments.figures import write_sweep_figures
+from repro.experiments.figures import write_all_sweep_figures, write_sweep_figures
 from repro.experiments.generator import RandomScenario, random_foi, random_scenario
 from repro.experiments.report import build_report, write_report
 from repro.experiments.lemmas import (
@@ -50,7 +52,10 @@ __all__ = [
     "render_sweep",
     "render_table1",
     "run_scenario",
+    "run_scenarios",
+    "sweep_many",
     "sweep_separations",
+    "write_all_sweep_figures",
     "write_report",
     "write_sweep_figures",
 ]

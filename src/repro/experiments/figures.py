@@ -10,10 +10,11 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Sequence
 
-from repro.experiments.harness import SweepResult
+from repro.experiments.harness import SweepResult, sweep_many
+from repro.experiments.scenarios import get_scenario
 from repro.viz.chart import LineChart
 
-__all__ = ["write_sweep_figures"]
+__all__ = ["write_sweep_figures", "write_all_sweep_figures"]
 
 
 def write_sweep_figures(
@@ -61,4 +62,34 @@ def write_sweep_figures(
         links.add_series(m, seps, sweep.series("stable_link_ratio", m))
     written.append(out / f"scenario{sweep.scenario_id}_stable_links.svg")
     links.save(written[-1])
+    return written
+
+
+def write_all_sweep_figures(
+    scenario_ids: Sequence[int],
+    directory,
+    separation_factors=(10.0, 40.0, 70.0, 100.0),
+    methods: Sequence[str] = ("ours (a)", "ours (b)", "direct translation", "Hungarian"),
+    workers: int | None = None,
+    backend: str = "process",
+    **run_kwargs,
+) -> list[Path]:
+    """Sweep several scenarios (optionally in parallel) and write all panels.
+
+    The sweeps fan out one worker task per scenario through
+    :class:`repro.exec.ParallelMap`; rendering happens in the parent, in
+    scenario order, so the emitted SVG bytes are identical for any
+    ``workers`` count.
+    """
+    sweeps = sweep_many(
+        [get_scenario(sid) for sid in scenario_ids],
+        separation_factors=separation_factors,
+        methods=methods,
+        workers=workers,
+        backend=backend,
+        **run_kwargs,
+    )
+    written: list[Path] = []
+    for sweep in sweeps:
+        written.extend(write_sweep_figures(sweep, directory, methods))
     return written

@@ -21,6 +21,7 @@ import numpy as np
 from repro.baselines import direct_translation_plan, hungarian_plan
 from repro.coverage.lattice import optimal_coverage_positions
 from repro.coverage.lloyd import LloydConfig
+from repro.exec import ParallelMap, resolve_workers
 from repro.experiments.scenarios import ScenarioSpec
 from repro.marching import MarchingConfig, MarchingPlanner
 from repro.metrics import (
@@ -40,7 +41,9 @@ __all__ = [
     "SweepResult",
     "evaluate_trajectory",
     "run_scenario",
+    "run_scenarios",
     "sweep_separations",
+    "sweep_many",
     "DEFAULT_METHODS",
 ]
 
@@ -256,32 +259,140 @@ class SweepResult:
         return [p.separation_factor for p in self.points]
 
 
+def _sweep_point_from_run(run: ScenarioRun) -> SweepPoint:
+    """Condense one scenario run into a Fig. 3 sweep point."""
+    hung = run.evaluations.get("Hungarian")
+    base = hung.total_distance if hung else max(
+        e.total_distance for e in run.evaluations.values()
+    )
+    return SweepPoint(
+        separation_factor=run.separation_factor,
+        distance_ratio={
+            m: e.total_distance / base for m, e in run.evaluations.items()
+        },
+        stable_link_ratio={
+            m: e.stable_link_ratio for m, e in run.evaluations.items()
+        },
+        connected={
+            m: e.globally_connected for m, e in run.evaluations.items()
+        },
+    )
+
+
+def _scenario_task(task) -> ScenarioRun:
+    """One ``run_scenario`` call, shaped for :class:`ParallelMap`.
+
+    Module-level (hence picklable) so the process backend can ship it;
+    ``task`` is ``(spec, separation, methods, run_kwargs)``.
+    """
+    spec, separation, methods, run_kwargs = task
+    return run_scenario(spec, separation, methods, **run_kwargs)
+
+
+def _sweep_task(task) -> "SweepResult":
+    """One whole-scenario sweep, shaped for :class:`ParallelMap`."""
+    spec, separation_factors, methods, run_kwargs = task
+    return sweep_separations(
+        spec, separation_factors, methods, workers=1, **run_kwargs
+    )
+
+
 def sweep_separations(
     spec: ScenarioSpec,
     separation_factors=(10.0, 25.0, 50.0, 75.0, 100.0),
     methods=DEFAULT_METHODS,
+    workers: int | None = None,
+    backend: str = "process",
     **run_kwargs,
 ) -> SweepResult:
-    """Reproduce a Fig. 3-style sweep: metrics vs M1-M2 separation."""
-    points = []
-    for sep in separation_factors:
-        run = run_scenario(spec, sep, methods, **run_kwargs)
-        hung = run.evaluations.get("Hungarian")
-        base = hung.total_distance if hung else max(
-            e.total_distance for e in run.evaluations.values()
+    """Reproduce a Fig. 3-style sweep: metrics vs M1-M2 separation.
+
+    Parameters
+    ----------
+    spec, separation_factors, methods
+        As before.
+    workers : int, optional
+        Fan the sweep points out over this many workers (``None`` reads
+        ``REPRO_WORKERS``, default 1 = inline).  Results are identical
+        for any worker count: every point is a pure computation, and
+        per-worker obs spans/metrics merge back in point order.
+    backend : str
+        :class:`repro.exec.ParallelMap` backend for ``workers > 1``.
+    """
+    workers = resolve_workers(workers)
+    seps = list(separation_factors)
+    if workers > 1 and len(seps) > 1:
+        engine = ParallelMap(backend=backend, workers=workers)
+        runs = engine.map(
+            _scenario_task,
+            [(spec, sep, tuple(methods), dict(run_kwargs)) for sep in seps],
         )
-        points.append(
-            SweepPoint(
-                separation_factor=sep,
-                distance_ratio={
-                    m: e.total_distance / base for m, e in run.evaluations.items()
-                },
-                stable_link_ratio={
-                    m: e.stable_link_ratio for m, e in run.evaluations.items()
-                },
-                connected={
-                    m: e.globally_connected for m, e in run.evaluations.items()
-                },
-            )
+    else:
+        runs = [run_scenario(spec, sep, methods, **run_kwargs) for sep in seps]
+    return SweepResult(
+        scenario_id=spec.scenario_id,
+        points=[_sweep_point_from_run(run) for run in runs],
+    )
+
+
+def run_scenarios(
+    specs,
+    separation_factor: float = 20.0,
+    methods=DEFAULT_METHODS,
+    workers: int | None = None,
+    backend: str = "process",
+    **run_kwargs,
+) -> dict[int, ScenarioRun]:
+    """Run several scenarios (Table I / report path), optionally in parallel.
+
+    Returns
+    -------
+    dict
+        ``{scenario_id: ScenarioRun}`` in scenario order, identical for
+        any ``workers`` count.
+    """
+    specs = list(specs)
+    workers = resolve_workers(workers)
+    if workers > 1 and len(specs) > 1:
+        engine = ParallelMap(backend=backend, workers=workers)
+        runs = engine.map(
+            _scenario_task,
+            [
+                (spec, separation_factor, tuple(methods), dict(run_kwargs))
+                for spec in specs
+            ],
         )
-    return SweepResult(scenario_id=spec.scenario_id, points=points)
+    else:
+        runs = [
+            run_scenario(spec, separation_factor, methods, **run_kwargs)
+            for spec in specs
+        ]
+    return {spec.scenario_id: run for spec, run in zip(specs, runs)}
+
+
+def sweep_many(
+    specs,
+    separation_factors=(10.0, 25.0, 50.0, 75.0, 100.0),
+    methods=DEFAULT_METHODS,
+    workers: int | None = None,
+    backend: str = "process",
+    **run_kwargs,
+) -> list[SweepResult]:
+    """Full sweeps for several scenarios, one worker task per scenario."""
+    specs = list(specs)
+    workers = resolve_workers(workers)
+    if workers > 1 and len(specs) > 1:
+        engine = ParallelMap(backend=backend, workers=workers)
+        return engine.map(
+            _sweep_task,
+            [
+                (spec, tuple(separation_factors), tuple(methods), dict(run_kwargs))
+                for spec in specs
+            ],
+        )
+    return [
+        sweep_separations(
+            spec, separation_factors, methods, workers=1, **run_kwargs
+        )
+        for spec in specs
+    ]

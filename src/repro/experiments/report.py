@@ -12,7 +12,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Sequence
 
-from repro.experiments.harness import DEFAULT_METHODS, ScenarioRun, run_scenario
+from repro.experiments.harness import DEFAULT_METHODS, ScenarioRun, run_scenarios
 from repro.experiments.scenarios import SCENARIOS, get_scenario
 from repro.obs import Tracer, activate
 
@@ -31,17 +31,29 @@ def build_report(
     separation_factor: float = 20.0,
     scenario_ids: Sequence[int] | None = None,
     methods: Sequence[str] = DEFAULT_METHODS,
+    workers: int | None = None,
+    backend: str = "process",
     **run_kwargs,
 ) -> str:
-    """Run the scenarios and return the markdown report text."""
+    """Run the scenarios and return the markdown report text.
+
+    With ``workers > 1`` the scenarios fan out over worker processes;
+    their spans and metrics merge back into the report's tracer (in
+    scenario order), so the phase-timing table reflects worker time and
+    the metric tables are identical for any worker count (the timing
+    table, like any wall-clock measurement, varies run to run).
+    """
     ids = sorted(scenario_ids or SCENARIOS)
-    runs: dict[int, ScenarioRun] = {}
     tracer = Tracer()
     with activate(tracer):
-        for sid in ids:
-            runs[sid] = run_scenario(
-                get_scenario(sid), separation_factor, methods, **run_kwargs
-            )
+        runs: dict[int, ScenarioRun] = run_scenarios(
+            [get_scenario(sid) for sid in ids],
+            separation_factor,
+            methods,
+            workers=workers,
+            backend=backend,
+            **run_kwargs,
+        )
 
     parts = [
         "# Optimal Marching - reproduction report",

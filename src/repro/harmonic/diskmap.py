@@ -15,6 +15,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.errors import MappingError
+from repro.exec.cache import get_cache, stable_hash
 from repro.geometry.pointlocate import TriangleLocator
 from repro.geometry.vec import rotate
 from repro.harmonic.boundary import boundary_parameterization, circle_positions
@@ -24,7 +25,50 @@ from repro.mesh.quality import orientation_signs
 from repro.mesh.trimesh import TriMesh
 from repro.obs import span
 
-__all__ = ["DiskMap", "compute_disk_map"]
+__all__ = ["DiskMap", "compute_disk_map", "disk_map_cache_key"]
+
+_CACHE_NAMESPACE = "harmonic.diskmap"
+# Key quantum for vertex coordinates after centring.  Well below any
+# geometric scale the library works at (communication ranges are tens
+# of metres), but far above the float noise introduced by translating a
+# mesh, so translated copies of one region share a cache entry.
+_KEY_QUANTUM = 1e-6
+
+
+def _canonical_vertices(mesh: TriMesh) -> np.ndarray:
+    """Vertices centred on their mean and snapped to the key quantum.
+
+    The embedding is *solved* in this frame too, so the computed disk
+    positions are a pure (bitwise-reproducible) function of the cache
+    key: any worker process, any run, cold or warm cache, produces the
+    same bytes for key-equal meshes.
+    """
+    vertices = np.asarray(mesh.vertices, dtype=float)
+    centered = vertices - vertices.mean(axis=0)
+    return np.round(centered / _KEY_QUANTUM)
+
+
+def disk_map_cache_key(
+    mesh: TriMesh, boundary_mode: str, solver: str, tol: float
+) -> str:
+    """Content address of a disk-map computation.
+
+    The harmonic embedding depends only on the mesh connectivity and
+    the boundary chord proportions, both of which are invariant under
+    translation of the vertex coordinates; the key therefore centres
+    the vertices on their mean (and quantises at ``1e-6``) so the same
+    target region placed at different separations resolves to one cache
+    entry.  Any reordering, rotation or scaling of the input yields a
+    different key - a conservative miss, never a wrong hit.
+    """
+    return stable_hash(
+        "diskmap",
+        _canonical_vertices(mesh).astype(np.int64),
+        np.asarray(mesh.triangles, dtype=np.int64),
+        str(boundary_mode),
+        str(solver),
+        float(tol),
+    )
 
 
 @dataclass(frozen=True)
@@ -89,6 +133,7 @@ def compute_disk_map(
     boundary_mode: str = "chord",
     solver: str = "linear",
     tol: float = 1e-7,
+    use_cache: bool = True,
 ) -> DiskMap:
     """Harmonic-map a (possibly holed) mesh to the unit disk.
 
@@ -106,27 +151,57 @@ def compute_disk_map(
     solver : {"linear", "iterative"}
     tol : float
         Convergence tolerance of the iterative solver.
+    use_cache : bool
+        Look the embedding up in the ambient
+        :class:`repro.exec.ContentCache` (see
+        :func:`disk_map_cache_key`) before solving, and store it after.
+        The M2 grid mesh of a sweep is translated per separation but
+        identical up to translation, so a whole sweep solves it once.
 
     Raises
     ------
     MappingError
         If the solver fails or the result is not an embedding.
     """
+    cache = get_cache() if use_cache else None
+    key = None
     with span(
         "harmonic.disk_map",
         vertices=mesh.vertex_count,
         boundary_mode=boundary_mode,
         solver=solver,
     ) as sp_:
+        if cache is not None:
+            key = disk_map_cache_key(mesh, boundary_mode, solver, tol)
+            hit = cache.get(_CACHE_NAMESPACE, key)
+            if hit is not None:
+                positions, iterations = hit
+                dm = DiskMap(
+                    source=mesh,
+                    filled=fill_holes(mesh),
+                    disk_positions=positions,
+                    boundary_mode=boundary_mode,
+                    solver=solver,
+                    iterations=iterations,
+                )
+                sp_.set_attributes(cache="hit", iterations=iterations)
+                return dm
         filled = fill_holes(mesh)
-        loop, angles = boundary_parameterization(filled.mesh, mode=boundary_mode)
+        # Solve in the translation-canonical frame of the cache key (the
+        # uniform-weight system only sees connectivity and boundary
+        # chord proportions, so this changes nothing beyond fp noise)
+        # to make the disk positions a pure function of the key.
+        canonical = fill_holes(
+            mesh.with_vertices(_canonical_vertices(mesh) * _KEY_QUANTUM)
+        ).mesh
+        loop, angles = boundary_parameterization(canonical, mode=boundary_mode)
         bpos = circle_positions(angles)
         if solver == "linear":
-            positions = solve_linear(filled.mesh, loop, bpos)
+            positions = solve_linear(canonical, loop, bpos)
             iterations = 0
         elif solver == "iterative":
             positions, iterations = solve_iterative(
-                filled.mesh, loop, bpos, tol=tol
+                canonical, loop, bpos, tol=tol
             )
         else:
             raise MappingError(f"unknown solver {solver!r}")
@@ -140,5 +215,11 @@ def compute_disk_map(
         )
         if dm.max_radius() > 1.0 + 1e-6:
             raise MappingError("disk map escapes the unit disk")
-        sp_.set_attributes(iterations=iterations, max_radius=dm.max_radius())
+        if cache is not None and key is not None:
+            cache.put(_CACHE_NAMESPACE, key, (positions, iterations))
+        sp_.set_attributes(
+            cache="miss" if cache is not None else "off",
+            iterations=iterations,
+            max_radius=dm.max_radius(),
+        )
     return dm

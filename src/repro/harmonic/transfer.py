@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import MappingError
 from repro.geometry.vec import as_points, rotate
 from repro.harmonic.diskmap import DiskMap
+from repro.obs import get_metrics
 
 __all__ = ["InducedMap"]
 
@@ -33,12 +34,21 @@ class InducedMap:
         Disk embedding of the target FoI's grid mesh.  The geographic
         image uses the target's *source mesh* coordinates; virtual
         (hole) vertices are handled per Sec. III-D3.
+    memoize : bool
+        Remember :meth:`map_points` results per ``(points, rotation)``
+        (default True).  The rotation search probes the same point set
+        at a handful of angles and the planner re-reads the winning
+        angle afterwards, so at least one probe per plan is a hit; hit
+        and miss counts land in ``cache.induced_map.*`` metrics.
     """
 
-    def __init__(self, target: DiskMap) -> None:
+    def __init__(self, target: DiskMap, memoize: bool = True) -> None:
         self.target = target
         filled = target.filled
         self._is_virtual = filled.is_virtual
+        self._memo: dict[tuple[bytes, float], np.ndarray] | None = (
+            {} if memoize else None
+        )
         # Geographic coordinates per filled vertex; virtual vertices get
         # their hole-centroid position only as a fallback anchor.
         geo = np.zeros((filled.mesh.vertex_count, 2))
@@ -80,6 +90,19 @@ class InducedMap:
             modified harmonic map's rotation parameter.
         """
         pts = as_points(disk_points)
+        if self._memo is None:
+            return self._map_points_impl(pts, rotation)
+        key = (np.ascontiguousarray(pts).tobytes(), float(rotation))
+        cached = self._memo.get(key)
+        if cached is not None:
+            get_metrics().counter("cache.induced_map.hits").inc()
+            return cached.copy()
+        get_metrics().counter("cache.induced_map.misses").inc()
+        result = self._map_points_impl(pts, rotation)
+        self._memo[key] = result.copy()
+        return result
+
+    def _map_points_impl(self, pts: np.ndarray, rotation: float) -> np.ndarray:
         if rotation != 0.0:
             pts = rotate(pts, rotation)
         return np.array([self.map_point(p) for p in pts])

@@ -74,6 +74,11 @@ class MarchingConfig:
         Total time ``T`` of the march + adjustment plan.
     keep_artifacts : bool
         Keep meshes/disk maps on the result for figures and debugging.
+    use_cache : bool
+        Let the disk-map stages consult the ambient
+        :class:`repro.exec.ContentCache` (default True); the target
+        FoI's embedding is mission-independent, so repeated plans into
+        the same region (sweeps, method (a) vs (b)) reuse one solve.
     """
 
     method: str = "a"
@@ -85,6 +90,7 @@ class MarchingConfig:
     lloyd: LloydConfig = field(default_factory=LloydConfig)
     transition_time: float = 1.0
     keep_artifacts: bool = False
+    use_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.method not in ("a", "b"):
@@ -167,7 +173,8 @@ class MarchingPlanner:
         # Stage 2: modified harmonic map.
         with span("plan.disk_map_t", solver=cfg.solver):
             dm_t = compute_disk_map(
-                t_mesh, boundary_mode=cfg.boundary_mode, solver=cfg.solver
+                t_mesh, boundary_mode=cfg.boundary_mode, solver=cfg.solver,
+                use_cache=cfg.use_cache,
             )
         with span("plan.triangulate_foi", target_points=cfg.foi_target_points):
             foi_mesh = triangulate_foi(
@@ -175,7 +182,8 @@ class MarchingPlanner:
             )
         with span("plan.disk_map_m2", solver=cfg.solver):
             dm_m2 = compute_disk_map(
-                foi_mesh.mesh, boundary_mode=cfg.boundary_mode, solver=cfg.solver
+                foi_mesh.mesh, boundary_mode=cfg.boundary_mode, solver=cfg.solver,
+                use_cache=cfg.use_cache,
             )
         induced = InducedMap(dm_m2)
         disk_pts = dm_t.robot_disk_positions

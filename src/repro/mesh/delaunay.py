@@ -140,7 +140,16 @@ def triangulate_foi(
         If the surviving mesh is too small or structurally unsound.
     """
     ps = grid_foi(foi, spacing=spacing, target_points=target_points)
-    full = delaunay_mesh(ps.points)
+    pts = as_points(ps.points)
+    # Triangulate in a translation-canonical frame (mean-centred,
+    # snapped to a 1e-6 grid): qhull tie-breaks exactly co-circular
+    # lattice points on raw coordinates, so translated copies of one
+    # region would otherwise get structurally different triangulations
+    # - defeating the content-addressed disk-map cache and making sweep
+    # results depend on where M2 happens to sit.
+    centered = pts - pts.mean(axis=0)
+    canonical = np.round(centered / 1e-6) * 1e-6
+    full = TriMesh(pts, delaunay_mesh(canonical).triangles)
     a = full.vertices[full.triangles[:, 0]]
     b = full.vertices[full.triangles[:, 1]]
     c = full.vertices[full.triangles[:, 2]]

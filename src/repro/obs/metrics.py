@@ -107,6 +107,21 @@ class Histogram:
             self.min = v if self.min is None else min(self.min, v)
             self.max = v if self.max is None else max(self.max, v)
 
+    def absorb(self, payload: dict[str, Any]) -> None:
+        """Fold another histogram's ``to_dict`` payload into this one."""
+        count = int(payload.get("count", 0))
+        if count <= 0:
+            return
+        other_min = payload.get("min")
+        other_max = payload.get("max")
+        with self._lock:
+            self.count += count
+            self.total += float(payload.get("total", 0.0))
+            if other_min is not None:
+                self.min = other_min if self.min is None else min(self.min, other_min)
+            if other_max is not None:
+                self.max = other_max if self.max is None else max(self.max, other_max)
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -161,6 +176,25 @@ class Metrics:
         with self._lock:
             insts = list(self._instruments.values())
         return {inst.name: inst.to_dict() for inst in sorted(insts, key=lambda i: i.name)}
+
+    def merge(self, snapshot: dict[str, dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters add, gauges take the incoming value, histograms absorb
+        the incoming summary.  This is how per-worker registries from
+        :class:`repro.exec.ParallelMap` land back in the parent; merging
+        snapshots in task order keeps the combined registry
+        deterministic regardless of worker scheduling.
+        """
+        for name in sorted(snapshot):
+            payload = snapshot[name]
+            kind = payload.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(float(payload.get("value", 0.0)))
+            elif kind == "gauge":
+                self.gauge(name).set(float(payload.get("value", 0.0)))
+            elif kind == "histogram":
+                self.histogram(name).absorb(payload)
 
     def reset(self) -> None:
         """Drop every instrument (fresh registry state)."""

@@ -156,6 +156,11 @@ class NullTracer:
     def span_names(self) -> list[str]:
         return []
 
+    def absorb_records(
+        self, records: list[dict], task_index: int | None = None
+    ) -> None:
+        """Dropped - there is no trace to absorb into."""
+
 
 NULL_TRACER = NullTracer()
 
@@ -226,6 +231,55 @@ class Tracer:
                 self.sink.emit(record.to_dict())
 
     # ------------------------------------------------------------------
+
+    def absorb_records(
+        self, records: list[dict], task_index: int | None = None
+    ) -> None:
+        """Fold span dicts recorded by a *worker* tracer into this one.
+
+        Used by :class:`repro.exec.ParallelMap` to merge per-task
+        traces back into the parent: span ids are remapped to fresh
+        local ids (parent links within the batch are preserved), names
+        and durations feed :meth:`phase_timings` exactly like locally
+        recorded spans, and each absorbed span is emitted to the sink.
+        ``t_start`` stays relative to the *worker's* epoch; the
+        ``task_index`` attribute identifies the originating task.
+
+        Call once per task in task order - that keeps the merged trace
+        deterministic regardless of worker scheduling.
+        """
+        absorbed: list[SpanRecord] = []
+        with self._lock:
+            id_map: dict[Any, int] = {}
+            for rec in records:
+                new_id = self._next_id
+                self._next_id += 1
+                id_map[rec.get("span_id")] = new_id
+                attributes = dict(rec.get("attributes") or {})
+                if task_index is not None:
+                    attributes["task_index"] = task_index
+                attributes.setdefault("origin", "exec.worker")
+                record = SpanRecord(
+                    name=str(rec.get("name", "")),
+                    span_id=new_id,
+                    parent_id=id_map.get(rec.get("parent_id")),
+                    depth=int(rec.get("depth", 0)),
+                    t_start=float(rec.get("t_start", 0.0)),
+                    duration_s=rec.get("duration_s"),
+                    attributes=attributes,
+                )
+                self._records.append(record)
+                if record.duration_s is not None:
+                    self._counts[record.name] = (
+                        self._counts.get(record.name, 0) + 1
+                    )
+                    self._totals[record.name] = (
+                        self._totals.get(record.name, 0.0) + record.duration_s
+                    )
+                absorbed.append(record)
+        if self.sink is not None:
+            for record in absorbed:
+                self.sink.emit(record.to_dict())
 
     def get_trace(self) -> list[SpanRecord]:
         """All recorded spans, in start order."""

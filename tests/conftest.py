@@ -10,10 +10,25 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.exec import ContentCache, activate_cache
 from repro.foi import FieldOfInterest, ellipse_polygon, m1_base
 from repro.geometry import Polygon
 from repro.mesh import triangulate_foi
 from repro.robots import RadioSpec, Swarm
+
+
+@pytest.fixture(autouse=True)
+def _fresh_content_cache():
+    """A private content cache per test.
+
+    Caching stays on (the wiring is exercised everywhere), but a warm
+    entry from one test can no longer turn another test's disk-map
+    solve into a hit and change its observable span/solve counts.
+    Tests that study caching itself activate their own caches inside
+    this scope.
+    """
+    with activate_cache(ContentCache()):
+        yield
 
 
 @pytest.fixture(scope="session")

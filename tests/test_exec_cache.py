@@ -1,0 +1,224 @@
+"""Tests for content-addressed caching and its disk-map wiring."""
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    ContentCache,
+    DiskStore,
+    LRUCache,
+    activate_cache,
+    disk_backed_cache,
+    get_cache,
+    set_cache,
+    stable_hash,
+)
+from repro.harmonic import compute_disk_map
+from repro.harmonic.diskmap import disk_map_cache_key
+from repro.obs import Metrics, activate_metrics
+
+
+@pytest.fixture
+def metrics():
+    m = Metrics()
+    with activate_metrics(m):
+        yield m
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(1, "a", 2.5) == stable_hash(1, "a", 2.5)
+
+    def test_dict_key_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_int_float_distinct(self):
+        assert stable_hash(1) != stable_hash(1.0)
+
+    def test_str_bytes_distinct(self):
+        assert stable_hash("ab") != stable_hash(b"ab")
+
+    def test_nesting_is_unambiguous(self):
+        assert stable_hash(["ab"], ["c"]) != stable_hash(["a"], ["bc"])
+        assert stable_hash([[1], [2]]) != stable_hash([[1, 2]])
+
+    def test_ndarray_content(self):
+        a = np.arange(6, dtype=float)
+        assert stable_hash(a) == stable_hash(a.copy())
+        assert stable_hash(a) != stable_hash(a.reshape(2, 3))
+        assert stable_hash(a) != stable_hash(a.astype(np.int64))
+        b = a.copy()
+        b[3] = 99.0
+        assert stable_hash(a) != stable_hash(b)
+
+    def test_noncontiguous_array_equals_contiguous(self):
+        a = np.arange(12, dtype=float).reshape(3, 4)
+        assert stable_hash(a[:, ::2]) == stable_hash(
+            np.ascontiguousarray(a[:, ::2])
+        )
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            stable_hash(object())
+
+    def test_none_and_bool(self):
+        assert stable_hash(None) != stable_hash(False)
+        assert stable_hash(True) != stable_hash(1)
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        lru = LRUCache(capacity=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")  # refresh "a": "b" becomes the eviction victim
+        lru.put("c", 3)
+        assert "a" in lru and "c" in lru and "b" not in lru
+
+    def test_overwrite_does_not_grow(self):
+        lru = LRUCache(capacity=2)
+        lru.put("a", 1)
+        lru.put("a", 2)
+        assert len(lru) == 1 and lru.get("a") == 2
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+
+class TestDiskStore:
+    def test_round_trip(self, tmp_path):
+        store = DiskStore(tmp_path)
+        key = stable_hash("entry")
+        store.put(key, {"x": np.arange(3)})
+        out = store.get(key)
+        assert np.array_equal(out["x"], np.arange(3))
+        assert len(store) == 1
+
+    def test_missing_key(self, tmp_path):
+        assert DiskStore(tmp_path).get(stable_hash("nope")) is None
+
+    def test_corrupt_entry_reads_as_miss_and_is_removed(self, tmp_path):
+        store = DiskStore(tmp_path)
+        key = stable_hash("entry")
+        store.put(key, 123)
+        path = store._path(key)
+        path.write_bytes(b"not a pickle")
+        assert store.get(key) is None
+        assert not path.exists()
+
+
+class TestContentCache:
+    def test_memory_hit_and_metrics(self, metrics):
+        cache = ContentCache(capacity=8)
+        key = stable_hash("k")
+        assert cache.get("ns", key) is None
+        cache.put("ns", key, "value")
+        assert cache.get("ns", key) == "value"
+        assert metrics.counter("cache.ns.hits").value == 1
+        assert metrics.counter("cache.ns.misses").value == 1
+        assert metrics.counter("cache.ns.stores").value == 1
+        assert ContentCache.hit_rate("ns") == 0.5
+
+    def test_namespaces_do_not_collide(self, metrics):
+        cache = ContentCache()
+        key = stable_hash("k")
+        cache.put("ns1", key, "one")
+        assert cache.get("ns2", key) is None
+
+    def test_disk_promotion(self, metrics, tmp_path):
+        first = ContentCache(disk=DiskStore(tmp_path))
+        key = stable_hash("k")
+        first.put("ns", key, [1, 2, 3])
+        # A fresh cache (cold memory) over the same directory: disk hit.
+        second = ContentCache(disk=DiskStore(tmp_path))
+        assert second.get("ns", key) == [1, 2, 3]
+        assert metrics.counter("cache.ns.disk_hits").value == 1
+        # Promoted to memory: the next get does not touch disk again.
+        assert second.get("ns", key) == [1, 2, 3]
+        assert metrics.counter("cache.ns.disk_hits").value == 1
+
+    def test_activate_cache_scoping(self):
+        outer = get_cache()
+        mine = ContentCache()
+        with activate_cache(mine):
+            assert get_cache() is mine
+            with activate_cache(None):
+                assert get_cache() is None
+            assert get_cache() is mine
+        assert get_cache() is outer
+
+    def test_set_cache(self):
+        outer = get_cache()
+        try:
+            set_cache(None)
+            assert get_cache() is None
+        finally:
+            set_cache(outer)
+
+    def test_disk_backed_cache_factory(self, tmp_path):
+        cache = disk_backed_cache(tmp_path / "store", capacity=4)
+        assert isinstance(cache.disk, DiskStore)
+        assert (tmp_path / "store").is_dir()
+
+
+class TestDiskMapCaching:
+    def test_identical_mesh_hits(self, square_foi_mesh, metrics):
+        with activate_cache(ContentCache()):
+            a = compute_disk_map(square_foi_mesh.mesh)
+            b = compute_disk_map(square_foi_mesh.mesh)
+        assert metrics.counter("cache.harmonic.diskmap.misses").value == 1
+        assert metrics.counter("cache.harmonic.diskmap.hits").value == 1
+        assert a.disk_positions.tobytes() == b.disk_positions.tobytes()
+
+    def test_translated_mesh_shares_entry_bitwise(self, square_foi_mesh, metrics):
+        mesh = square_foi_mesh.mesh
+        moved = mesh.with_vertices(mesh.vertices + np.array([5000.0, -320.0]))
+        assert disk_map_cache_key(
+            mesh, "chord", "linear", 1e-7
+        ) == disk_map_cache_key(moved, "chord", "linear", 1e-7)
+        with activate_cache(ContentCache()):
+            a = compute_disk_map(mesh)
+            b = compute_disk_map(moved)
+        assert metrics.counter("cache.harmonic.diskmap.hits").value == 1
+        assert a.disk_positions.tobytes() == b.disk_positions.tobytes()
+        # The hit still carries the mesh's own geographic coordinates.
+        assert np.allclose(b.source.vertices, moved.vertices)
+
+    def test_scaled_mesh_misses(self, square_foi_mesh, metrics):
+        mesh = square_foi_mesh.mesh
+        scaled = mesh.with_vertices(mesh.vertices * 2.0)
+        assert disk_map_cache_key(
+            mesh, "chord", "linear", 1e-7
+        ) != disk_map_cache_key(scaled, "chord", "linear", 1e-7)
+
+    def test_solver_params_in_key(self, square_foi_mesh):
+        mesh = square_foi_mesh.mesh
+        base = disk_map_cache_key(mesh, "chord", "linear", 1e-7)
+        assert base != disk_map_cache_key(mesh, "uniform", "linear", 1e-7)
+        assert base != disk_map_cache_key(mesh, "chord", "iterative", 1e-7)
+        assert base != disk_map_cache_key(mesh, "chord", "linear", 1e-5)
+
+    def test_use_cache_false_bypasses(self, square_foi_mesh, metrics):
+        with activate_cache(ContentCache()):
+            compute_disk_map(square_foi_mesh.mesh, use_cache=False)
+        assert metrics.counter("cache.harmonic.diskmap.misses").value == 0
+        assert metrics.counter("cache.harmonic.diskmap.stores").value == 0
+
+    def test_cached_map_is_valid_embedding(self, square_foi_mesh, metrics):
+        with activate_cache(ContentCache()):
+            compute_disk_map(square_foi_mesh.mesh)
+            dm = compute_disk_map(square_foi_mesh.mesh)
+        assert dm.is_embedding()
+        assert dm.max_radius() == pytest.approx(1.0)
+
+    def test_cold_vs_warm_disk_identical(self, square_foi_mesh, metrics, tmp_path):
+        mesh = square_foi_mesh.mesh
+        with activate_cache(disk_backed_cache(tmp_path)):
+            cold = compute_disk_map(mesh)
+        # A fresh process would start with an empty memory tier too; a
+        # new ContentCache over the same directory models that.
+        with activate_cache(disk_backed_cache(tmp_path)):
+            warm = compute_disk_map(mesh)
+        assert metrics.counter("cache.harmonic.diskmap.disk_hits").value == 1
+        assert cold.disk_positions.tobytes() == warm.disk_positions.tobytes()

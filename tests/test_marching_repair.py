@@ -118,3 +118,57 @@ class TestRepairContract:
             adj = adjacency_from_edges(len(p), graph.edges[alive])
             hops = bfs_hops(adj, boundary)
             assert (hops >= 0).all()
+
+
+class TestNestedSubgroupIsolation:
+    """A subgroup whose only one-range neighbours are themselves isolated
+    needs a later round: its escort can only start once the inner
+    subgroup has been escorted back into the connected component."""
+
+    def _nested_instance(self):
+        p = chain(8)  # anchors -- 0 1 2 3 | A = {4, 5} | B = {6, 7}
+        rc = 1.5
+        shift = np.array([0.3, 0.0])
+        q = p + shift  # the reached robots march rigidly
+        q[4:6] += [0.0, 40.0]  # subgroup A tears off together...
+        q[6:8] += [0.0, 80.0]  # ...and B, reachable only through A
+        return p, q, rc
+
+    def test_inner_then_outer_subgroup_escorted(self):
+        p, q, rc = self._nested_instance()
+        out, info = repair_targets(p, q, rc, boundary_anchors=[0])
+        # Round 1 finds {4,5} and {6,7} isolated but can only escort A
+        # (B's one-range neighbours 5 and 7 are both isolated); round 2
+        # escorts B off the now-reached 5; round 3 verifies.
+        assert info.rounds == 3
+        assert set(info.escorted) == {4, 5, 6, 7}
+        assert info.isolated_before == 4
+        assert info.references[4] == info.references[5] == 3
+        assert info.references[6] == info.references[7] == 5
+        # Every escort copies its reference's displacement exactly.
+        shift = q[3] - p[3]
+        for r in (4, 5, 6, 7):
+            assert np.allclose(out[r] - p[r], shift)
+
+    def test_connectivity_holds_at_sampled_times(self):
+        p, q, rc = self._nested_instance()
+        out, _ = repair_targets(p, q, rc, boundary_anchors=[0])
+        for t in np.linspace(0.0, 1.0, 9):
+            pos = p + t * (out - p)
+            graph = UnitDiskGraph(pos, rc)
+            assert graph.nodes_connected_to([0]).all(), f"disconnected at t={t}"
+
+    def test_deeper_nesting_converges(self):
+        # Three chained subgroups: {4,5} <- {6,7} <- {8,9}.
+        p = chain(10)
+        rc = 1.5
+        q = p.copy()
+        q[4:6] += [0.0, 40.0]
+        q[6:8] += [0.0, 80.0]
+        q[8:10] += [0.0, 120.0]
+        out, info = repair_targets(p, q, rc, boundary_anchors=[0])
+        assert info.rounds == 4
+        assert set(info.escorted) == {4, 5, 6, 7, 8, 9}
+        for t in np.linspace(0.0, 1.0, 9):
+            pos = p + t * (out - p)
+            assert UnitDiskGraph(pos, rc).nodes_connected_to([0]).all()
