@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""CI smoke test for the planning service, over a real process boundary.
+
+Boots ``python -m repro serve`` as a subprocess on an ephemeral port,
+then drives it with the blocking client:
+
+1. ``/healthz`` answers ``ok`` before any work,
+2. submit -> poll -> fetch a small scenario-1 plan,
+3. the fetched bytes equal the same request run directly through
+   ``repro.experiments.run_scenarios`` (the byte-identity contract),
+4. ``/healthz`` still answers ``ok`` after the solve, and
+5. SIGINT shuts the server down cleanly (exit code 0).
+
+Run:  PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+
+from repro.experiments import get_scenario, run_scenarios
+from repro.io import dumps_canonical, plan_document
+from repro.service import ServiceClient
+
+KNOBS = dict(foi_target_points=200, lloyd_grid_target=600, resolution=12)
+METHODS = ["ours (a)", "Hungarian"]
+
+
+def main() -> int:
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        # The server announces its bound port on the first stdout line.
+        banner = server.stdout.readline().strip()
+        print(banner)
+        port = int(banner.rsplit(":", 1)[1])
+        client = ServiceClient(port=port, timeout=60.0)
+
+        health = client.healthz()
+        assert health["status"] == "ok", health
+        print("healthz before: ok")
+
+        submitted = client.submit(
+            [1], separation_factor=12.0, methods=METHODS, **KNOBS
+        )
+        print(f"submitted {submitted['job_id']} ({submitted['state']})")
+        status = client.wait(submitted["job_id"], timeout=600.0, poll_s=0.2)
+        assert status["state"] == "done", status
+        served = client.result_bytes(submitted["job_id"])
+        print(f"fetched result: {len(served)} bytes")
+
+        direct = run_scenarios(
+            [get_scenario(1)],
+            separation_factor=12.0,
+            methods=tuple(METHODS),
+            workers=1,
+            **KNOBS,
+        )
+        assert served == dumps_canonical(plan_document(direct))
+        print("byte-identity vs direct run_scenarios: OK")
+
+        health = client.healthz()
+        assert health["status"] == "ok", health
+        print("healthz after: ok")
+    finally:
+        server.send_signal(signal.SIGINT)
+        try:
+            server.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+            print("server did not shut down on SIGINT", file=sys.stderr)
+            return 1
+    print(f"server exited {server.returncode}")
+    return 0 if server.returncode == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

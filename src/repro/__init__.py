@@ -22,6 +22,7 @@ The package layers:
 * ``repro.metrics``   - D, L, C (Definitions 1-2)
 * ``repro.exec``      - parallel map engine + content-addressed caching
 * ``repro.experiments`` - the 7 scenarios and the sweep harness
+* ``repro.service``   - planning-as-a-service HTTP layer (jobs, health, metrics)
 * ``repro.viz``       - dependency-free SVG figures
 
 Quickstart::
@@ -46,6 +47,7 @@ from repro.errors import (
     ProtocolError,
     ReproError,
     ScenarioError,
+    ServiceError,
 )
 from repro.foi import FieldOfInterest
 from repro.marching import (
@@ -85,6 +87,7 @@ __all__ = [
     "ReproError",
     "Robot",
     "ScenarioError",
+    "ServiceError",
     "Swarm",
     "__version__",
     "connectivity_report",

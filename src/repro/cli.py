@@ -8,6 +8,8 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro lemmas
     python -m repro pipeline 3 --output out/fig2
     python -m repro plan 3 --trace out.jsonl
+    python -m repro serve --port 8642 --workers 2
+    python -m repro submit 1 --separation 12 --output plan.json
 
 Every command prints the same rows the paper reports and exits non-zero
 on failure, so the CLI doubles as a smoke test in CI.
@@ -34,10 +36,15 @@ __all__ = ["main", "build_parser"]
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Optimal Marching of Autonomous "
         "Networked Robots' (ICDCS 2016)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -116,6 +123,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--points", type=int, default=400,
                         help="target FoI grid resolution")
     p_plan.add_argument("--method", choices=("a", "b"), default="a")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the planning service (HTTP, see repro.service)",
+        parents=[common, parallel],
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="bind port (0 picks an ephemeral port)")
+    p_serve.add_argument("--capacity", type=int, default=64,
+                         help="maximum queued jobs before 429 backpressure")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-job wall-clock budget (default: none)")
+    p_serve.add_argument("--retries", type=int, default=1,
+                         help="extra attempts for a failed/timed-out job")
+    p_serve.add_argument("--ttl", type=float, default=3600.0,
+                         metavar="SECONDS",
+                         help="retention of finished jobs and results")
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a plan request to a running service and fetch it",
+    )
+    p_submit.add_argument("scenario_ids", type=int, nargs="+",
+                          choices=range(1, 8))
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8642)
+    p_submit.add_argument("--separation", type=float, default=20.0)
+    p_submit.add_argument("--methods", nargs="+", default=None,
+                          metavar="METHOD",
+                          help="subset of the harness methods (default: all)")
+    p_submit.add_argument("--points", type=int, default=500,
+                          help="target FoI grid resolution")
+    p_submit.add_argument("--grid-target", type=int, default=2000,
+                          help="Lloyd coverage grid resolution")
+    p_submit.add_argument("--resolution", type=int, default=32,
+                          help="metric sampling resolution")
+    p_submit.add_argument("--priority", type=int, default=0)
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          help="seconds to wait for the job to finish")
+    p_submit.add_argument("--no-wait", action="store_true",
+                          help="submit and print the job id without polling")
+    p_submit.add_argument("--output", metavar="FILE", default=None,
+                          help="also write the plan document (JSON) to FILE")
     return parser
 
 
@@ -270,6 +322,98 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro import service as service_module
+    from repro.exec import get_cache, resolve_workers
+    from repro.obs import get_metrics, get_tracer
+
+    # Under --trace the ambient tracer/metrics pair is the traced one
+    # main() installed; hand it to the service so every server span
+    # (admission, queue wait, solve, serialize) streams to the sink
+    # exactly like any other subcommand's spans.  --cache-dir likewise
+    # arrives as the ambient cache activated by _dispatch.
+    tracer = get_tracer()
+    service = service_module.PlanningService(
+        host=args.host,
+        port=args.port,
+        capacity=args.capacity,
+        dispatchers=max(1, resolve_workers(args.workers)),
+        job_timeout_s=args.job_timeout,
+        retries=args.retries,
+        ttl_s=args.ttl,
+        tracer=tracer if tracer.enabled else None,
+        metrics=get_metrics(),
+        cache=get_cache(),
+    )
+    service.start()
+    print(
+        f"repro service listening on http://{service.host}:{service.port}",
+        flush=True,
+    )
+    try:
+        service.wait()
+    except KeyboardInterrupt:
+        print("interrupt: draining jobs and shutting down", flush=True)
+    finally:
+        service.stop()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.experiments import format_table
+    from repro.service import ServiceClient
+
+    client = ServiceClient(args.host, args.port)
+    submitted = client.submit(
+        args.scenario_ids,
+        separation_factor=args.separation,
+        methods=args.methods,
+        priority=args.priority,
+        foi_target_points=args.points,
+        lloyd_grid_target=args.grid_target,
+        resolution=args.resolution,
+    )
+    job_id = submitted["job_id"]
+    dedup = " (deduplicated)" if submitted.get("deduplicated") else ""
+    print(f"job {job_id}: {submitted['state']}{dedup}")
+    if args.no_wait:
+        return 0
+    status = client.wait(job_id, timeout=args.timeout)
+    if status["state"] != "done":
+        print(f"job {job_id} {status['state']}: {status.get('error')}",
+              file=sys.stderr)
+        return 1
+    payload = client.result_bytes(job_id)
+    if args.output:
+        from pathlib import Path
+
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_bytes(payload)
+        print(f"wrote {out}")
+    document = json.loads(payload)
+    runs = document.get("runs")
+    if not isinstance(runs, dict):
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    for sid in sorted(runs, key=int):
+        run = runs[sid]
+        rows = [
+            [
+                method,
+                f"{e['total_distance'] / 1000:.1f} km",
+                f"{e['stable_link_ratio']:.3f}",
+                "Y" if e["globally_connected"] else "N",
+            ]
+            for method, e in sorted(run["evaluations"].items())
+        ]
+        print(f"Scenario {sid} at {run['separation_factor']:g}x r_c:")
+        print(format_table(["method", "D", "L", "C"], rows))
+    return 0
+
+
 _COMMANDS = {
     "scenario": _cmd_scenario,
     "sweep": _cmd_sweep,
@@ -278,6 +422,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "pipeline": _cmd_pipeline,
     "plan": _cmd_plan,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -55,3 +55,14 @@ class ExecutionError(ReproError):
 
 class ScenarioError(ReproError):
     """An experiment scenario is mis-specified."""
+
+
+class ServiceError(ReproError):
+    """The planning service rejected or could not complete a request.
+
+    Raised by :mod:`repro.service` - by the server when a request is
+    malformed or arrives while the service is draining, and by the
+    client when the server answers with an error status.  The admission
+    failures (queue full, queue closed) are narrower subclasses defined
+    in :mod:`repro.service.jobs`.
+    """

@@ -20,9 +20,54 @@ from repro.marching.result import MarchingResult, RepairInfo
 from repro.network.links import LinkTable
 from repro.robots.motion import SwarmTrajectory, TimedPath
 
-__all__ = ["result_to_dict", "save_result", "load_result_dict", "trajectory_from_dict"]
+__all__ = [
+    "FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
+    "result_to_dict",
+    "save_result",
+    "load_result_dict",
+    "trajectory_from_dict",
+    "check_format_version",
+    "dumps_canonical",
+    "evaluation_to_dict",
+    "evaluation_from_dict",
+    "scenario_run_to_dict",
+    "scenario_run_from_dict",
+    "plan_document",
+]
 
 FORMAT_VERSION = 1
+
+#: every document version this build of the library can read back.
+SUPPORTED_FORMAT_VERSIONS = (1,)
+
+
+def check_format_version(data: Any, source: Any = None) -> None:
+    """Reject documents whose ``format_version`` this build cannot read.
+
+    The planning service ships these documents over the wire, so an
+    old client meeting a new document (or vice versa) must fail loudly
+    rather than half-parse.
+    """
+    version = data.get("format_version") if isinstance(data, dict) else None
+    if version not in SUPPORTED_FORMAT_VERSIONS:
+        where = f" in {source}" if source is not None else ""
+        raise ReproError(
+            f"unsupported result format_version {version!r}{where}; this "
+            f"build reads versions {list(SUPPORTED_FORMAT_VERSIONS)} - "
+            "regenerate the document with this library's save_result / "
+            "service, or upgrade the library"
+        )
+
+
+def dumps_canonical(doc: Any) -> bytes:
+    """Canonical JSON bytes: sorted keys, minimal separators, UTF-8.
+
+    The one serialisation used for documents whose bytes are compared
+    or content-addressed (service result payloads, byte-identity
+    tests): two equal documents always produce identical bytes.
+    """
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
 
 def _trajectory_to_dict(trajectory: SwarmTrajectory) -> dict[str, Any]:
@@ -104,10 +149,7 @@ def load_result_dict(path) -> dict[str, Any]:
         data = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise ReproError(f"cannot read result file {path}: {exc}") from exc
-    if data.get("format_version") != FORMAT_VERSION:
-        raise ReproError(
-            f"unsupported result format {data.get('format_version')!r}"
-        )
+    check_format_version(data, source=path)
     out = dict(data)
     for key in ("start_positions", "march_targets", "final_positions"):
         out[key] = np.asarray(data[key], dtype=float)
@@ -124,3 +166,79 @@ def load_result_dict(path) -> dict[str, Any]:
         isolated_before=int(rep["isolated_before"]),
     )
     return out
+
+
+# ----------------------------------------------------------------------
+# Harness evaluations (what the planning service returns over the wire)
+
+
+def evaluation_to_dict(evaluation) -> dict[str, Any]:
+    """Flatten a :class:`~repro.experiments.TransitionEvaluation`."""
+    return {
+        "method": evaluation.method,
+        "total_distance": evaluation.total_distance,
+        "stable_link_ratio": evaluation.stable_link_ratio,
+        "globally_connected": evaluation.globally_connected,
+        "max_isolated": evaluation.max_isolated,
+        "final_positions": evaluation.final_positions.tolist(),
+    }
+
+
+def evaluation_from_dict(data: dict[str, Any]):
+    """Rebuild a :class:`~repro.experiments.TransitionEvaluation`."""
+    from repro.experiments.harness import TransitionEvaluation
+
+    try:
+        return TransitionEvaluation(
+            method=str(data["method"]),
+            total_distance=float(data["total_distance"]),
+            stable_link_ratio=float(data["stable_link_ratio"]),
+            globally_connected=bool(data["globally_connected"]),
+            max_isolated=int(data["max_isolated"]),
+            final_positions=np.asarray(data["final_positions"], dtype=float),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed evaluation document: {exc}") from exc
+
+
+def scenario_run_to_dict(run) -> dict[str, Any]:
+    """Flatten a :class:`~repro.experiments.ScenarioRun` (one fragment of
+    a :func:`plan_document`; carries no ``format_version`` of its own)."""
+    return {
+        "scenario_id": run.scenario_id,
+        "separation_factor": run.separation_factor,
+        "evaluations": {
+            method: evaluation_to_dict(e) for method, e in run.evaluations.items()
+        },
+    }
+
+
+def scenario_run_from_dict(data: dict[str, Any]):
+    """Rebuild a :class:`~repro.experiments.ScenarioRun`."""
+    from repro.experiments.harness import ScenarioRun
+
+    try:
+        return ScenarioRun(
+            scenario_id=int(data["scenario_id"]),
+            separation_factor=float(data["separation_factor"]),
+            evaluations={
+                method: evaluation_from_dict(payload)
+                for method, payload in data["evaluations"].items()
+            },
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed scenario run document: {exc}") from exc
+
+
+def plan_document(runs: dict[int, Any]) -> dict[str, Any]:
+    """The versioned wire document for a batch of scenario runs.
+
+    ``runs`` is the ``{scenario_id: ScenarioRun}`` mapping returned by
+    :func:`repro.experiments.run_scenarios`; serialise the document
+    with :func:`dumps_canonical` when bytes must be comparable.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "plan_batch",
+        "runs": {str(sid): scenario_run_to_dict(run) for sid, run in runs.items()},
+    }

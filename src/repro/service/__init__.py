@@ -1,0 +1,54 @@
+"""Planning-as-a-service: serve marching/plan computation over HTTP.
+
+The service layer turns the one-shot experiment harness into a
+long-running concurrent endpoint, reusing the substrate the library
+already has - :mod:`repro.exec` for fan-out/timeouts/retries/caching
+and :mod:`repro.obs` for per-request span trees and live metrics:
+
+* :class:`JobQueue` - bounded admission with priorities, request
+  deduplication by content hash, and TTL-based result retention.
+* :class:`ExecutorBridge` - dispatcher threads that run each job
+  through a :class:`repro.exec.ParallelMap` (per-job timeout, bounded
+  retries, obs merge-back).
+* :class:`PlanningService` - the asyncio HTTP frontend
+  (``POST /v1/plan``, job polling, ``/healthz``, ``/metrics``,
+  ``/tracez``) with 429-with-``Retry-After`` backpressure and graceful
+  draining.
+* :class:`ServiceClient` - the blocking stdlib client used by tests,
+  examples and ``repro submit``.
+
+Quickstart::
+
+    from repro.service import PlanningService, ServiceClient
+
+    with PlanningService(port=0, dispatchers=2) as service:
+        client = ServiceClient(port=service.port)
+        submitted = client.submit([1], separation_factor=12.0)
+        client.wait(submitted["job_id"])
+        document = client.result(submitted["job_id"])
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.executor_bridge import ExecutorBridge
+from repro.service.jobs import (
+    JOB_STATES,
+    Job,
+    JobQueue,
+    QueueClosed,
+    QueueFull,
+    normalize_plan_request,
+)
+from repro.service.server import PlanningService, run_plan_request
+
+__all__ = [
+    "JOB_STATES",
+    "ExecutorBridge",
+    "Job",
+    "JobQueue",
+    "PlanningService",
+    "QueueClosed",
+    "QueueFull",
+    "ServiceClient",
+    "normalize_plan_request",
+    "run_plan_request",
+]

@@ -1,0 +1,194 @@
+"""Blocking HTTP client for the planning service (stdlib ``http.client``).
+
+The counterpart of :class:`~repro.service.server.PlanningService` used
+by tests, examples and the ``repro submit`` CLI::
+
+    client = ServiceClient(port=service.port)
+    submitted = client.submit([1], separation_factor=12.0)
+    client.wait(submitted["job_id"], timeout=600.0)
+    document = client.result(submitted["job_id"])
+
+Every non-2xx answer raises :class:`repro.errors.ServiceError` (a
+``429`` raises :class:`~repro.service.jobs.QueueFull` carrying the
+server's ``Retry-After``), so callers never have to inspect status
+codes unless they want to.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+
+from repro.errors import ServiceError
+
+from repro.service.jobs import QueueFull
+
+__all__ = ["ServiceClient"]
+
+_TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class ServiceClient:
+    """Small blocking client; one HTTP request per call."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        payload = None if body is None else json.dumps(body).encode()
+        try:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                conn.request(
+                    method,
+                    path,
+                    body=payload,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                data = response.read()
+                headers = {k.lower(): v for k, v in response.getheaders()}
+                return response.status, headers, data
+            finally:
+                conn.close()
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _json(data: bytes) -> Any:
+        try:
+            return json.loads(data) if data else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"service returned invalid JSON: {exc}") from exc
+
+    def _raise_for(self, status: int, headers: dict[str, str], data: bytes) -> None:
+        doc = self._json(data)
+        message = doc.get("error") if isinstance(doc, dict) else None
+        message = message or f"service answered HTTP {status}"
+        if status == 429:
+            retry_after = None
+            try:
+                retry_after = float(headers.get("retry-after", ""))
+            except ValueError:
+                pass
+            raise QueueFull(message, retry_after_s=retry_after)
+        raise ServiceError(f"HTTP {status}: {message}")
+
+    # -- submission -----------------------------------------------------
+
+    def submit_request(self, doc: dict[str, Any]) -> dict[str, Any]:
+        """Submit a raw ``POST /v1/plan`` body; returns the admission doc."""
+        status, headers, data = self._request("POST", "/v1/plan", doc)
+        if status != 202:
+            self._raise_for(status, headers, data)
+        return self._json(data)
+
+    def submit(
+        self,
+        scenario_ids,
+        separation_factor: float = 20.0,
+        methods=None,
+        priority: int = 0,
+        **knobs: Any,
+    ) -> dict[str, Any]:
+        """Submit a plan request built from keyword arguments.
+
+        ``knobs`` forwards resolution parameters (``foi_target_points``,
+        ``lloyd_grid_target``, ``resolution``) verbatim.
+        """
+        doc: dict[str, Any] = {
+            "scenario_ids": list(scenario_ids),
+            "separation_factor": separation_factor,
+            "priority": priority,
+            **knobs,
+        }
+        if methods is not None:
+            doc["methods"] = list(methods)
+        return self.submit_request(doc)
+
+    # -- polling and results --------------------------------------------
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """The job's status document (``GET /v1/jobs/{id}``)."""
+        status, headers, data = self._request("GET", f"/v1/jobs/{job_id}")
+        if status != 200:
+            self._raise_for(status, headers, data)
+        return self._json(data)
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll_s: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its status.
+
+        Raises :class:`ServiceError` if the deadline passes first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.status(job_id)
+            if doc.get("state") in _TERMINAL_STATES:
+                return doc
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {doc.get('state')!r} after {timeout}s"
+                )
+            time.sleep(poll_s)
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The plan document's exact canonical bytes (``done`` jobs only)."""
+        status, headers, data = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status != 200:
+            self._raise_for(status, headers, data)
+        return data
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The plan document, JSON-decoded."""
+        return self._json(self.result_bytes(job_id))
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        status, headers, data = self._request("POST", f"/v1/jobs/{job_id}/cancel")
+        if status != 200:
+            self._raise_for(status, headers, data)
+        return self._json(data)
+
+    # -- introspection --------------------------------------------------
+
+    def jobs(self) -> dict[str, Any]:
+        status, headers, data = self._request("GET", "/v1/jobs")
+        if status != 200:
+            self._raise_for(status, headers, data)
+        return self._json(data)
+
+    def healthz(self) -> dict[str, Any]:
+        """Health document; includes the HTTP status as ``http_status``
+        (a draining service answers 503 but still describes itself)."""
+        status, _headers, data = self._request("GET", "/healthz")
+        doc = self._json(data)
+        if isinstance(doc, dict):
+            doc["http_status"] = status
+        return doc
+
+    def metrics(self) -> dict[str, Any]:
+        status, headers, data = self._request("GET", "/metrics")
+        if status != 200:
+            self._raise_for(status, headers, data)
+        return self._json(data)
+
+    def tracez(self) -> dict[str, Any]:
+        status, headers, data = self._request("GET", "/tracez")
+        if status != 200:
+            self._raise_for(status, headers, data)
+        return self._json(data)

@@ -1,0 +1,190 @@
+"""Bridge between the job store and the ``repro.exec`` engine.
+
+Dispatcher threads claim jobs off the :class:`~repro.service.jobs.JobQueue`
+and run each one through its own :class:`repro.exec.ParallelMap` - a
+single-task map, which buys exactly the engine semantics the service
+needs without re-implementing them: a per-job timeout that cannot hang
+the dispatcher, bounded retries, and per-task span/metric collection
+that merges back into the *server's* tracer and metrics registry.
+
+Each job produces the span tree the service promises per request::
+
+    service.job
+      service.queue_wait   (true queued duration, absorbed as a record)
+      service.solve
+        exec.map ... (the engine + whatever the planner emits)
+      service.serialize
+
+and feeds the two histograms the HTTP layer reads back out:
+``service.queue_wait_s`` and ``service.job_duration_s`` (the latter is
+what ``Retry-After`` estimates are computed from).
+
+The engine backend is ``thread`` by default: the solve shares the
+service's in-process content cache (deduplicated scenario requests hit
+the same disk-map entries), and numpy releases the GIL enough for the
+service's granularity.  A runner closure does not need to pickle on
+this backend.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.errors import ExecutionError
+from repro.exec import ParallelMap
+from repro.io import dumps_canonical
+from repro.obs import Metrics, Tracer, activate, activate_metrics, span
+
+from repro.service.jobs import Job, JobQueue
+
+__all__ = ["ExecutorBridge"]
+
+
+class ExecutorBridge:
+    """Runs queued jobs on :class:`ParallelMap` workers.
+
+    Parameters
+    ----------
+    queue : JobQueue
+    runner : callable
+        ``runner(request) -> JSON-serialisable dict``; executed inside a
+        ParallelMap worker, so it must not depend on ambient context
+        from the dispatcher thread (bind caches into the callable).
+    dispatchers : int
+        Number of dispatcher threads = jobs in flight concurrently.
+    task_backend : {"thread", "serial", "process"}
+        Engine backend for the per-job map.  ``process`` requires a
+        picklable runner and forfeits in-process cache sharing.
+    job_timeout_s : float, optional
+        Per-job wall-clock budget, enforced by the engine (a timed-out
+        job fails; its abandoned worker cannot wedge the dispatcher).
+    retries : int
+        Extra attempts for a failed or timed-out job.
+    tracer, metrics
+        The *server's* observability objects; every job runs under them.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        runner: Callable[[dict[str, Any]], Any],
+        dispatchers: int = 2,
+        task_backend: str = "thread",
+        job_timeout_s: float | None = None,
+        retries: int = 1,
+        tracer: Tracer | None = None,
+        metrics: Metrics | None = None,
+    ) -> None:
+        if dispatchers < 1:
+            raise ValueError("dispatchers must be positive")
+        self.queue = queue
+        self.runner = runner
+        self.dispatchers = dispatchers
+        self.task_backend = task_backend
+        self.job_timeout_s = job_timeout_s
+        self.retries = retries
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else Metrics()
+        self._threads: list[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for i in range(self.dispatchers):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-service-dispatch-{i}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Close the queue and join the dispatchers.
+
+        With ``drain`` (the default) dispatchers finish every queued
+        job first; without it they exit after their current job and the
+        backlog is cancelled.
+        """
+        self.queue.close(drain=drain)
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = [t for t in self._threads if t.is_alive()]
+
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self.queue.claim(timeout=0.5)
+            if job is None:
+                if self.queue.closed:
+                    return
+                continue
+            with activate(self.tracer), activate_metrics(self.metrics):
+                self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        metrics = self.metrics
+        queue_wait = (job.started_at or 0.0) - job.submitted_at
+        metrics.histogram("service.queue_wait_s").observe(queue_wait)
+        metrics.gauge("service.queue.depth").set(self.queue.depth())
+        with span(
+            "service.job", job_id=job.job_id, priority=job.priority
+        ) as job_span:
+            self._absorb_queue_wait_span(job, queue_wait)
+            engine = ParallelMap(
+                backend=self.task_backend,
+                # Two workers keeps the engine on its pooled path (one
+                # worker degrades to serial, which cannot enforce the
+                # per-job timeout); only one ever gets a task.
+                workers=2,
+                timeout=self.job_timeout_s,
+                retries=self.retries,
+                seed=0,
+                collect_obs=True,
+            )
+            t0 = time.monotonic()
+            try:
+                with span("service.solve", job_id=job.job_id):
+                    (doc,) = engine.map(self.runner, [job.request])
+                with span("service.serialize", job_id=job.job_id):
+                    payload = dumps_canonical(doc)
+            except ExecutionError as exc:
+                job_span.set_attributes(outcome="failed")
+                metrics.counter("service.jobs.failed").inc()
+                self.queue.fail(job.job_id, f"ExecutionError: {exc}")
+                return
+            except Exception as exc:  # runner bugs must not kill dispatchers
+                job_span.set_attributes(outcome="failed")
+                metrics.counter("service.jobs.failed").inc()
+                self.queue.fail(job.job_id, f"{type(exc).__name__}: {exc}")
+                return
+            metrics.histogram("service.job_duration_s").observe(
+                time.monotonic() - t0
+            )
+            metrics.counter("service.jobs.solved").inc()
+            job_span.set_attributes(outcome="done", payload_bytes=len(payload))
+            self.queue.complete(job.job_id, payload)
+
+    def _absorb_queue_wait_span(self, job: Job, queue_wait: float) -> None:
+        """Inject the already-elapsed queue wait as a real span record."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        tracer.absorb_records([
+            {
+                "name": "service.queue_wait",
+                "span_id": 0,
+                "parent_id": None,
+                "depth": 1,
+                "t_start": 0.0,
+                "duration_s": queue_wait,
+                "attributes": {"job_id": job.job_id, "origin": "service"},
+            }
+        ])

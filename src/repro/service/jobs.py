@@ -1,0 +1,427 @@
+"""Job store for the planning service: admission, dedup, priorities, TTL.
+
+A :class:`JobQueue` is the service's single source of truth about work.
+It is a bounded, priority-ordered queue of :class:`Job` records keyed by
+a *content address*: the :func:`repro.exec.stable_hash` of the
+normalised plan request.  Identical requests therefore coalesce onto
+one job id - the second submitter gets the same job (and eventually the
+same cached result) instead of a second computation - which is what
+makes a stampede of identical scenario transitions cheap to serve.
+
+States and transitions::
+
+    queued --claim--> running --complete--> done
+       |                 |
+       |cancel           |fail
+       v                 v
+    cancelled          failed
+
+Terminal jobs (``done``/``failed``/``cancelled``) stay in the store so
+results can be fetched and duplicates keep coalescing, until TTL-based
+eviction removes them; resubmitting a *cancelled* or *failed* request
+revives the job for a fresh attempt.  Capacity bounds the number of
+``queued`` jobs only - running and terminal jobs do not count against
+admission - and an at-capacity submit raises :class:`QueueFull`, which
+the HTTP layer turns into ``429 Retry-After``.
+
+The queue is thread-safe: the asyncio server thread submits and the
+executor-bridge dispatcher threads claim, under one condition variable.
+Counters land in the ambient :mod:`repro.obs` metrics registry under
+``service.jobs.*``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ServiceError
+from repro.exec import stable_hash
+from repro.obs import get_metrics
+
+__all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "QueueClosed",
+    "QueueFull",
+    "normalize_plan_request",
+]
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: request fields accepted by ``POST /v1/plan`` -> (default, caster)
+_REQUEST_FIELDS = {
+    "separation_factor": (20.0, float),
+    "methods": (None, None),  # handled specially
+    "foi_target_points": (500, int),
+    "lloyd_grid_target": (2000, int),
+    "resolution": (32, int),
+}
+
+
+class QueueFull(ServiceError):
+    """Admission refused: the queue already holds ``capacity`` jobs.
+
+    ``retry_after_s`` carries the server's backlog-drain estimate when
+    one is known (the client attaches the ``Retry-After`` header value).
+    """
+
+    def __init__(self, message: str, retry_after_s: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class QueueClosed(ServiceError):
+    """Admission refused: the service is draining and will not restart."""
+
+
+def normalize_plan_request(doc: Any) -> tuple[dict[str, Any], int]:
+    """Validate a ``POST /v1/plan`` body into its canonical dict form.
+
+    Returns ``(request, priority)``.  The request dict is *canonical* -
+    scenario ids sorted, methods in :data:`DEFAULT_METHODS` order,
+    every knob present with its default filled in - so that any two
+    submissions meaning the same computation hash to the same job id.
+    ``priority`` is admission metadata, not part of the computation, and
+    is deliberately excluded from the canonical dict.
+
+    Raises
+    ------
+    ServiceError
+        On missing/unknown fields or out-of-range values.
+    """
+    from repro.experiments import DEFAULT_METHODS, SCENARIOS
+
+    if not isinstance(doc, dict):
+        raise ServiceError("plan request must be a JSON object")
+    body = dict(doc)
+    priority_raw = body.pop("priority", 0)
+    try:
+        priority = int(priority_raw)
+    except (TypeError, ValueError):
+        raise ServiceError(f"priority must be an integer, got {priority_raw!r}")
+
+    raw_ids = body.pop("scenario_ids", None)
+    if raw_ids is None and "scenario_id" in body:
+        raw_ids = [body.pop("scenario_id")]
+    if not raw_ids:
+        raise ServiceError("plan request needs 'scenario_ids' (or 'scenario_id')")
+    if not isinstance(raw_ids, (list, tuple)):
+        raw_ids = [raw_ids]
+    try:
+        scenario_ids = sorted({int(s) for s in raw_ids})
+    except (TypeError, ValueError):
+        raise ServiceError(f"scenario ids must be integers, got {raw_ids!r}")
+    unknown_ids = [s for s in scenario_ids if s not in SCENARIOS]
+    if unknown_ids:
+        raise ServiceError(
+            f"unknown scenario ids {unknown_ids}; valid ids are {sorted(SCENARIOS)}"
+        )
+
+    methods_raw = body.pop("methods", None)
+    if methods_raw is None:
+        methods = list(DEFAULT_METHODS)
+    else:
+        if isinstance(methods_raw, str):
+            methods_raw = [methods_raw]
+        bad = [m for m in methods_raw if m not in DEFAULT_METHODS]
+        if bad:
+            raise ServiceError(
+                f"unknown methods {bad}; valid methods are {list(DEFAULT_METHODS)}"
+            )
+        # Canonical order: the same set of methods must hash identically.
+        methods = [m for m in DEFAULT_METHODS if m in set(methods_raw)]
+        if not methods:
+            raise ServiceError("plan request needs at least one method")
+
+    request: dict[str, Any] = {"scenario_ids": scenario_ids, "methods": methods}
+    for name, (default, caster) in _REQUEST_FIELDS.items():
+        if name == "methods":
+            continue
+        value = body.pop(name, default)
+        try:
+            value = caster(value)
+        except (TypeError, ValueError):
+            raise ServiceError(f"{name} must be a {caster.__name__}, got {value!r}")
+        if value <= 0:
+            raise ServiceError(f"{name} must be positive, got {value!r}")
+        request[name] = value
+    if body:
+        raise ServiceError(
+            f"unknown plan request fields {sorted(body)}; accepted fields are "
+            f"{sorted(['scenario_ids', 'scenario_id', 'priority', *_REQUEST_FIELDS])}"
+        )
+    return request, priority
+
+
+@dataclass
+class Job:
+    """One unit of planning work, identified by its request's content hash.
+
+    Timestamps are :func:`time.monotonic` values from the owning
+    queue's clock - meaningful as differences, not wall-clock instants.
+    ``submissions`` counts how many times this request was submitted
+    (1 + the number of deduplicated resubmissions since last revival).
+    """
+
+    job_id: str
+    request: dict[str, Any]
+    priority: int
+    seq: int
+    submitted_at: float
+    state: str = "queued"
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: bytes | None = None
+    error: str | None = None
+    submissions: int = 1
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+    def to_dict(self, now: float | None = None) -> dict[str, Any]:
+        """Status document served by ``GET /v1/jobs/{id}`` (no payload)."""
+        queue_wait = None
+        if self.started_at is not None:
+            queue_wait = self.started_at - self.submitted_at
+        run_s = None
+        if self.started_at is not None:
+            end = self.finished_at
+            if end is None and now is not None:
+                end = now
+            if end is not None:
+                run_s = end - self.started_at
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "priority": self.priority,
+            "submissions": self.submissions,
+            "queue_wait_s": queue_wait,
+            "run_s": run_s,
+            "error": self.error,
+            "request": dict(self.request),
+        }
+
+
+class JobQueue:
+    """Bounded, deduplicating, priority job store (thread-safe).
+
+    Parameters
+    ----------
+    capacity : int
+        Maximum number of *queued* jobs; an admission beyond it raises
+        :class:`QueueFull`.
+    ttl_s : float
+        How long terminal jobs (and their results) are retained before
+        :meth:`evict_expired` may drop them.
+    clock : callable
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        ttl_s: float = 3600.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ServiceError("queue capacity must be positive")
+        if ttl_s <= 0:
+            raise ServiceError("job TTL must be positive")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._jobs: dict[str, Job] = {}
+        self._cond = threading.Condition()
+        self._seq = 0
+        self._closed = False
+        self._drain = True
+
+    # -- admission ------------------------------------------------------
+
+    def submit(self, request: dict[str, Any], priority: int = 0) -> tuple[Job, bool]:
+        """Admit a request; returns ``(job, created)``.
+
+        ``created`` is False when the request deduplicated onto an
+        existing job (whose ``submissions`` count is bumped).  A
+        cancelled or failed job is *revived*: reset to ``queued`` for a
+        fresh attempt under the same id.
+
+        Raises
+        ------
+        QueueFull
+            When admission would exceed ``capacity`` queued jobs.
+        QueueClosed
+            After :meth:`close`.
+        """
+        job_id = stable_hash(request)
+        metrics = get_metrics()
+        with self._cond:
+            if self._closed:
+                raise QueueClosed("job queue is closed; not accepting submissions")
+            self._evict_expired_locked()
+            job = self._jobs.get(job_id)
+            if job is not None and job.state not in ("cancelled", "failed"):
+                job.submissions += 1
+                metrics.counter("service.jobs.deduplicated").inc()
+                return job, False
+            queued = sum(1 for j in self._jobs.values() if j.state == "queued")
+            if queued >= self.capacity:
+                metrics.counter("service.jobs.rejected").inc()
+                raise QueueFull(
+                    f"queue is full ({queued}/{self.capacity} jobs queued)"
+                )
+            now = self._clock()
+            if job is not None:  # revive a cancelled/failed job
+                job.state = "queued"
+                job.priority = priority
+                job.submitted_at = now
+                job.started_at = None
+                job.finished_at = None
+                job.result = None
+                job.error = None
+                job.submissions += 1
+                job.seq = self._seq
+            else:
+                job = Job(
+                    job_id=job_id,
+                    request=dict(request),
+                    priority=priority,
+                    seq=self._seq,
+                    submitted_at=now,
+                )
+                self._jobs[job_id] = job
+            self._seq += 1
+            metrics.counter("service.jobs.accepted").inc()
+            self._cond.notify()
+            return job, True
+
+    # -- worker side ----------------------------------------------------
+
+    def claim(self, timeout: float | None = None) -> Job | None:
+        """Take the next queued job (highest priority, FIFO within it).
+
+        Blocks up to ``timeout`` seconds (forever when None).  Returns
+        None on timeout, or when the queue is closed and - under
+        draining close - no queued work remains.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._cond:
+            while True:
+                candidates = [j for j in self._jobs.values() if j.state == "queued"]
+                if candidates:
+                    job = min(candidates, key=lambda j: (-j.priority, j.seq))
+                    job.state = "running"
+                    job.started_at = self._clock()
+                    return job
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        return None
+
+    def complete(self, job_id: str, result: bytes) -> None:
+        """Mark a running job ``done`` and attach its result payload."""
+        self._finish(job_id, "done", result=result)
+
+    def fail(self, job_id: str, error: str) -> None:
+        """Mark a running job ``failed`` with a human-readable reason."""
+        self._finish(job_id, "failed", error=error)
+
+    def _finish(
+        self,
+        job_id: str,
+        state: str,
+        result: bytes | None = None,
+        error: str | None = None,
+    ) -> None:
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "running":
+                return
+            job.state = state
+            job.finished_at = self._clock()
+            job.result = result
+            job.error = error
+            self._cond.notify_all()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a *queued* job; running/terminal jobs are left alone."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "queued":
+                return False
+            job.state = "cancelled"
+            job.finished_at = self._clock()
+            get_metrics().counter("service.jobs.cancelled").inc()
+            return True
+
+    def close(self, drain: bool = True) -> None:
+        """Stop admissions.  With ``drain`` claimers finish the backlog
+        first; without it, still-queued jobs are cancelled immediately."""
+        with self._cond:
+            self._closed = True
+            self._drain = drain
+            if not drain:
+                for job in self._jobs.values():
+                    if job.state == "queued":
+                        job.state = "cancelled"
+                        job.finished_at = self._clock()
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- introspection --------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def depth(self) -> int:
+        """Number of queued (not yet claimed) jobs."""
+        with self._cond:
+            return sum(1 for j in self._jobs.values() if j.state == "queued")
+
+    def counts(self) -> dict[str, int]:
+        """Job count per state (every state present, zero or not)."""
+        with self._cond:
+            out = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                out[job.state] += 1
+            return out
+
+    def jobs(self) -> list[Job]:
+        """All jobs, admission order."""
+        with self._cond:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def evict_expired(self) -> int:
+        """Drop terminal jobs older than the TTL; returns the count."""
+        with self._cond:
+            return self._evict_expired_locked()
+
+    def _evict_expired_locked(self) -> int:
+        cutoff = self._clock() - self.ttl_s
+        stale = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.terminal and job.finished_at is not None
+            and job.finished_at < cutoff
+        ]
+        for job_id in stale:
+            del self._jobs[job_id]
+        if stale:
+            get_metrics().counter("service.jobs.evicted").inc(len(stale))
+        return len(stale)

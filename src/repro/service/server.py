@@ -1,0 +1,569 @@
+"""Asyncio HTTP/1.1 planning service (stdlib only).
+
+:class:`PlanningService` exposes the experiment harness as a
+long-running, concurrent endpoint: swarm operators ``POST`` an
+M1->M2 transition request, poll the job, and fetch the plan document -
+while the service deduplicates identical requests, shares one content
+cache across jobs, applies backpressure when the queue fills, and
+publishes its own health, metrics and trace state.
+
+Endpoints
+---------
+``POST /v1/plan``
+    Submit a plan request (see
+    :func:`~repro.service.jobs.normalize_plan_request` for the body
+    schema).  ``202`` with ``{"job_id", "state", "deduplicated"}``;
+    ``429`` + ``Retry-After`` when the queue is full (the estimate
+    comes from the observed ``service.job_duration_s`` histogram);
+    ``503`` while draining.
+``GET /v1/jobs`` / ``GET /v1/jobs/{id}``
+    Job listing / one job's status document.
+``GET /v1/jobs/{id}/result``
+    ``200`` with the canonical-JSON plan document once ``done``;
+    ``202`` while queued/running, ``404`` unknown, ``410`` cancelled,
+    ``500`` with the failure reason when ``failed``.
+``POST /v1/jobs/{id}/cancel``
+    Cancel a queued job (``409`` once running or terminal).
+``GET /healthz``
+    ``200 {"status": "ok", ...}`` in normal operation, ``503``
+    ``{"status": "draining"}`` during shutdown.
+``GET /metrics``
+    Snapshot of the service's :class:`repro.obs.Metrics` registry.
+``GET /tracez``
+    The most recent spans of the service's tracer.
+
+Architecture: the asyncio event loop runs in a dedicated thread and
+only ever does bookkeeping (parse, admit, look up, serialise a status
+doc) - solves happen on :class:`~repro.service.executor_bridge.ExecutorBridge`
+dispatcher threads via :class:`repro.exec.ParallelMap`, so a slow plan
+never blocks health checks or admissions.  The HTTP layer is a
+hand-rolled HTTP/1.1 subset (one request per connection,
+``Connection: close``): no new dependencies, and the stdlib
+``http.client`` in :mod:`repro.service.client` speaks it happily.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import functools
+import json
+import math
+import threading
+import time
+from typing import Any, Callable
+
+from repro.errors import ServiceError
+from repro.exec import ContentCache, activate_cache
+from repro.io import dumps_canonical, plan_document
+from repro.obs import Metrics, Tracer, activate, activate_metrics, span
+
+from repro.service.jobs import (
+    JobQueue,
+    QueueClosed,
+    QueueFull,
+    normalize_plan_request,
+)
+from repro.service.executor_bridge import ExecutorBridge
+
+__all__ = ["PlanningService", "run_plan_request"]
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    410: "Gone",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_MAX_BODY_BYTES = 1_000_000
+_HEADER_TIMEOUT_S = 10.0
+
+
+def run_plan_request(request: dict[str, Any], cache: ContentCache | None = None):
+    """Default job body: the experiment harness, under the service cache.
+
+    Runs :func:`repro.experiments.run_scenarios` for the normalised
+    request and returns the versioned plan document.  Executed inside a
+    ParallelMap worker, so the service's content cache is bound in
+    explicitly (worker threads do not inherit the dispatcher's ambient
+    context) - this is what lets deduplicated and back-to-back jobs
+    share disk-map entries.
+    """
+    from repro.experiments import get_scenario, run_scenarios
+
+    cm = activate_cache(cache) if cache is not None else contextlib.nullcontext()
+    with cm:
+        runs = run_scenarios(
+            [get_scenario(sid) for sid in request["scenario_ids"]],
+            separation_factor=request["separation_factor"],
+            methods=tuple(request["methods"]),
+            workers=1,
+            foi_target_points=request["foi_target_points"],
+            lloyd_grid_target=request["lloyd_grid_target"],
+            resolution=request["resolution"],
+        )
+    return plan_document(runs)
+
+
+class PlanningService:
+    """Planning-as-a-service: HTTP frontend + job store + executor bridge.
+
+    Parameters
+    ----------
+    host, port : str, int
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    capacity : int
+        Queued-job bound; admissions beyond it get ``429``.
+    dispatchers : int
+        Concurrent jobs in flight (executor-bridge threads).
+    job_timeout_s, retries
+        Per-job engine budget (see :class:`ExecutorBridge`).
+    ttl_s : float
+        Retention of finished jobs and their results.
+    task_backend : str
+        ``repro.exec`` backend for the per-job map (default thread).
+    runner : callable, optional
+        Override the job body (tests inject fast/failing runners);
+        defaults to :func:`run_plan_request` bound to the service cache.
+    tracer, metrics, cache
+        Observability and cache objects; fresh ones are created when
+        omitted.  Pass the ambient tracer to stream spans to a
+        ``--trace`` sink.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        capacity: int = 64,
+        dispatchers: int = 2,
+        job_timeout_s: float | None = None,
+        retries: int = 1,
+        ttl_s: float = 3600.0,
+        task_backend: str = "thread",
+        runner: Callable[[dict[str, Any]], Any] | None = None,
+        tracer: Tracer | None = None,
+        metrics: Metrics | None = None,
+        cache: ContentCache | None = None,
+        tracez_limit: int = 256,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.cache = cache if cache is not None else ContentCache()
+        self.queue = JobQueue(capacity=capacity, ttl_s=ttl_s)
+        self.runner = (
+            runner
+            if runner is not None
+            else functools.partial(run_plan_request, cache=self.cache)
+        )
+        self.bridge = ExecutorBridge(
+            self.queue,
+            self.runner,
+            dispatchers=dispatchers,
+            task_backend=task_backend,
+            job_timeout_s=job_timeout_s,
+            retries=retries,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        self.tracez_limit = tracez_limit
+        self._draining = False
+        self._started_at: float | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._evict_task: asyncio.Task | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._stopped = threading.Event()
+        self._boot_error: BaseException | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "PlanningService":
+        """Bind, boot the event-loop thread and the dispatchers."""
+        if self._thread is not None:
+            return self
+        self.bridge.start()
+        self._thread = threading.Thread(
+            target=self._loop_main, name="repro-service-http", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._boot_error is not None:
+            self.bridge.stop(drain=False, timeout=5.0)
+            raise ServiceError(
+                f"service failed to start on {self.host}:{self.port}: "
+                f"{self._boot_error!r}"
+            )
+        self._started_at = time.monotonic()
+        return self
+
+    def drain(self) -> None:
+        """Stop accepting new plan submissions (existing jobs keep going)."""
+        self._draining = True
+
+    def stop(self, drain: bool = True, timeout: float | None = 30.0) -> None:
+        """Graceful shutdown: reject new work, drain, then close HTTP.
+
+        With ``drain`` (the default) every queued and running job is
+        finished before the dispatchers exit; without it the backlog is
+        cancelled and only in-flight jobs complete.
+        """
+        if self._thread is None:
+            return
+        self.drain()
+        self.bridge.stop(drain=drain, timeout=timeout)
+        if self._loop is not None and not self._loop.is_closed():
+            future = asyncio.run_coroutine_threadsafe(
+                self._shutdown_async(), self._loop
+            )
+            with contextlib.suppress(Exception):
+                future.result(timeout=10.0)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._thread = None
+        self._stopped.set()
+
+    def wait(self) -> None:
+        """Block until :meth:`stop` is called (the CLI's serve loop).
+
+        Polls so SIGINT interrupts the wait on every platform.
+        """
+        while not self._stopped.wait(timeout=1.0):
+            pass
+
+    def __enter__(self) -> "PlanningService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- event-loop thread ---------------------------------------------
+
+    def _loop_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._boot())
+        except BaseException as exc:
+            self._boot_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            with contextlib.suppress(Exception):
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    async def _boot(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._evict_task = asyncio.get_running_loop().create_task(
+            self._evict_loop()
+        )
+
+    async def _shutdown_async(self) -> None:
+        if self._evict_task is not None:
+            self._evict_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._evict_task
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _evict_loop(self) -> None:
+        interval = max(1.0, min(self.queue.ttl_s / 4.0, 30.0))
+        while True:
+            await asyncio.sleep(interval)
+            with activate_metrics(self.metrics):
+                self.queue.evict_expired()
+
+    # -- HTTP plumbing --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, path, body = parsed
+            if body is _TOO_LARGE:
+                status, payload, extra = 413, {"error": "request body too large"}, {}
+            else:
+                status, payload, extra = self._route(method, path, body)
+            await self._respond(writer, status, payload, extra)
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
+            pass
+        except Exception as exc:  # never let one connection kill the server
+            with contextlib.suppress(Exception):
+                await self._respond(writer, 500, {"error": f"internal error: {exc}"}, {})
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, Any] | None:
+        request_line = await asyncio.wait_for(
+            reader.readline(), timeout=_HEADER_TIMEOUT_S
+        )
+        if not request_line.strip():
+            return None
+        try:
+            method, target, _version = request_line.decode("latin-1").split()
+        except ValueError:
+            return "GET", "/__malformed__", None
+        headers: dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(
+                reader.readline(), timeout=_HEADER_TIMEOUT_S
+            )
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            length = 0
+        if length > _MAX_BODY_BYTES:
+            return method.upper(), target, _TOO_LARGE
+        body = b""
+        if length > 0:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=_HEADER_TIMEOUT_S
+            )
+        path = target.split("?", 1)[0]
+        return method.upper(), path, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        extra_headers: dict[str, str],
+    ) -> None:
+        body = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        head.extend(f"{k}: {v}" for k, v in extra_headers.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing --------------------------------------------------------
+
+    def _route(
+        self, method: str, path: str, body: bytes | None
+    ) -> tuple[int, Any, dict[str, str]]:
+        """Dispatch one request; fast bookkeeping only (no solves here)."""
+        label, handler = self._resolve(method, path)
+        t0 = time.perf_counter()
+        with activate(self.tracer), activate_metrics(self.metrics):
+            with span("service.request", method=method, path=path) as sp:
+                try:
+                    status, payload, extra = handler(body)
+                except ServiceError as exc:
+                    status, payload, extra = 400, {"error": str(exc)}, {}
+                except Exception as exc:
+                    status, payload, extra = (
+                        500,
+                        {"error": f"internal error: {exc}"},
+                        {},
+                    )
+                sp.set_attributes(endpoint=label, status=status)
+            elapsed = time.perf_counter() - t0
+            self.metrics.histogram(f"service.http.{label}.latency_s").observe(
+                elapsed
+            )
+            self.metrics.counter(f"service.http.{label}.requests").inc()
+            self.metrics.counter(f"service.http.status.{status}").inc()
+        return status, payload, extra
+
+    def _resolve(self, method: str, path: str):
+        parts = [p for p in path.split("/") if p]
+        if path == "/v1/plan":
+            if method != "POST":
+                return "plan", self._method_not_allowed("POST")
+            return "plan", self._post_plan
+        if path == "/healthz" and method == "GET":
+            return "healthz", self._get_healthz
+        if path == "/metrics" and method == "GET":
+            return "metrics", self._get_metrics
+        if path == "/tracez" and method == "GET":
+            return "tracez", self._get_tracez
+        if parts[:2] == ["v1", "jobs"]:
+            if len(parts) == 2 and method == "GET":
+                return "jobs_list", self._get_jobs
+            if len(parts) == 3 and method == "GET":
+                return "job_status", functools.partial(
+                    self._get_job, job_id=parts[2]
+                )
+            if len(parts) == 4 and parts[3] == "result" and method == "GET":
+                return "job_result", functools.partial(
+                    self._get_result, job_id=parts[2]
+                )
+            if len(parts) == 4 and parts[3] == "cancel" and method == "POST":
+                return "job_cancel", functools.partial(
+                    self._post_cancel, job_id=parts[2]
+                )
+        return "unknown", self._not_found
+
+    @staticmethod
+    def _method_not_allowed(allowed: str):
+        def handler(body: bytes | None) -> tuple[int, Any, dict[str, str]]:
+            return 405, {"error": f"method not allowed; use {allowed}"}, {
+                "Allow": allowed
+            }
+
+        return handler
+
+    @staticmethod
+    def _not_found(body: bytes | None) -> tuple[int, Any, dict[str, str]]:
+        return 404, {"error": "no such endpoint"}, {}
+
+    # -- handlers -------------------------------------------------------
+
+    def _post_plan(self, body: bytes | None) -> tuple[int, Any, dict[str, str]]:
+        if self._draining:
+            return 503, {"error": "service is draining; try another replica"}, {}
+        try:
+            doc = json.loads(body or b"")
+        except json.JSONDecodeError as exc:
+            return 400, {"error": f"request body is not valid JSON: {exc}"}, {}
+        with span("service.admission"):
+            request, priority = normalize_plan_request(doc)
+            try:
+                job, created = self.queue.submit(request, priority)
+            except QueueFull as exc:
+                retry_after = self._retry_after_s()
+                return (
+                    429,
+                    {"error": str(exc), "retry_after_s": retry_after},
+                    {"Retry-After": str(retry_after)},
+                )
+            except QueueClosed as exc:
+                return 503, {"error": str(exc)}, {}
+        self.metrics.gauge("service.queue.depth").set(self.queue.depth())
+        return (
+            202,
+            {
+                "job_id": job.job_id,
+                "state": job.state,
+                "deduplicated": not created,
+            },
+            {},
+        )
+
+    def _retry_after_s(self) -> int:
+        """Backlog-drain estimate from the job-duration histogram."""
+        hist = self.metrics.histogram("service.job_duration_s")
+        mean_s = hist.mean if hist.count else 1.0
+        counts = self.queue.counts()
+        backlog = counts["queued"] + counts["running"]
+        estimate = mean_s * max(1, backlog) / max(1, self.bridge.dispatchers)
+        return max(1, math.ceil(estimate))
+
+    def _get_healthz(self, body: bytes | None) -> tuple[int, Any, dict[str, str]]:
+        counts = self.queue.counts()
+        doc = {
+            "status": "draining" if self._draining else "ok",
+            "jobs": counts,
+            "queue_depth": counts["queued"],
+            "dispatchers": self.bridge.dispatchers,
+            "uptime_s": (
+                time.monotonic() - self._started_at if self._started_at else 0.0
+            ),
+        }
+        return (503 if self._draining else 200), doc, {}
+
+    def _get_metrics(self, body: bytes | None) -> tuple[int, Any, dict[str, str]]:
+        self.metrics.gauge("service.queue.depth").set(self.queue.depth())
+        return 200, self.metrics.snapshot(), {}
+
+    def _get_tracez(self, body: bytes | None) -> tuple[int, Any, dict[str, str]]:
+        records = self.tracer.get_trace()
+        recent = records[-self.tracez_limit :]
+        return (
+            200,
+            {
+                "total_spans": len(records),
+                "spans": [r.to_dict() for r in recent],
+            },
+            {},
+        )
+
+    def _get_jobs(self, body: bytes | None) -> tuple[int, Any, dict[str, str]]:
+        now = time.monotonic()
+        return (
+            200,
+            {
+                "counts": self.queue.counts(),
+                "jobs": [job.to_dict(now) for job in self.queue.jobs()],
+            },
+            {},
+        )
+
+    def _get_job(
+        self, body: bytes | None, job_id: str
+    ) -> tuple[int, Any, dict[str, str]]:
+        job = self.queue.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id}"}, {}
+        return 200, job.to_dict(time.monotonic()), {}
+
+    def _get_result(
+        self, body: bytes | None, job_id: str
+    ) -> tuple[int, Any, dict[str, str]]:
+        job = self.queue.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id}"}, {}
+        if job.state == "done":
+            return 200, job.result, {}
+        if job.state == "failed":
+            return 500, {"error": job.error, "state": "failed"}, {}
+        if job.state == "cancelled":
+            return 410, {"error": "job was cancelled", "state": "cancelled"}, {}
+        return 202, {"state": job.state, "job_id": job_id}, {}
+
+    def _post_cancel(
+        self, body: bytes | None, job_id: str
+    ) -> tuple[int, Any, dict[str, str]]:
+        job = self.queue.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id}"}, {}
+        if self.queue.cancel(job_id):
+            return 200, {"job_id": job_id, "state": "cancelled"}, {}
+        return (
+            409,
+            {"error": f"job is {job.state}; only queued jobs can be cancelled"},
+            {},
+        )
+
+
+class _TooLarge:
+    """Sentinel: request body exceeded the service's size cap."""
+
+
+_TOO_LARGE = _TooLarge()

@@ -50,3 +50,139 @@ class TestCommands:
         assert "Scenario 1" in out
         assert (tmp_path / "scenario1_distance_ratio.svg").exists()
         assert (tmp_path / "scenario1_stable_links.svg").exists()
+
+
+class TestVersion:
+    def test_version_flag_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+class TestServiceParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+        assert args.capacity == 64
+        assert args.job_timeout is None
+        assert args.retries == 1
+        assert args.ttl == 3600.0
+        # serve inherits the common --trace and parallel --workers knobs.
+        assert args.trace is None
+        assert args.workers is None
+
+    def test_serve_trace_flag(self):
+        args = build_parser().parse_args(["serve", "--trace", "out.jsonl"])
+        assert args.trace == "out.jsonl"
+
+    def test_submit_args(self):
+        args = build_parser().parse_args([
+            "submit", "1", "2", "--separation", "12",
+            "--methods", "Hungarian", "--priority", "3", "--no-wait",
+        ])
+        assert args.scenario_ids == [1, 2]
+        assert args.separation == 12.0
+        assert args.methods == ["Hungarian"]
+        assert args.priority == 3
+        assert args.no_wait
+
+    def test_submit_scenario_ids_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "9"])
+
+
+class _StubService:
+    """Captures the kwargs `repro serve` builds its service from."""
+
+    instances = []
+
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+        self.host = kwargs.get("host", "127.0.0.1")
+        self.port = 12345
+        _StubService.instances.append(self)
+
+    def start(self):
+        pass
+
+    def wait(self, timeout=None):
+        pass
+
+    def stop(self, drain=True):
+        pass
+
+
+class TestServeCommand:
+    @pytest.fixture(autouse=True)
+    def stub_service(self, monkeypatch):
+        import repro.service
+
+        _StubService.instances.clear()
+        monkeypatch.setattr(repro.service, "PlanningService", _StubService)
+
+    def test_serve_announces_endpoint(self, capsys):
+        assert main(["serve", "--port", "0", "--capacity", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "listening on http://127.0.0.1:12345" in out
+        (stub,) = _StubService.instances
+        assert stub.kwargs["capacity"] == 7
+        assert stub.kwargs["tracer"] is None  # no --trace
+
+    def test_serve_trace_streams_server_spans(self, tmp_path, capsys):
+        trace = tmp_path / "serve.jsonl"
+        assert main(["serve", "--port", "0", "--trace", str(trace)]) == 0
+        (stub,) = _StubService.instances
+        tracer = stub.kwargs["tracer"]
+        assert tracer is not None and tracer.enabled
+        # The traced run flushed its metrics snapshot to the sink.
+        assert trace.exists()
+
+    def test_serve_workers_set_dispatchers(self):
+        assert main(["serve", "--port", "0", "--workers", "3"]) == 0
+        (stub,) = _StubService.instances
+        assert stub.kwargs["dispatchers"] == 3
+
+
+class TestSubmitCommand:
+    @pytest.fixture(scope="class")
+    def service(self):
+        from repro.service import PlanningService
+
+        def echo_runner(request):
+            return {"echo": request["scenario_ids"]}
+
+        with PlanningService(port=0, dispatchers=1, runner=echo_runner) as svc:
+            yield svc
+
+    def test_submit_waits_and_writes_output(self, service, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        code = main([
+            "submit", "1", "--port", str(service.port), "--output", str(out),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "job " in printed
+        assert f"wrote {out}" in printed
+        assert out.read_bytes() == b'{"echo":[1]}'
+
+    def test_submit_no_wait_prints_job_id(self, service, capsys):
+        code = main(["submit", "2", "--port", str(service.port), "--no-wait"])
+        assert code == 0
+        assert "job " in capsys.readouterr().out
+
+    def test_submit_failed_job_exits_nonzero(self, capsys):
+        from repro.service import PlanningService
+
+        def broken_runner(request):
+            raise ValueError("no plan for you")
+
+        with PlanningService(port=0, dispatchers=1, runner=broken_runner,
+                             retries=0) as svc:
+            code = main(["submit", "1", "--port", str(svc.port)])
+        assert code == 1
+        assert "no plan for you" in capsys.readouterr().err

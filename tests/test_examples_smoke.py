@@ -21,6 +21,7 @@ EXAMPLES = [
     "distributed_protocols.py",
     "failure_recovery.py",
     "transition_trace.py",
+    "serve_and_submit.py",
 ]
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"

@@ -8,7 +8,20 @@ import pytest
 from repro.coverage import LloydConfig
 from repro.errors import ReproError
 from repro.foi import FieldOfInterest, ellipse_polygon
-from repro.io import load_result_dict, result_to_dict, save_result, trajectory_from_dict
+from repro.io import (
+    FORMAT_VERSION,
+    SUPPORTED_FORMAT_VERSIONS,
+    check_format_version,
+    dumps_canonical,
+    evaluation_from_dict,
+    load_result_dict,
+    plan_document,
+    result_to_dict,
+    save_result,
+    scenario_run_from_dict,
+    scenario_run_to_dict,
+    trajectory_from_dict,
+)
 from repro.marching import MarchingConfig, MarchingPlanner
 from repro.metrics import stable_link_ratio, total_moving_distance
 from repro.robots import RadioSpec, Swarm
@@ -79,3 +92,88 @@ class TestRoundTrip:
     def test_malformed_trajectory(self):
         with pytest.raises(ReproError):
             trajectory_from_dict({"paths": [{"waypoints": [[0, 0]]}]})
+
+    def test_repair_and_links_survive_round_trip(self, planned, tmp_path):
+        path = save_result(planned, tmp_path / "plan.json")
+        loaded = load_result_dict(path)
+        assert loaded["repair"].escorted == planned.repair.escorted
+        assert loaded["repair"].references == planned.repair.references
+        assert loaded["repair"].isolated_before == planned.repair.isolated_before
+        assert loaded["links"].comm_range == planned.links.comm_range
+        assert np.array_equal(loaded["links"].links, planned.links.links)
+
+
+class TestVersionDiscipline:
+    def test_error_names_version_and_supported_list(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format_version": 7, "method": "x"}))
+        with pytest.raises(ReproError) as excinfo:
+            load_result_dict(path)
+        message = str(excinfo.value)
+        assert "format_version 7" in message
+        assert str(list(SUPPORTED_FORMAT_VERSIONS)) in message
+        assert "future.json" in message
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ReproError, match="format_version None"):
+            check_format_version({"method": "x"})
+
+    def test_current_version_accepted(self):
+        check_format_version({"format_version": FORMAT_VERSION})
+
+
+class TestCanonicalBytes:
+    def test_key_order_does_not_matter(self):
+        a = dumps_canonical({"b": 1, "a": [1, 2]})
+        b = dumps_canonical({"a": [1, 2], "b": 1})
+        assert a == b
+        assert a == b'{"a":[1,2],"b":1}'
+
+    def test_bytes_are_json(self):
+        doc = {"runs": {"1": {"sep": 12.0}}}
+        assert json.loads(dumps_canonical(doc)) == doc
+
+
+class TestScenarioRunRoundTrip:
+    @pytest.fixture()
+    def run(self):
+        from repro.experiments.harness import ScenarioRun, TransitionEvaluation
+
+        evaluation = TransitionEvaluation(
+            method="ours (a)",
+            total_distance=123.5,
+            stable_link_ratio=0.875,
+            globally_connected=True,
+            max_isolated=0,
+            final_positions=np.array([[0.0, 1.0], [2.0, 3.0]]),
+        )
+        return ScenarioRun(
+            scenario_id=1, separation_factor=12.0,
+            evaluations={"ours (a)": evaluation},
+        )
+
+    def test_round_trip(self, run):
+        restored = scenario_run_from_dict(scenario_run_to_dict(run))
+        assert restored.scenario_id == run.scenario_id
+        assert restored.separation_factor == run.separation_factor
+        original = run.evaluations["ours (a)"]
+        back = restored.evaluations["ours (a)"]
+        assert back.method == original.method
+        assert back.total_distance == original.total_distance
+        assert back.stable_link_ratio == original.stable_link_ratio
+        assert back.globally_connected is original.globally_connected
+        assert np.array_equal(back.final_positions, original.final_positions)
+
+    def test_plan_document_is_versioned_and_canonical(self, run):
+        doc = plan_document({1: run})
+        check_format_version(doc)
+        assert doc["kind"] == "plan_batch"
+        assert json.loads(dumps_canonical(doc)) == doc
+
+    def test_malformed_evaluation_rejected(self):
+        with pytest.raises(ReproError, match="malformed evaluation"):
+            evaluation_from_dict({"method": "ours (a)"})
+
+    def test_malformed_run_rejected(self):
+        with pytest.raises(ReproError, match="malformed scenario run"):
+            scenario_run_from_dict({"scenario_id": 1})

@@ -1,0 +1,231 @@
+"""Unit tests for the service job store: admission, dedup, TTL, claims."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    JobQueue,
+    QueueClosed,
+    QueueFull,
+    normalize_plan_request,
+)
+
+
+def request(sep=20.0, **overrides):
+    body = {"scenario_ids": [1], "separation_factor": sep}
+    body.update(overrides)
+    normalized, _priority = normalize_plan_request(body)
+    return normalized
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestNormalization:
+    def test_defaults_filled_in(self):
+        req, priority = normalize_plan_request({"scenario_id": 3})
+        assert req["scenario_ids"] == [3]
+        assert req["separation_factor"] == 20.0
+        assert req["foi_target_points"] == 500
+        assert req["lloyd_grid_target"] == 2000
+        assert req["resolution"] == 32
+        assert priority == 0
+
+    def test_equivalent_requests_canonicalise_identically(self):
+        a, _ = normalize_plan_request(
+            {"scenario_ids": [2, 1], "methods": ["Hungarian", "ours (a)"]}
+        )
+        b, _ = normalize_plan_request(
+            {"scenario_ids": [1, 2, 2], "methods": ["ours (a)", "Hungarian"],
+             "priority": 5}
+        )
+        assert a == b
+
+    def test_priority_not_part_of_request(self):
+        req, priority = normalize_plan_request({"scenario_id": 1, "priority": 7})
+        assert priority == 7
+        assert "priority" not in req
+
+    @pytest.mark.parametrize("body", [
+        [],                                          # not an object
+        {},                                          # no scenarios
+        {"scenario_ids": [99]},                      # unknown scenario
+        {"scenario_id": 1, "methods": ["nope"]},     # unknown method
+        {"scenario_id": 1, "methods": []},           # no methods
+        {"scenario_id": 1, "resolution": 0},         # non-positive knob
+        {"scenario_id": 1, "separation_factor": "x"},
+        {"scenario_id": 1, "frobnicate": True},      # unknown field
+    ])
+    def test_rejects_malformed(self, body):
+        with pytest.raises(ServiceError):
+            normalize_plan_request(body)
+
+
+class TestAdmission:
+    def test_submit_and_claim(self):
+        queue = JobQueue(capacity=4)
+        job, created = queue.submit(request())
+        assert created and job.state == "queued"
+        claimed = queue.claim(timeout=0.1)
+        assert claimed is job and claimed.state == "running"
+        queue.complete(job.job_id, b"{}")
+        assert queue.get(job.job_id).state == "done"
+        assert queue.get(job.job_id).result == b"{}"
+
+    def test_duplicate_submission_same_job_id(self):
+        queue = JobQueue(capacity=4)
+        a, created_a = queue.submit(request())
+        b, created_b = queue.submit(request())
+        assert created_a and not created_b
+        assert a.job_id == b.job_id
+        assert queue.get(a.job_id).submissions == 2
+
+    def test_done_jobs_still_deduplicate(self):
+        queue = JobQueue(capacity=4)
+        job, _ = queue.submit(request())
+        queue.claim(timeout=0.1)
+        queue.complete(job.job_id, b"{}")
+        again, created = queue.submit(request())
+        assert not created and again.state == "done"
+
+    def test_capacity_counts_queued_only(self):
+        queue = JobQueue(capacity=1)
+        first, _ = queue.submit(request(sep=10.0))
+        queue.claim(timeout=0.1)  # running jobs free the slot
+        queue.submit(request(sep=11.0))
+        with pytest.raises(QueueFull):
+            queue.submit(request(sep=12.0))
+
+    def test_failed_job_revived_on_resubmit(self):
+        queue = JobQueue(capacity=4)
+        job, _ = queue.submit(request())
+        queue.claim(timeout=0.1)
+        queue.fail(job.job_id, "boom")
+        revived, created = queue.submit(request())
+        assert created and revived.job_id == job.job_id
+        assert revived.state == "queued" and revived.error is None
+
+    def test_closed_queue_rejects(self):
+        queue = JobQueue(capacity=4)
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.submit(request())
+
+
+class TestOrderingAndCancel:
+    def test_priority_then_fifo(self):
+        queue = JobQueue(capacity=8)
+        low, _ = queue.submit(request(sep=10.0), priority=0)
+        high, _ = queue.submit(request(sep=11.0), priority=5)
+        low2, _ = queue.submit(request(sep=12.0), priority=0)
+        order = [queue.claim(timeout=0.1).job_id for _ in range(3)]
+        assert order == [high.job_id, low.job_id, low2.job_id]
+
+    def test_cancel_only_queued(self):
+        queue = JobQueue(capacity=4)
+        job, _ = queue.submit(request())
+        assert queue.cancel(job.job_id)
+        assert queue.get(job.job_id).state == "cancelled"
+        job2, _ = queue.submit(request(sep=11.0))
+        queue.claim(timeout=0.1)
+        assert not queue.cancel(job2.job_id)  # running
+
+    def test_cancelled_job_revived_on_resubmit(self):
+        queue = JobQueue(capacity=4)
+        job, _ = queue.submit(request())
+        queue.cancel(job.job_id)
+        revived, created = queue.submit(request())
+        assert created and revived.state == "queued"
+        assert revived.job_id == job.job_id
+
+    def test_claim_blocks_until_submit(self):
+        queue = JobQueue(capacity=4)
+        got = []
+
+        def claimer():
+            got.append(queue.claim(timeout=5.0))
+
+        thread = threading.Thread(target=claimer)
+        thread.start()
+        job, _ = queue.submit(request())
+        thread.join(timeout=5.0)
+        assert got and got[0].job_id == job.job_id
+
+    def test_close_without_drain_cancels_backlog(self):
+        queue = JobQueue(capacity=4)
+        job, _ = queue.submit(request())
+        queue.close(drain=False)
+        assert queue.get(job.job_id).state == "cancelled"
+        assert queue.claim(timeout=0.1) is None
+
+    def test_close_with_drain_serves_backlog(self):
+        queue = JobQueue(capacity=4)
+        job, _ = queue.submit(request())
+        queue.close(drain=True)
+        assert queue.claim(timeout=0.1).job_id == job.job_id
+        assert queue.claim(timeout=0.1) is None
+
+
+class TestTTL:
+    def test_terminal_jobs_evicted_after_ttl(self):
+        clock = FakeClock()
+        queue = JobQueue(capacity=4, ttl_s=10.0, clock=clock)
+        job, _ = queue.submit(request())
+        queue.claim(timeout=0.1)
+        queue.complete(job.job_id, b"{}")
+        clock.now = 5.0
+        assert queue.evict_expired() == 0
+        clock.now = 20.0
+        assert queue.evict_expired() == 1
+        assert queue.get(job.job_id) is None
+
+    def test_active_jobs_never_evicted(self):
+        clock = FakeClock()
+        queue = JobQueue(capacity=4, ttl_s=10.0, clock=clock)
+        queued, _ = queue.submit(request(sep=10.0))
+        running, _ = queue.submit(request(sep=11.0))
+        queue.claim(timeout=0.1)
+        clock.now = 1e6
+        assert queue.evict_expired() == 0
+        assert queue.counts()["queued"] + queue.counts()["running"] == 2
+
+    def test_eviction_allows_fresh_submission(self):
+        clock = FakeClock()
+        queue = JobQueue(capacity=4, ttl_s=10.0, clock=clock)
+        job, _ = queue.submit(request())
+        queue.claim(timeout=0.1)
+        queue.complete(job.job_id, b"{}")
+        clock.now = 20.0  # submit() evicts opportunistically
+        fresh, created = queue.submit(request())
+        assert created and fresh.state == "queued"
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ServiceError):
+            JobQueue(capacity=0)
+        with pytest.raises(ServiceError):
+            JobQueue(ttl_s=0.0)
+
+
+class TestStatusDocument:
+    def test_to_dict_shape(self):
+        clock = FakeClock()
+        queue = JobQueue(capacity=4, clock=clock)
+        job, _ = queue.submit(request(), priority=3)
+        clock.now = 2.0
+        queue.claim(timeout=0.1)
+        clock.now = 5.0
+        queue.complete(job.job_id, b"{}")
+        doc = job.to_dict()
+        assert doc["state"] == "done"
+        assert doc["priority"] == 3
+        assert doc["queue_wait_s"] == pytest.approx(2.0)
+        assert doc["run_s"] == pytest.approx(3.0)
+        assert doc["request"]["scenario_ids"] == [1]
+        assert "result" not in doc
