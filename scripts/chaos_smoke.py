@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""CI smoke test for the fault-injection subsystem.
+
+Runs ``python -m repro chaos`` twice (once serial, once with two
+workers) over a small fixed-seed scenario x archetype matrix, through
+a real process boundary, and asserts the resilience contract:
+
+1. both invocations exit 0,
+2. the two summary files are byte-identical (the determinism
+   contract: same seeds => same recovery-metrics summary, regardless
+   of worker count or process),
+3. every case ends in exactly one of the two allowed outcomes
+   (``recovered`` or ``unrecoverable`` with a typed stage), and
+4. every recovered case reports ``connected_all`` - Definition-2 held
+   at every sampled instant of every post-replan trajectory.
+
+Run:  PYTHONPATH=src python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+MATRIX = [
+    "--scenarios", "1", "2",
+    "--archetypes", "single", "cascade", "stuck",
+    "--seeds", "0",
+]
+
+
+def run_chaos(output: Path, workers: int) -> None:
+    cmd = [
+        sys.executable, "-m", "repro", "chaos",
+        *MATRIX,
+        "--workers", str(workers),
+        "--output", str(output),
+    ]
+    print(f"$ {' '.join(cmd)}")
+    proc = subprocess.run(cmd, text=True, capture_output=True)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    assert proc.returncode == 0, f"exit code {proc.returncode}"
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        serial = Path(tmp) / "serial.json"
+        parallel = Path(tmp) / "parallel.json"
+        run_chaos(serial, workers=1)
+        run_chaos(parallel, workers=2)
+
+        a, b = serial.read_bytes(), parallel.read_bytes()
+        assert a == b, "chaos summaries differ between worker counts"
+        print(f"byte-identical summaries: {len(a)} bytes")
+
+        doc = json.loads(a)
+        agg = doc["summary"]
+        assert agg["cases"] == len(doc["cases"]) > 0, agg
+        for case in doc["cases"]:
+            outcome = case["outcome"]
+            assert outcome in ("recovered", "unrecoverable"), case
+            if outcome == "recovered":
+                assert case["metrics"]["connected_all"], case
+            else:
+                assert case["stage"], case
+        assert agg["recovered"] + agg["unrecoverable"] == agg["cases"]
+        assert agg["recovered"] > 0, "no case recovered - broken executor?"
+        print(
+            f"{agg['recovered']}/{agg['cases']} recovered, "
+            f"{agg['replans_total']} replans; recovery metrics present"
+        )
+    print("chaos smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

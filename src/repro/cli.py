@@ -8,6 +8,7 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro lemmas
     python -m repro pipeline 3 --output out/fig2
     python -m repro plan 3 --trace out.jsonl
+    python -m repro chaos --seeds 0 1 --output chaos.json
     python -m repro serve --port 8642 --workers 2
     python -m repro submit 1 --separation 12 --output plan.json
 
@@ -103,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--separation", type=float, default=20.0)
     p_report.add_argument("--scenarios", type=int, nargs="+", default=None,
                           help="subset of scenario ids (default: all)")
+    p_report.add_argument("--chaos", action="store_true",
+                          help="append a seeded fault-injection sweep and "
+                               "its recovery metrics to the report")
+    p_report.add_argument("--chaos-seeds", type=int, nargs="+", default=[0],
+                          help="seeds for the --chaos sweep (default: 0)")
 
     p_pipe = sub.add_parser(
         "pipeline", help="run the Fig. 2 pipeline and write its six panels",
@@ -123,6 +129,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--points", type=int, default=400,
                         help="target FoI grid resolution")
     p_plan.add_argument("--method", choices=("a", "b"), default="a")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection sweep with recovery metrics",
+        parents=[common, parallel],
+    )
+    p_chaos.add_argument("--scenarios", type=int, nargs="+",
+                         default=None, metavar="ID",
+                         help="scenario ids (default: 1 2 4)")
+    p_chaos.add_argument("--archetypes", nargs="+", default=None,
+                         metavar="NAME",
+                         help="fault archetypes (default: single cluster "
+                         "cascade; also: stuck, storm)")
+    p_chaos.add_argument("--seeds", type=int, nargs="+", default=[0],
+                         help="schedule seeds; same seeds, same summary")
+    p_chaos.add_argument("--robots", type=int, default=81,
+                         help="robots per case")
+    p_chaos.add_argument("--separation", type=float, default=6.0,
+                         help="M1-M2 distance in communication ranges")
+    p_chaos.add_argument("--output", metavar="FILE", default=None,
+                         help="write the canonical JSON summary to FILE")
 
     p_serve = sub.add_parser(
         "serve",
@@ -166,6 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seconds to wait for the job to finish")
     p_submit.add_argument("--no-wait", action="store_true",
                           help="submit and print the job id without polling")
+    p_submit.add_argument("--retries", type=int, default=0,
+                          help="client retry budget for transient failures "
+                          "(connection refused, 429 backpressure, 503 drain)")
     p_submit.add_argument("--output", metavar="FILE", default=None,
                           help="also write the plan document (JSON) to FILE")
     return parser
@@ -268,6 +298,8 @@ def _cmd_report(args) -> int:
         separation_factor=args.separation,
         scenario_ids=args.scenarios,
         workers=args.workers,
+        chaos=args.chaos,
+        chaos_seeds=args.chaos_seeds,
     )
     print(f"wrote {path}")
     return 0
@@ -322,6 +354,47 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.experiments.chaos import (
+        DEFAULT_ARCHETYPES,
+        DEFAULT_SCENARIOS,
+        ChaosConfig,
+        chaos_sweep,
+        render_chaos,
+        summary_bytes,
+    )
+    from repro.faults import ARCHETYPES
+
+    archetypes = tuple(args.archetypes or DEFAULT_ARCHETYPES)
+    unknown = [a for a in archetypes if a not in ARCHETYPES]
+    if unknown:
+        print(f"error: unknown archetypes {unknown}; valid: "
+              f"{list(ARCHETYPES)}", file=sys.stderr)
+        return 2
+    config = ChaosConfig(
+        robot_count=args.robots, separation_factor=args.separation
+    )
+    summary = chaos_sweep(
+        scenario_ids=tuple(args.scenarios or DEFAULT_SCENARIOS),
+        archetypes=archetypes,
+        seeds=tuple(args.seeds),
+        config=config,
+        workers=args.workers,
+    )
+    print(render_chaos(summary))
+    if args.output:
+        from pathlib import Path
+
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_bytes(summary_bytes(summary))
+        print(f"wrote {out}")
+    # Binary-outcome guarantee: a case that is neither recovered nor a
+    # typed unrecoverable never reaches this point (it would have
+    # raised); exit non-zero only if a recovered case broke C=1.
+    return 0 if summary["summary"]["connected_all"] else 1
+
+
 def _cmd_serve(args) -> int:
     from repro import service as service_module
     from repro.exec import get_cache, resolve_workers
@@ -365,7 +438,7 @@ def _cmd_submit(args) -> int:
     from repro.experiments import format_table
     from repro.service import ServiceClient
 
-    client = ServiceClient(args.host, args.port)
+    client = ServiceClient(args.host, args.port, retries=args.retries)
     submitted = client.submit(
         args.scenario_ids,
         separation_factor=args.separation,
@@ -420,6 +493,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "lemmas": _cmd_lemmas,
     "report": _cmd_report,
+    "chaos": _cmd_chaos,
     "pipeline": _cmd_pipeline,
     "plan": _cmd_plan,
     "serve": _cmd_serve,

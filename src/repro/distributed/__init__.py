@@ -14,13 +14,14 @@ from repro.distributed.protocols import (
     run_distributed_harmonic,
     run_subgroup_detection,
 )
-from repro.distributed.runtime import Message, Node, NodeApi, SyncNetwork
+from repro.distributed.runtime import LinkFaults, Message, Node, NodeApi, SyncNetwork
 
 __all__ = [
     "AveragingNode",
     "BoundaryLoopNode",
     "DistributedRotationSearch",
     "FloodSumNode",
+    "LinkFaults",
     "Message",
     "Node",
     "NodeApi",

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import ProtocolError
-from repro.distributed.runtime import Node, NodeApi, SyncNetwork
+from repro.distributed.runtime import LinkFaults, Node, NodeApi, SyncNetwork
 
 __all__ = ["ReliableFloodNode", "reliable_flood_aggregate"]
 
@@ -99,6 +99,7 @@ def reliable_flood_aggregate(
     loss_rate: float = 0.0,
     seed: int = 0,
     max_rounds: int | None = None,
+    faults: LinkFaults | None = None,
 ) -> list[float]:
     """Loss-tolerant version of :func:`flood_aggregate`.
 
@@ -114,18 +115,27 @@ def reliable_flood_aggregate(
         Loss-process seed.
     max_rounds : int, optional
         Defaults to a bound scaled by the loss rate.
+    faults : LinkFaults, optional
+        Full runtime fault model (delay, duplication, per-edge loss,
+        crashes) injected on top of ``loss_rate``.  Delay and
+        duplication the protocol tolerates by design; a crash makes the
+        record set unreachable and raises like extreme loss does.
 
     Raises
     ------
     ProtocolError
         If some node still misses records when the round budget runs
-        out (loss too extreme), or the protocol fails to go quiet.
+        out (loss too extreme, or a participant crashed), or the
+        protocol fails to go quiet.
     """
     n = len(values)
     nodes = [ReliableFloodNode(i, float(values[i]), n) for i in range(n)]
+    worst_loss = loss_rate + (faults.loss_rate if faults is not None else 0.0)
     if max_rounds is None:
-        max_rounds = int((6 * n + 30) / max(1e-6, (1.0 - loss_rate)) ** 3)
-    net = SyncNetwork(nodes, adjacency, loss_rate=loss_rate, seed=seed)
+        max_rounds = int((6 * n + 30) / max(1e-6, (1.0 - min(worst_loss, 0.99))) ** 3)
+        if faults is not None and faults.delay_rate > 0:
+            max_rounds += faults.max_delay * (n + 10)
+    net = SyncNetwork(nodes, adjacency, loss_rate=loss_rate, seed=seed, faults=faults)
     net.run(max_rounds=max_rounds)
     out = []
     for node in nodes:

@@ -27,7 +27,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 from repro.errors import ProtocolError
 from repro.obs import get_metrics, span
 
-__all__ = ["Message", "Node", "SyncNetwork"]
+__all__ = ["LinkFaults", "Message", "Node", "SyncNetwork"]
 
 
 @dataclass(frozen=True)
@@ -116,6 +116,89 @@ class NodeApi:
             self.send(w, kind, payload)
 
 
+@dataclass(frozen=True)
+class LinkFaults:
+    """Declarative message-level fault model for :class:`SyncNetwork`.
+
+    All processes draw from the network's single seeded RNG, so a given
+    ``(faults, seed)`` pair reproduces the exact same run.  Every knob
+    defaults to "off"; a default-constructed ``LinkFaults`` is a no-op.
+
+    Attributes
+    ----------
+    loss_rate : float
+        Baseline per-message drop probability (same semantics as the
+        ``SyncNetwork`` constructor argument; the two add up).
+    loss_windows : tuple of (start_round, end_round, rate)
+        Extra drop probability applied while ``start <= round < end`` -
+        a burst of interference rather than steady background loss.
+    per_edge_loss : mapping (sender, receiver) -> rate
+        Extra drop probability on specific directed links (a weak or
+        obstructed link between two particular robots).
+    delay_rate : float
+        Probability a surviving message is *delayed* instead of being
+        delivered next round; it is re-queued for 1..``max_delay``
+        extra rounds (uniform).  Delivery still requires the link to
+        exist at the delayed delivery round.
+    max_delay : int
+        Largest extra delay in rounds (>= 1 when ``delay_rate > 0``).
+    duplication_rate : float
+        Probability a delivered message is additionally re-delivered
+        one round later (a retransmission duplicate).
+    crash_at : mapping round -> node ids
+        Nodes that die at the *start* of the given round: they stop
+        handling messages, send nothing further, and disappear from
+        every neighbour list.  Messages addressed to them are dropped
+        (and counted).
+    """
+
+    loss_rate: float = 0.0
+    loss_windows: tuple[tuple[int, int, float], ...] = ()
+    per_edge_loss: Mapping[tuple[int, int], float] | None = None
+    delay_rate: float = 0.0
+    max_delay: int = 1
+    duplication_rate: float = 0.0
+    crash_at: Mapping[int, Sequence[int]] | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("loss_rate", "delay_rate", "duplication_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ProtocolError(f"{name} must be in [0, 1), got {rate}")
+        for window in self.loss_windows:
+            if len(window) != 3:
+                raise ProtocolError("loss window must be (start, end, rate)")
+            start, end, rate = window
+            if end <= start:
+                raise ProtocolError("loss window must have end > start")
+            if not 0.0 <= rate < 1.0:
+                raise ProtocolError("loss window rate must be in [0, 1)")
+        if self.delay_rate > 0 and self.max_delay < 1:
+            raise ProtocolError("max_delay must be >= 1 when delaying")
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault process can ever fire."""
+        return bool(
+            self.loss_rate
+            or self.loss_windows
+            or self.per_edge_loss
+            or self.delay_rate
+            or self.duplication_rate
+            or self.crash_at
+        )
+
+    def loss_for(self, round_index: int, sender: int, receiver: int) -> float:
+        """Effective drop probability for one message this round."""
+        rate = self.loss_rate
+        for start, end, extra in self.loss_windows:
+            if start <= round_index < end:
+                rate += extra
+        if self.per_edge_loss:
+            rate += self.per_edge_loss.get((sender, receiver), 0.0)
+        return min(rate, 0.999999)
+
+
 class SyncNetwork:
     """Drives a set of nodes over a (possibly time-varying) topology.
 
@@ -132,7 +215,16 @@ class SyncNetwork:
         links); protocols claiming robustness are tested against
         positive rates.
     seed : int
-        Seed of the loss process, so lossy runs are reproducible.
+        Seed of the fault processes, so faulty runs are reproducible.
+    faults : LinkFaults, optional
+        Richer fault model: loss windows, per-edge loss, delay,
+        duplication and node crashes.  Its ``loss_rate`` adds to the
+        plain ``loss_rate`` argument.
+
+    Per-kind fault bookkeeping lives in ``dropped_by_kind``,
+    ``delayed_by_kind`` and ``duplicated_by_kind`` (message ``kind`` ->
+    count), mirrored into obs counters by :meth:`run` so protocol tests
+    can assert on exactly what the fault process did.
     """
 
     def __init__(
@@ -141,6 +233,7 @@ class SyncNetwork:
         topology: Callable[[int], Sequence[Sequence[int]]] | Sequence[Sequence[int]],
         loss_rate: float = 0.0,
         seed: int = 0,
+        faults: LinkFaults | None = None,
     ) -> None:
         self.nodes = list(nodes)
         for i, node in enumerate(self.nodes):
@@ -156,11 +249,26 @@ class SyncNetwork:
         if not 0.0 <= loss_rate < 1.0:
             raise ProtocolError("loss_rate must be in [0, 1)")
         self.loss_rate = float(loss_rate)
+        self.faults = faults
+        if faults is not None and faults.crash_at:
+            for ids in faults.crash_at.values():
+                for node_id in ids:
+                    if not 0 <= int(node_id) < len(self.nodes):
+                        raise ProtocolError(
+                            f"crash schedule names unknown node {node_id}"
+                        )
         self._loss_rng = random.Random(seed)
         self.round_index = -1
         self._pending: list[Message] = []
+        self._delayed: list[tuple[int, Message]] = []
+        self.crashed: set[int] = set()
         self.delivered_messages = 0
         self.dropped_messages = 0
+        self.delayed_messages = 0
+        self.duplicated_messages = 0
+        self.dropped_by_kind: dict[str, int] = {}
+        self.delayed_by_kind: dict[str, int] = {}
+        self.duplicated_by_kind: dict[str, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -168,7 +276,21 @@ class SyncNetwork:
         adj = self._topology(max(self.round_index, 0))
         if len(adj) != len(self.nodes):
             raise ProtocolError("topology size does not match node count")
+        if self.crashed:
+            return [
+                ()
+                if i in self.crashed
+                else tuple(int(w) for w in nbrs if int(w) not in self.crashed)
+                for i, nbrs in enumerate(adj)
+            ]
         return [tuple(int(w) for w in nbrs) for nbrs in adj]
+
+    def _apply_crashes(self, round_index: int) -> None:
+        if self.faults is None or not self.faults.crash_at:
+            return
+        for node_id in self.faults.crash_at.get(round_index, ()):
+            self.crashed.add(int(node_id))
+            self.nodes[int(node_id)].halt()
 
     def run(self, max_rounds: int = 10_000) -> int:
         """Run until every node halts or no message is in flight.
@@ -183,23 +305,100 @@ class SyncNetwork:
         with span("distributed.network_run", nodes=len(self.nodes)) as sp_:
             delivered_at_start = self.delivered_messages
             dropped_at_start = self.dropped_messages
+            delayed_at_start = self.delayed_messages
+            duplicated_at_start = self.duplicated_messages
             rounds = self._run_rounds(max_rounds)
             delivered = self.delivered_messages - delivered_at_start
             dropped = self.dropped_messages - dropped_at_start
+            delayed = self.delayed_messages - delayed_at_start
+            duplicated = self.duplicated_messages - duplicated_at_start
             sp_.set_attributes(
-                rounds=rounds, delivered=delivered, dropped=dropped
+                rounds=rounds,
+                delivered=delivered,
+                dropped=dropped,
+                delayed=delayed,
+                duplicated=duplicated,
+                crashed=len(self.crashed),
             )
         m = get_metrics()
         m.counter("distributed.rounds").inc(rounds)
         m.counter("distributed.messages_delivered").inc(delivered)
         if dropped:
             m.counter("distributed.messages_dropped").inc(dropped)
+        if delayed:
+            m.counter("distributed.messages_delayed").inc(delayed)
+        if duplicated:
+            m.counter("distributed.messages_duplicated").inc(duplicated)
+        for kind, count in sorted(self.dropped_by_kind.items()):
+            m.counter(f"distributed.dropped.{kind}").inc(count)
+        for kind, count in sorted(self.delayed_by_kind.items()):
+            m.counter(f"distributed.delayed.{kind}").inc(count)
+        for kind, count in sorted(self.duplicated_by_kind.items()):
+            m.counter(f"distributed.duplicated.{kind}").inc(count)
         return rounds
 
+    def _deliver(
+        self,
+        msg: Message,
+        adj: list[tuple[int, ...]],
+        inboxes: dict[int, list[Message]],
+        allow_faults: bool = True,
+    ) -> None:
+        """Run one message through the link/fault pipeline."""
+        # Deliver only if the link still exists this round (crashed
+        # endpoints have no links at all) and the fault processes spare
+        # the message.
+        if msg.sender not in adj[msg.receiver]:
+            if msg.receiver in self.crashed or msg.sender in self.crashed:
+                self.dropped_messages += 1
+                self.dropped_by_kind[msg.kind] = (
+                    self.dropped_by_kind.get(msg.kind, 0) + 1
+                )
+            return
+        loss = self.loss_rate
+        if self.faults is not None:
+            loss = min(
+                loss + self.faults.loss_for(
+                    self.round_index, msg.sender, msg.receiver
+                ),
+                0.999999,
+            )
+        if loss > 0 and self._loss_rng.random() < loss:
+            self.dropped_messages += 1
+            self.dropped_by_kind[msg.kind] = (
+                self.dropped_by_kind.get(msg.kind, 0) + 1
+            )
+            return
+        faults = self.faults
+        if allow_faults and faults is not None:
+            if faults.delay_rate > 0 and self._loss_rng.random() < faults.delay_rate:
+                extra = self._loss_rng.randint(1, faults.max_delay)
+                self._delayed.append((self.round_index + extra, msg))
+                self.delayed_messages += 1
+                self.delayed_by_kind[msg.kind] = (
+                    self.delayed_by_kind.get(msg.kind, 0) + 1
+                )
+                return
+            if (
+                faults.duplication_rate > 0
+                and self._loss_rng.random() < faults.duplication_rate
+            ):
+                # The duplicate rides one round behind the original.
+                self._delayed.append((self.round_index + 1, msg))
+                self.duplicated_messages += 1
+                self.duplicated_by_kind[msg.kind] = (
+                    self.duplicated_by_kind.get(msg.kind, 0) + 1
+                )
+        inboxes.setdefault(msg.receiver, []).append(msg)
+        self.delivered_messages += 1
+
     def _run_rounds(self, max_rounds: int) -> int:
+        self._apply_crashes(0)
         adj = self._adjacency()
         self.round_index = 0
         for i, node in enumerate(self.nodes):
+            if node.halted:
+                continue
             api = NodeApi(node_id=i, round_index=0, neighbors=adj[i])
             node.on_start(api)
             self._pending.extend(api._outbox)
@@ -208,24 +407,27 @@ class SyncNetwork:
         while rounds < max_rounds:
             if all(n.halted for n in self.nodes):
                 return rounds
-            if not self._pending and rounds > 0:
+            if not self._pending and not self._delayed and rounds > 0:
                 # Quiescence: nothing in flight and nobody spoke last round.
                 return rounds
             rounds += 1
             self.round_index = rounds
+            self._apply_crashes(rounds)
             adj = self._adjacency()
             inboxes: dict[int, list[Message]] = {}
             for msg in self._pending:
-                # Deliver only if the link still exists this round and
-                # the loss process spares the message.
-                if msg.sender not in adj[msg.receiver]:
-                    continue
-                if self.loss_rate > 0 and self._loss_rng.random() < self.loss_rate:
-                    self.dropped_messages += 1
-                    continue
-                inboxes.setdefault(msg.receiver, []).append(msg)
-                self.delivered_messages += 1
+                self._deliver(msg, adj, inboxes)
             self._pending = []
+            if self._delayed:
+                due = [m for r, m in self._delayed if r <= rounds]
+                self._delayed = [
+                    (r, m) for r, m in self._delayed if r > rounds
+                ]
+                for msg in due:
+                    # A delayed/duplicated copy is delivered verbatim;
+                    # it cannot be delayed or duplicated again (one
+                    # fault per message keeps the process bounded).
+                    self._deliver(msg, adj, inboxes, allow_faults=False)
             for i, node in enumerate(self.nodes):
                 if node.halted:
                     continue

@@ -57,6 +57,31 @@ class ScenarioError(ReproError):
     """An experiment scenario is mis-specified."""
 
 
+class UnrecoverableError(ReproError):
+    """A fault-injected mission cannot be recovered by the survivors.
+
+    Raised by :mod:`repro.faults` when recovery is provably impossible
+    (too few survivors to replan, the planner cannot produce a new plan,
+    or the survivors' recovery consensus cannot complete under the
+    injected communication faults).  The resilient executor guarantees
+    every run ends either recovered or with this error - never a silent
+    partial plan, never a hang.
+
+    Attributes
+    ----------
+    stage : str
+        Recovery stage that failed (``"consensus"``, ``"replan"``,
+        ``"rejoin"``, ``"survivors"``).
+    survivors : int
+        Robots still alive when recovery was abandoned.
+    """
+
+    def __init__(self, message: str, stage: str = "", survivors: int = 0) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.survivors = int(survivors)
+
+
 class ServiceError(ReproError):
     """The planning service rejected or could not complete a request.
 

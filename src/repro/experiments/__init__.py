@@ -12,6 +12,13 @@ from repro.experiments.harness import (
     sweep_many,
     sweep_separations,
 )
+from repro.experiments.chaos import (
+    ChaosCase,
+    ChaosConfig,
+    chaos_sweep,
+    render_chaos,
+    run_chaos_case,
+)
 from repro.experiments.figures import write_all_sweep_figures, write_sweep_figures
 from repro.experiments.generator import RandomScenario, random_foi, random_scenario
 from repro.experiments.report import build_report, write_report
@@ -27,7 +34,12 @@ from repro.experiments.tables import format_table, render_sweep, render_table1
 
 __all__ = [
     "COMM_RANGE",
+    "ChaosCase",
+    "ChaosConfig",
     "DEFAULT_METHODS",
+    "chaos_sweep",
+    "render_chaos",
+    "run_chaos_case",
     "Lemma1Example",
     "Lemma2Example",
     "ROBOT_COUNT",

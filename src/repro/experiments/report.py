@@ -33,6 +33,9 @@ def build_report(
     methods: Sequence[str] = DEFAULT_METHODS,
     workers: int | None = None,
     backend: str = "process",
+    chaos: bool = False,
+    chaos_seeds: Sequence[int] = (0,),
+    chaos_scenarios: Sequence[int] | None = None,
     **run_kwargs,
 ) -> str:
     """Run the scenarios and return the markdown report text.
@@ -42,6 +45,10 @@ def build_report(
     scenario order), so the phase-timing table reflects worker time and
     the metric tables are identical for any worker count (the timing
     table, like any wall-clock measurement, varies run to run).
+
+    With ``chaos=True`` the report appends a resilience section: a
+    seeded fault-archetype sweep (:mod:`repro.experiments.chaos`) and
+    its recovery metrics.
     """
     ids = sorted(scenario_ids or SCENARIOS)
     tracer = Tracer()
@@ -92,6 +99,50 @@ def build_report(
                         run.evaluations[m].connectivity_flag,
                     ]
                     for m in methods
+                ],
+            ),
+        ])
+    if chaos:
+        from repro.experiments.chaos import DEFAULT_SCENARIOS, chaos_sweep
+
+        summary = chaos_sweep(
+            scenario_ids=chaos_scenarios or DEFAULT_SCENARIOS,
+            seeds=chaos_seeds,
+            workers=workers,
+        )
+        agg = summary["summary"]
+        parts.extend([
+            "",
+            "## Recovery under failures",
+            "",
+            f"Seeded fault sweep over scenarios "
+            f"{summary['matrix']['scenarios']} x archetypes "
+            f"{summary['matrix']['archetypes']} "
+            f"({summary['config']['robot_count']} robots per case): "
+            f"{agg['recovered']}/{agg['cases']} recovered with "
+            f"{agg['replans_total']} replans and "
+            f"{agg['rejoins_total']} escort rejoins; post-replan global "
+            f"connectivity {'held' if agg['connected_all'] else 'VIOLATED'} "
+            "at every sampled instant.",
+            "",
+            _md_table(
+                ["scenario", "archetype", "outcome", "survivors",
+                 "replans", "extra D", "t_recover"],
+                [
+                    [
+                        d["scenario_id"],
+                        d["archetype"],
+                        d["outcome"] if d["outcome"] == "recovered"
+                        else f"unrecoverable ({d['stage']})",
+                        d["survivors"],
+                        d["metrics"]["replan_count"]
+                        if d["outcome"] == "recovered" else "-",
+                        f"{d['metrics']['extra_distance']:.1f}"
+                        if d["outcome"] == "recovered" else "-",
+                        f"{d['metrics']['time_to_recover']:.3f}"
+                        if d["outcome"] == "recovered" else "-",
+                    ]
+                    for d in summary["cases"]
                 ],
             ),
         ])

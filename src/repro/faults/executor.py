@@ -1,0 +1,618 @@
+"""Resilient mission execution under an injected fault schedule.
+
+:class:`ResilientExecutor` runs one full marching transition while the
+faults of a :class:`~repro.faults.schedule.FaultSchedule` fire, and
+recovers automatically:
+
+* **detect** - each fault fires at its mission-fraction instant; the
+  march freezes there and the fleet state is snapshotted.
+* **cascade** - every crash event replans the survivors from their
+  frozen positions (the same recovery
+  :func:`~repro.marching.replan.replan_after_failure` implements),
+  event after event, with later instants rescaled onto each fresh plan.
+* **repair** - when a crash cuts the survivor network, the cut
+  subgroups are escorted back: each minor component moves rigidly (all
+  internal links frozen, exactly like the planner's parallel-escort
+  repair) until it re-enters communication range of the main body.
+* **refuse loudly** - when recovery is impossible (too few survivors,
+  the planner cannot plan, the recovery consensus cannot complete under
+  the injected message faults) a typed
+  :class:`~repro.errors.UnrecoverableError` is raised.  Every code path
+  ends in a recovered report or that error; nothing hangs (every loop
+  and every protocol run is bounded) and nothing silently proceeds.
+
+Recovery cost is measured (:class:`~repro.metrics.recovery.RecoveryMetrics`)
+and mirrored into obs spans and gauges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.distributed.protocols.reliable_flood import ReliableFloodNode
+from repro.distributed.runtime import LinkFaults, SyncNetwork
+from repro.errors import PlanningError, ProtocolError, UnrecoverableError
+from repro.faults.schedule import CrashFault, FaultSchedule, SlowFault, StuckFault
+from repro.foi.region import FieldOfInterest
+from repro.marching.planner import MarchingConfig, MarchingPlanner
+from repro.marching.replan import FailureEvent, replan_after_failure
+from repro.marching.result import MarchingResult
+from repro.metrics.connectivity import ConnectivityReport, connectivity_report
+from repro.metrics.recovery import RecoveryMetrics
+from repro.metrics.stable_links import stable_link_ratio
+from repro.network.udg import UnitDiskGraph
+from repro.obs import get_metrics, span
+from repro.robots.swarm import Swarm
+
+__all__ = [
+    "ChaosRunReport",
+    "ResilientExecutor",
+    "SegmentRecord",
+    "execute_with_faults",
+    "rejoin_components",
+]
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One executed piece of the mission.
+
+    Attributes
+    ----------
+    kind : str
+        ``"march"`` (a portion of a plan actually flown), ``"rejoin"``
+        (an escort move pulling cut survivors back into range), or
+        ``"hold"`` (a stuck/slow window costing only time).
+    survivor_ids : tuple[int, ...]
+        Robots alive during the segment, original numbering.
+    distance : float
+        Fleet distance flown in the segment.
+    duration : float
+        Mission time the segment consumed.
+    connectivity : ConnectivityReport or None
+        Definition-2 check of the segment's plan (march segments of
+        replanned legs; ``None`` for rejoin/hold segments).
+    """
+
+    kind: str
+    survivor_ids: tuple[int, ...]
+    distance: float
+    duration: float
+    connectivity: ConnectivityReport | None = None
+
+
+@dataclass(frozen=True)
+class ChaosRunReport:
+    """Outcome of one fault-injected mission that *recovered*.
+
+    Unrecoverable runs raise :class:`~repro.errors.UnrecoverableError`
+    instead - the executor has exactly two outcomes.
+
+    Attributes
+    ----------
+    schedule : FaultSchedule
+    outcome : str
+        Always ``"recovered"`` on a returned report.
+    survivor_ids : tuple[int, ...]
+        Robots (original numbering) that reached the target.
+    final_result : MarchingResult
+        The last plan the survivors executed.
+    metrics : RecoveryMetrics
+    segments : tuple[SegmentRecord, ...]
+        The mission's executed pieces in time order.
+    """
+
+    schedule: FaultSchedule
+    outcome: str
+    survivor_ids: tuple[int, ...]
+    final_result: MarchingResult
+    metrics: RecoveryMetrics
+    segments: tuple[SegmentRecord, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON summary (chaos sweep documents)."""
+        return {
+            "outcome": self.outcome,
+            "schedule": self.schedule.to_dict(),
+            "survivors": list(self.survivor_ids),
+            "metrics": self.metrics.to_dict(),
+            "segments": [
+                {
+                    "kind": s.kind,
+                    "robots": len(s.survivor_ids),
+                    "distance": s.distance,
+                    "duration": s.duration,
+                    "connected": None
+                    if s.connectivity is None
+                    else s.connectivity.connected,
+                }
+                for s in self.segments
+            ],
+        }
+
+
+def rejoin_components(
+    positions: np.ndarray,
+    comm_range: float,
+    margin: float = 0.9,
+) -> tuple[np.ndarray, float, float]:
+    """Escort cut components back into one connected network.
+
+    Each minor component repeatedly translates rigidly toward the
+    closest robot of the main (largest) component until its closest
+    member sits ``margin * comm_range`` away - a rigid move keeps every
+    intra-component link alive by construction, exactly like the
+    planner's parallel-escort repair freezes relative positions.
+
+    Returns
+    -------
+    (rejoined_positions, fleet_distance, longest_single_move)
+
+    Raises
+    ------
+    UnrecoverableError
+        If the merge loop exceeds its bound (cannot happen for finite
+        inputs - every round strictly reduces the component count - but
+        the executor never trusts an unbounded loop).
+    """
+    pos = np.asarray(positions, dtype=float).copy()
+    n = len(pos)
+    fleet_distance = 0.0
+    longest = 0.0
+    for _ in range(max(n, 1)):
+        graph = UnitDiskGraph(pos, comm_range)
+        comps = graph.components
+        if len(comps) <= 1:
+            return pos, fleet_distance, longest
+        main = comps[0]
+        best: tuple[float, int, int, int] | None = None
+        for ci, comp in enumerate(comps[1:], start=1):
+            for j in comp:
+                delta = pos[main] - pos[j]
+                dist = np.hypot(delta[:, 0], delta[:, 1])
+                k = int(np.argmin(dist))
+                cand = (float(dist[k]), j, main[k], ci)
+                if best is None or cand < best:
+                    best = cand
+        dist, j, anchor, ci = best
+        direction = pos[anchor] - pos[j]
+        shift = direction * (1.0 - margin * comm_range / max(dist, 1e-12))
+        comp = comps[ci]
+        pos[comp] += shift
+        move = float(np.hypot(shift[0], shift[1]))
+        fleet_distance += move * len(comp)
+        longest = max(longest, move)
+    raise UnrecoverableError(
+        "escort rejoin failed to reconnect the survivors",
+        stage="rejoin",
+        survivors=n,
+    )
+
+
+class ResilientExecutor:
+    """Runs marching transitions to completion under fault schedules.
+
+    Parameters
+    ----------
+    config : MarchingConfig, optional
+        Planner settings shared by the original plan and every replan.
+    resolution : int
+        Metric sampling resolution (connectivity and ``L``).
+    consensus_round_time : float
+        Mission time charged per consensus round of each recovery
+        (models the paper's robots pausing to cooperatively determine
+        the new plan; 0 makes consensus free).
+    consensus_attempts : int
+        Round-budget doublings before a failing recovery consensus is
+        declared unrecoverable.
+    """
+
+    def __init__(
+        self,
+        config: MarchingConfig | None = None,
+        resolution: int = 16,
+        consensus_round_time: float = 0.0,
+        consensus_attempts: int = 2,
+    ) -> None:
+        self.config = config or MarchingConfig()
+        self.resolution = int(resolution)
+        self.consensus_round_time = float(consensus_round_time)
+        self.consensus_attempts = max(1, int(consensus_attempts))
+
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        swarm: Swarm,
+        target_foi: FieldOfInterest,
+        schedule: FaultSchedule,
+        source_foi: FieldOfInterest | None = None,
+        original: MarchingResult | None = None,
+    ) -> ChaosRunReport:
+        """Run the transition under ``schedule`` and recover from it.
+
+        Parameters
+        ----------
+        swarm : Swarm
+            The fleet on the current FoI.
+        target_foi : FieldOfInterest
+        schedule : FaultSchedule
+        source_foi : FieldOfInterest, optional
+            Forwarded to the planner (hole-aware detours).
+        original : MarchingResult, optional
+            A precomputed fault-free plan for this exact transition
+            (skips the initial planning; property tests reuse one plan
+            across many schedules).
+
+        Returns
+        -------
+        ChaosRunReport
+            When every fault was recovered and every post-replan leg
+            kept Definition-2 connectivity.
+
+        Raises
+        ------
+        UnrecoverableError
+            When recovery is impossible; the error's ``stage`` and
+            ``survivors`` say where it died.
+        """
+        with span(
+            "faults.execute",
+            robots=swarm.size,
+            crashes=len(schedule.crashes),
+            seed=schedule.seed,
+        ) as sp_:
+            report = self._execute(swarm, target_foi, schedule, source_foi, original)
+            m = report.metrics
+            sp_.set_attributes(
+                replans=m.replan_count,
+                rejoins=m.rejoin_count,
+                survivors=m.survivor_count,
+                extra_distance=m.extra_distance,
+                time_to_recover=m.time_to_recover,
+            )
+        metrics = get_metrics()
+        metrics.counter("faults.missions_recovered").inc()
+        metrics.counter("faults.replans").inc(m.replan_count)
+        metrics.counter("faults.rejoins").inc(m.rejoin_count)
+        metrics.gauge("faults.time_to_recover").set(m.time_to_recover)
+        metrics.gauge("faults.extra_distance").set(m.extra_distance)
+        metrics.gauge("faults.stable_link_degradation").set(
+            m.stable_link_degradation
+        )
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self,
+        swarm: Swarm,
+        target_foi: FieldOfInterest,
+        schedule: FaultSchedule,
+        source_foi: FieldOfInterest | None,
+        original: MarchingResult | None,
+    ) -> ChaosRunReport:
+        comm_range = swarm.radio.comm_range
+        if original is None:
+            with span("faults.baseline_plan"):
+                original = MarchingPlanner(self.config).plan(
+                    swarm, target_foi, source_foi=source_foi
+                )
+        baseline_distance = original.total_distance
+        baseline_L = stable_link_ratio(
+            original.links, original.trajectory, self.resolution
+        )
+        nominal_duration = original.trajectory.duration
+
+        current = original
+        alive = np.arange(original.robot_count)
+        window_start = 0.0  # mission fraction where the current plan began
+        cursor = current.trajectory.t_start  # local time already executed
+        executed_distance = 0.0
+        time_to_recover = 0.0
+        consensus_rounds = 0
+        replans = 0
+        rejoins = 0
+        segments: list[SegmentRecord] = []
+        replanned: list[MarchingResult] = []
+
+        for fault in schedule.events():
+            traj = current.trajectory
+            remaining = 1.0 - window_start
+            frac = 0.0 if remaining <= 0 else (fault.at - window_start) / remaining
+            t_fault = traj.t_start + frac * (traj.t_end - traj.t_start)
+
+            if isinstance(fault, StuckFault):
+                hold = fault.duration * nominal_duration
+                time_to_recover += hold
+                segments.append(
+                    SegmentRecord(
+                        kind="hold",
+                        survivor_ids=tuple(int(i) for i in alive),
+                        distance=0.0,
+                        duration=hold,
+                    )
+                )
+                continue
+            if isinstance(fault, SlowFault):
+                dilation = (
+                    fault.duration * nominal_duration * (1.0 / fault.factor - 1.0)
+                )
+                time_to_recover += dilation
+                segments.append(
+                    SegmentRecord(
+                        kind="hold",
+                        survivor_ids=tuple(int(i) for i in alive),
+                        distance=0.0,
+                        duration=dilation,
+                    )
+                )
+                continue
+
+            assert isinstance(fault, CrashFault)
+            id_to_local = {int(orig): k for k, orig in enumerate(alive)}
+            newly_dead = sorted(
+                id_to_local[int(i)] for i in fault.robots if int(i) in id_to_local
+            )
+            if not newly_dead:
+                continue  # every named robot already died earlier
+
+            # Freeze: account the distance flown on this plan so far.
+            flown = float(traj.distances_between(cursor, t_fault).sum())
+            executed_distance += flown
+            segments.append(
+                SegmentRecord(
+                    kind="march",
+                    survivor_ids=tuple(int(i) for i in alive),
+                    distance=flown,
+                    duration=max(0.0, t_fault - cursor),
+                    connectivity=None,
+                )
+            )
+
+            survivors_local = np.array(
+                [k for k in range(len(alive)) if k not in set(newly_dead)],
+                dtype=int,
+            )
+            if len(survivors_local) < 4:
+                raise UnrecoverableError(
+                    f"only {len(survivors_local)} survivors left at mission "
+                    f"fraction {fault.at}; a marching problem needs 4",
+                    stage="survivors",
+                    survivors=len(survivors_local),
+                )
+
+            positions = traj.positions_at(t_fault)[survivors_local]
+            graph = UnitDiskGraph(positions, comm_range)
+            if not graph.is_connected():
+                with span(
+                    "faults.rejoin", components=len(graph.components)
+                ):
+                    positions, rejoin_dist, longest = rejoin_components(
+                        positions, comm_range
+                    )
+                rejoins += 1
+                executed_distance += rejoin_dist
+                # The escorted components fly at nominal mission speed;
+                # the fleet waits for the longest move.
+                speed = _nominal_speed(original)
+                rejoin_time = longest / speed if speed > 0 else 0.0
+                time_to_recover += rejoin_time
+                segments.append(
+                    SegmentRecord(
+                        kind="rejoin",
+                        survivor_ids=tuple(int(alive[k]) for k in survivors_local),
+                        distance=rejoin_dist,
+                        duration=rejoin_time,
+                    )
+                )
+
+            # The survivors cooperatively agree on the new roster before
+            # planning - over links subject to the schedule's message
+            # faults.
+            consensus_rounds += self._consensus(
+                positions, comm_range, schedule
+            )
+
+            with span("faults.replan", survivors=len(survivors_local)):
+                try:
+                    new_result = self._replan(
+                        current, t_fault, newly_dead, positions, target_foi,
+                        comm_range,
+                    )
+                except PlanningError as exc:
+                    raise UnrecoverableError(
+                        f"survivors could not replan at mission fraction "
+                        f"{fault.at}: {exc}",
+                        stage="replan",
+                        survivors=len(survivors_local),
+                    ) from exc
+            replans += 1
+            replanned.append(new_result)
+            alive = alive[survivors_local]
+            current = new_result
+            window_start = fault.at
+            cursor = new_result.trajectory.t_start
+            time_to_recover += consensus_rounds * self.consensus_round_time
+
+        # Fly the last plan to completion.
+        traj = current.trajectory
+        flown = float(traj.distances_between(cursor, traj.t_end).sum())
+        executed_distance += flown
+
+        # Every replanned leg must deliver the Definition-2 guarantee at
+        # each sampled instant; a recovered report never hides a cut.
+        final_report: ConnectivityReport | None = None
+        for result in replanned:
+            rep = connectivity_report(
+                result.trajectory,
+                comm_range,
+                result.boundary_anchors,
+                self.resolution,
+            )
+            if result is current:
+                final_report = rep
+            if not rep.connected:
+                raise UnrecoverableError(
+                    "a replanned leg violates global connectivity at "
+                    f"sampled instant {rep.first_failure_time}",
+                    stage="replan",
+                    survivors=len(alive),
+                )
+        segments.append(
+            SegmentRecord(
+                kind="march",
+                survivor_ids=tuple(int(i) for i in alive),
+                distance=flown,
+                duration=max(0.0, traj.t_end - cursor),
+                connectivity=final_report,
+            )
+        )
+
+        final_L = (
+            stable_link_ratio(current.links, current.trajectory, self.resolution)
+            if replans
+            else baseline_L
+        )
+        metrics = RecoveryMetrics(
+            replan_count=replans,
+            rejoin_count=rejoins,
+            consensus_rounds=consensus_rounds,
+            time_to_recover=time_to_recover,
+            baseline_distance=baseline_distance,
+            executed_distance=executed_distance,
+            extra_distance=executed_distance - baseline_distance,
+            baseline_stable_link_ratio=baseline_L,
+            final_stable_link_ratio=final_L,
+            stable_link_degradation=baseline_L - final_L,
+            connected_all=True,
+            lost_robots=original.robot_count - len(alive),
+            survivor_count=len(alive),
+        )
+        return ChaosRunReport(
+            schedule=schedule,
+            outcome="recovered",
+            survivor_ids=tuple(int(i) for i in alive),
+            final_result=current,
+            metrics=metrics,
+            segments=tuple(segments),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _replan(
+        self,
+        current: MarchingResult,
+        t_fault: float,
+        newly_dead: list[int],
+        positions: np.ndarray,
+        target_foi: FieldOfInterest,
+        comm_range: float,
+    ) -> MarchingResult:
+        """One recovery replan, via the paper's freeze-and-replan path.
+
+        When the survivors stayed connected this is exactly
+        :func:`replan_after_failure` on the current plan; after an
+        escort rejoin the frozen positions moved, so the survivors are
+        planned directly from their rejoined positions.
+        """
+        frozen = current.trajectory.positions_at(t_fault)
+        survivors_local = [
+            k for k in range(len(frozen)) if k not in set(newly_dead)
+        ]
+        if np.allclose(frozen[survivors_local], positions):
+            outcome = replan_after_failure(
+                current,
+                FailureEvent(time=t_fault, failed=tuple(newly_dead)),
+                target_foi,
+                comm_range,
+                config=self.config,
+            )
+            return outcome.result
+        from repro.robots.robot import RadioSpec
+
+        swarm = Swarm(positions, RadioSpec.from_comm_range(comm_range))
+        return MarchingPlanner(self.config).plan(swarm, target_foi)
+
+    def _consensus(
+        self, positions: np.ndarray, comm_range: float, schedule: FaultSchedule
+    ) -> int:
+        """Survivor roster consensus under the schedule's message faults.
+
+        A reliable flood over the survivors' communication graph; every
+        node must learn every other node's presence.  The round budget
+        doubles ``consensus_attempts`` times before the recovery is
+        declared unrecoverable - so extreme message faults surface as
+        the typed error, never as a hang.
+        """
+        k = len(positions)
+        adjacency = UnitDiskGraph(positions, comm_range).adjacency
+        faults = schedule.comms
+        loss = faults.loss_rate if faults is not None else 0.0
+        # Reliable flood retransmits until acked, so its expected round
+        # count scales like 1/(1 - loss); a linear budget with headroom
+        # stays generous without ever ballooning into a near-hang.
+        budget = int((6 * k + 30) / max(0.1, 1.0 - loss))
+        if faults is not None and faults.delay_rate > 0:
+            budget += faults.max_delay * (k + 10)
+        last_error: ProtocolError | None = None
+        for attempt in range(self.consensus_attempts):
+            nodes = [ReliableFloodNode(i, 1.0, k) for i in range(k)]
+            net = SyncNetwork(
+                nodes,
+                adjacency,
+                seed=schedule.seed + attempt,
+                faults=faults,
+            )
+            with span(
+                "faults.consensus", survivors=k, attempt=attempt
+            ) as sp_:
+                try:
+                    rounds = net.run(max_rounds=budget << attempt)
+                except ProtocolError as exc:
+                    last_error = exc
+                    sp_.set_attributes(failed=True)
+                    continue
+                if all(node.complete for node in nodes):
+                    sp_.set_attributes(rounds=rounds)
+                    return rounds
+                last_error = ProtocolError(
+                    "consensus went quiet with incomplete rosters"
+                )
+                sp_.set_attributes(failed=True)
+        raise UnrecoverableError(
+            f"recovery consensus failed after {self.consensus_attempts} "
+            f"attempts: {last_error}",
+            stage="consensus",
+            survivors=k,
+        ) from last_error
+
+
+def _nominal_speed(original: MarchingResult) -> float:
+    """Mission-reference speed: the fastest robot of the original plan."""
+    duration = original.trajectory.duration
+    if duration <= 0:
+        return 0.0
+    return float(original.trajectory.path_lengths().max()) / duration
+
+
+def execute_with_faults(
+    swarm: Swarm,
+    target_foi: FieldOfInterest,
+    schedule: FaultSchedule,
+    config: MarchingConfig | None = None,
+    resolution: int = 16,
+    source_foi: FieldOfInterest | None = None,
+    original: MarchingResult | None = None,
+) -> ChaosRunReport:
+    """Convenience wrapper around :class:`ResilientExecutor`.
+
+    See :meth:`ResilientExecutor.execute`.
+    """
+    executor = ResilientExecutor(config=config, resolution=resolution)
+    return executor.execute(
+        swarm, target_foi, schedule, source_foi=source_foi, original=original
+    )

@@ -5,10 +5,17 @@ from repro.marching.mission import LegReport, MissionPlanner, MissionReport
 from repro.marching.pipeline import PipelineStages, run_pipeline
 from repro.marching.planner import MarchingConfig, MarchingPlanner
 from repro.marching.repair import repair_targets
-from repro.marching.replan import FailureEvent, ReplanOutcome, replan_after_failure
+from repro.marching.replan import (
+    CascadeOutcome,
+    FailureEvent,
+    ReplanOutcome,
+    replan_after_failure,
+    validate_failure_sequence,
+)
 from repro.marching.result import MarchingResult, RepairInfo
 
 __all__ = [
+    "CascadeOutcome",
     "DistributedMarchingPlanner",
     "FailureEvent",
     "LegReport",
@@ -23,4 +30,5 @@ __all__ = [
     "repair_targets",
     "replan_after_failure",
     "run_pipeline",
+    "validate_failure_sequence",
 ]

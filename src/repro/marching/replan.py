@@ -18,6 +18,7 @@ their current positions.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -29,7 +30,13 @@ from repro.marching.result import MarchingResult
 from repro.network.udg import UnitDiskGraph
 from repro.robots.swarm import Swarm
 
-__all__ = ["FailureEvent", "ReplanOutcome", "replan_after_failure"]
+__all__ = [
+    "CascadeOutcome",
+    "FailureEvent",
+    "ReplanOutcome",
+    "replan_after_failure",
+    "validate_failure_sequence",
+]
 
 
 @dataclass(frozen=True)
@@ -78,22 +85,100 @@ class ReplanOutcome:
     result: MarchingResult
 
 
+@dataclass(frozen=True)
+class CascadeOutcome:
+    """Result of recovering from an ordered *sequence* of failures.
+
+    Each step replans the previous step's survivors, so the sequence
+    models the cascading-failure regime: the swarm freezes at every
+    failure instant, drops the newly dead, and marches on under a fresh
+    plan.
+
+    Attributes
+    ----------
+    steps : tuple of ReplanOutcome
+        One entry per failure event, in time order.  Step ``k``'s
+        ``survivor_ids`` are indices into step ``k-1``'s plan (the
+        numbering each replan actually worked in).
+    survivor_ids : (k,) int ndarray
+        Final survivors in the *original* numbering.
+    result : MarchingResult
+        The last step's plan - the one the final survivors execute.
+    """
+
+    steps: tuple[ReplanOutcome, ...]
+    survivor_ids: np.ndarray
+    result: MarchingResult
+
+    @property
+    def replan_count(self) -> int:
+        return len(self.steps)
+
+
+def validate_failure_sequence(
+    events: Sequence[FailureEvent], t_start: float, t_end: float
+) -> tuple[FailureEvent, ...]:
+    """Check an ordered failure sequence against a plan's time span.
+
+    Times must be strictly increasing and inside ``[t_start, t_end]``
+    (an event after ``T`` describes a failure that never happened
+    during the transition); no robot may die twice.
+
+    Raises
+    ------
+    PlanningError
+        On an empty, unordered, out-of-range or duplicated sequence.
+    """
+    events = tuple(events)
+    if not events:
+        raise PlanningError("failure sequence must contain at least one event")
+    dead: set[int] = set()
+    previous = None
+    for event in events:
+        if previous is not None and event.time <= previous:
+            raise PlanningError(
+                "failure times must be strictly increasing: "
+                f"{event.time} follows {previous}"
+            )
+        if not (t_start <= event.time <= t_end):
+            raise PlanningError(
+                f"failure time {event.time} outside [{t_start}, {t_end}]"
+            )
+        again = dead.intersection(event.failed)
+        if again:
+            raise PlanningError(
+                f"robots {sorted(again)} already failed in an earlier event"
+            )
+        dead.update(event.failed)
+        previous = event.time
+    return events
+
+
 def replan_after_failure(
     original: MarchingResult,
-    event: FailureEvent,
+    event: FailureEvent | Sequence[FailureEvent],
     target_foi: FieldOfInterest,
     comm_range: float,
     config: MarchingConfig | None = None,
     density: DensityFunction | None = None,
     require_connected: bool = True,
-) -> ReplanOutcome:
+) -> ReplanOutcome | CascadeOutcome:
     """Recover from robot failures by replanning the survivors' march.
 
     Parameters
     ----------
     original : MarchingResult
         The plan being executed when the failure happened.
-    event : FailureEvent
+    event : FailureEvent or ordered sequence of FailureEvent
+        A single event recovers exactly as before and returns a
+        :class:`ReplanOutcome`.  A sequence (times strictly increasing,
+        robot ids in the original numbering, every event no later than
+        the original plan's ``T``) is recovered *cascadingly* - each
+        event freezes and replans the previous survivors' plan - and
+        returns a :class:`CascadeOutcome`.  A later event's time is
+        mapped proportionally onto the current plan: the remaining
+        window of the original timeline stretches over the fresh plan's
+        full span.
     target_foi : FieldOfInterest
         The destination (unchanged by the failure).
     comm_range : float
@@ -108,9 +193,15 @@ def replan_after_failure(
     Raises
     ------
     PlanningError
-        If no robots survive, the failure instant is outside the plan,
-        or (with ``require_connected``) the survivors are disconnected.
+        If no robots survive, a failure instant is outside the plan,
+        the sequence is unordered or kills a robot twice, or (with
+        ``require_connected``) the survivors are disconnected.
     """
+    if not isinstance(event, FailureEvent):
+        return _replan_cascade(
+            original, event, target_foi, comm_range, config, density,
+            require_connected,
+        )
     traj = original.trajectory
     if not (traj.t_start <= event.time <= traj.t_end):
         raise PlanningError(
@@ -154,4 +245,51 @@ def replan_after_failure(
         positions_at_failure=positions,
         survivors_connected=connected,
         result=result,
+    )
+
+
+def _replan_cascade(
+    original: MarchingResult,
+    events: Sequence[FailureEvent],
+    target_foi: FieldOfInterest,
+    comm_range: float,
+    config: MarchingConfig | None,
+    density: DensityFunction | None,
+    require_connected: bool,
+) -> CascadeOutcome:
+    """Apply an ordered failure sequence, one replan per event."""
+    traj = original.trajectory
+    events = validate_failure_sequence(events, traj.t_start, traj.t_end)
+    n = original.robot_count
+    if not all(0 <= int(i) < n for ev in events for i in ev.failed):
+        raise PlanningError("failed robot id out of range")
+
+    steps: list[ReplanOutcome] = []
+    current = original
+    alive = np.arange(n)  # original ids, in the current plan's order
+    window_start = traj.t_start  # original-timeline instant of the
+    # current plan's t_start (the previous failure time after a replan)
+    for ev in events:
+        span = current.trajectory
+        remaining = traj.t_end - window_start
+        frac = 0.0 if remaining <= 0 else (ev.time - window_start) / remaining
+        local_time = span.t_start + frac * (span.t_end - span.t_start)
+        id_to_local = {int(orig): k for k, orig in enumerate(alive)}
+        local_failed = tuple(
+            sorted(id_to_local[int(i)] for i in ev.failed if int(i) in id_to_local)
+        )
+        # validate_failure_sequence rejected double deaths, so every
+        # failed id is still alive here.
+        local_event = FailureEvent(time=local_time, failed=local_failed)
+        step = replan_after_failure(
+            current, local_event, target_foi, comm_range,
+            config=config, density=density,
+            require_connected=require_connected,
+        )
+        steps.append(step)
+        alive = alive[step.survivor_ids]
+        current = step.result
+        window_start = ev.time
+    return CascadeOutcome(
+        steps=tuple(steps), survivor_ids=alive, result=current
     )

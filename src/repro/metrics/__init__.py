@@ -17,6 +17,7 @@ from repro.metrics.distance import (
     straight_line_lower_bound,
     total_moving_distance,
 )
+from repro.metrics.recovery import RecoveryMetrics
 from repro.metrics.stable_links import (
     StableLinkReport,
     stable_link_ratio,
@@ -28,6 +29,7 @@ __all__ = [
     "DistanceReport",
     "EnergyModel",
     "LinkChurnReport",
+    "RecoveryMetrics",
     "StableLinkReport",
     "link_churn",
     "transition_energy",

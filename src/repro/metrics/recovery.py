@@ -1,0 +1,97 @@
+"""Recovery metrics for fault-injected missions.
+
+The paper's motivation for the global-connectivity invariant is
+recoverability; :mod:`repro.faults` turns that into running code, and
+this module scores what the recovery actually cost:
+
+* **time to recover** - mission time spent not marching toward the
+  target (escort-rejoin moves, holds for stuck robots, slowed windows,
+  consensus rounds).
+* **extra distance** - executed fleet distance minus the original
+  plan's ``D`` (the paper's distance metric, extended over every
+  recovery segment actually flown).
+* **stable-link degradation** - the original plan's ``L`` minus the
+  final surviving plan's ``L``.
+* **replan count** - how many times the survivors had to cooperatively
+  determine a new plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["RecoveryMetrics"]
+
+
+@dataclass(frozen=True)
+class RecoveryMetrics:
+    """What recovering from a fault schedule cost.
+
+    Attributes
+    ----------
+    replan_count : int
+        Full marching replans forced by crash events.
+    rejoin_count : int
+        Escort-style rejoin moves needed because survivors were cut.
+    consensus_rounds : int
+        Message-passing rounds spent on recovery consensus, summed
+        over every recovery.
+    time_to_recover : float
+        Mission time spent recovering instead of marching.
+    baseline_distance : float
+        The original (fault-free) plan's ``D``.
+    executed_distance : float
+        Fleet distance actually flown across every segment: partial
+        legs up to each failure, rejoin moves, and the final plan.
+    extra_distance : float
+        ``executed_distance - baseline_distance``; negative values mean
+        the dead robots' unflown share outweighed the recovery detours.
+    baseline_stable_link_ratio : float
+        ``L`` of the original plan.
+    final_stable_link_ratio : float
+        ``L`` of the last replanned leg (the original ``L`` when no
+        replan happened).
+    stable_link_degradation : float
+        ``baseline - final`` (positive = the recovery flies a worse
+        link regime).
+    connected_all : bool
+        Whether ``C = 1`` held at every sampled instant of every
+        post-replan trajectory.
+    lost_robots : int
+        Robots that crashed over the schedule.
+    survivor_count : int
+        Robots alive at mission end.
+    """
+
+    replan_count: int
+    rejoin_count: int
+    consensus_rounds: int
+    time_to_recover: float
+    baseline_distance: float
+    executed_distance: float
+    extra_distance: float
+    baseline_stable_link_ratio: float
+    final_stable_link_ratio: float
+    stable_link_degradation: float
+    connected_all: bool
+    lost_robots: int
+    survivor_count: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (used by the chaos summary documents)."""
+        return {
+            "replan_count": self.replan_count,
+            "rejoin_count": self.rejoin_count,
+            "consensus_rounds": self.consensus_rounds,
+            "time_to_recover": self.time_to_recover,
+            "baseline_distance": self.baseline_distance,
+            "executed_distance": self.executed_distance,
+            "extra_distance": self.extra_distance,
+            "baseline_stable_link_ratio": self.baseline_stable_link_ratio,
+            "final_stable_link_ratio": self.final_stable_link_ratio,
+            "stable_link_degradation": self.stable_link_degradation,
+            "connected_all": self.connected_all,
+            "lost_robots": self.lost_robots,
+            "survivor_count": self.survivor_count,
+        }

@@ -93,6 +93,25 @@ class TimedPath:
         """Total distance travelled."""
         return polyline_length(self.waypoints)
 
+    def length_between(self, t0: float, t1: float) -> float:
+        """Distance travelled over ``[t0, t1]`` (clamped to the span).
+
+        Exact for the piecewise-linear motion model: the partial
+        polyline through every waypoint inside the window plus the two
+        interpolated endpoints.
+        """
+        if t1 <= t0 or len(self.waypoints) == 1:
+            return 0.0
+        inside = (self.times > t0) & (self.times < t1)
+        pts = np.vstack(
+            [
+                self.position_at(t0)[None, :],
+                self.waypoints[inside],
+                self.position_at(t1)[None, :],
+            ]
+        )
+        return polyline_length(pts)
+
     def position_at(self, t: float) -> np.ndarray:
         """Position at time ``t`` (clamped to the path's time span)."""
         times = self.times
@@ -220,6 +239,10 @@ class SwarmTrajectory:
     def path_lengths(self) -> np.ndarray:
         """Per-robot travelled distance ``d_i``."""
         return np.array([p.length for p in self.paths])
+
+    def distances_between(self, t0: float, t1: float) -> np.ndarray:
+        """Per-robot distance travelled over the window ``[t0, t1]``."""
+        return np.array([p.length_between(t0, t1) for p in self.paths])
 
     def total_distance(self) -> float:
         """The paper's ``D = sum_i d_i``."""

@@ -12,16 +12,26 @@ Every non-2xx answer raises :class:`repro.errors.ServiceError` (a
 ``429`` raises :class:`~repro.service.jobs.QueueFull` carrying the
 server's ``Retry-After``), so callers never have to inspect status
 codes unless they want to.
+
+With ``retries > 0`` the client absorbs transient failures before
+giving up: connection refused/reset (the service is restarting), 429
+backpressure (honouring the server's ``Retry-After``), and 503 while
+the service drains.  Sleeps follow bounded exponential backoff with
+seeded jitter, every retry increments the ``service.client_retries``
+obs counter, and the budget is per request - a request never retries
+more than ``retries`` times, so callers keep a hard latency bound.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any
 
 from repro.errors import ServiceError
+from repro.obs import get_metrics
 
 from repro.service.jobs import QueueFull
 
@@ -29,44 +39,118 @@ __all__ = ["ServiceClient"]
 
 _TERMINAL_STATES = ("done", "failed", "cancelled")
 
+# HTTP answers worth retrying: backpressure and drain. Anything else
+# (404, 400, 500...) is a real answer the caller must see.
+_RETRYABLE_STATUSES = (429, 503)
+
 
 class ServiceClient:
-    """Small blocking client; one HTTP request per call."""
+    """Small blocking client; one HTTP request per call.
+
+    Parameters
+    ----------
+    host, port, timeout
+        Where the service listens; per-request socket timeout.
+    retries : int
+        Extra attempts per request on transient failures (connection
+        refused/reset, 429, 503).  0 (the default) preserves the
+        strict one-request-per-call behaviour.
+    backoff_s : float
+        First retry sleep; doubles each retry.
+    backoff_max_s : float
+        Upper bound on any single sleep (and on an honoured
+        ``Retry-After``), keeping worst-case latency proportional to
+        ``retries``.
+    retry_seed : int
+        Seeds the jitter so retry timing is reproducible.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        retry_seed: int = 0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        if retries < 0:
+            raise ServiceError("retries must be >= 0")
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self._jitter = random.Random(f"service-client:{retry_seed}")
 
     # -- transport ------------------------------------------------------
 
+    def _backoff(self, attempt: int, retry_after: float | None = None) -> None:
+        """Sleep before retry ``attempt`` (0-based), with jitter."""
+        if retry_after is not None:
+            delay = min(retry_after, self.backoff_max_s)
+        else:
+            delay = min(self.backoff_s * (2.0 ** attempt), self.backoff_max_s)
+        # Jitter in [0.5, 1.0) x delay de-synchronises competing clients.
+        time.sleep(delay * (0.5 + 0.5 * self._jitter.random()))
+
+    def _request_once(
+        self, method: str, path: str, payload: bytes | None
+    ) -> tuple[int, dict[str, str], bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                method,
+                path,
+                body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            data = response.read()
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            return response.status, headers, data
+        finally:
+            conn.close()
+
     def _request(
-        self, method: str, path: str, body: dict[str, Any] | None = None
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        retryable: bool = True,
     ) -> tuple[int, dict[str, str], bytes]:
         payload = None if body is None else json.dumps(body).encode()
-        try:
-            conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            )
+        budget = self.retries if retryable else 0
+        for attempt in range(budget + 1):
+            last = attempt == budget
             try:
-                conn.request(
-                    method,
-                    path,
-                    body=payload,
-                    headers={"Content-Type": "application/json"},
+                status, headers, data = self._request_once(
+                    method, path, payload
                 )
-                response = conn.getresponse()
-                data = response.read()
-                headers = {k.lower(): v for k, v in response.getheaders()}
-                return response.status, headers, data
-            finally:
-                conn.close()
-        except OSError as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.host}:{self.port}: {exc}"
-            ) from exc
+            except OSError as exc:
+                if last:
+                    raise ServiceError(
+                        f"cannot reach service at {self.host}:{self.port}: "
+                        f"{exc}"
+                    ) from exc
+                get_metrics().counter("service.client_retries").inc()
+                self._backoff(attempt)
+                continue
+            if status in _RETRYABLE_STATUSES and not last:
+                retry_after = None
+                try:
+                    retry_after = float(headers.get("retry-after", ""))
+                except ValueError:
+                    pass
+                get_metrics().counter("service.client_retries").inc()
+                self._backoff(attempt, retry_after)
+                continue
+            return status, headers, data
+        raise AssertionError("unreachable")  # pragma: no cover
 
     @staticmethod
     def _json(data: bytes) -> Any:
@@ -174,8 +258,11 @@ class ServiceClient:
 
     def healthz(self) -> dict[str, Any]:
         """Health document; includes the HTTP status as ``http_status``
-        (a draining service answers 503 but still describes itself)."""
-        status, _headers, data = self._request("GET", "/healthz")
+        (a draining service answers 503 but still describes itself).
+        Never retried: a health probe's whole point is the raw answer."""
+        status, _headers, data = self._request(
+            "GET", "/healthz", retryable=False
+        )
         doc = self._json(data)
         if isinstance(doc, dict):
             doc["http_status"] = status

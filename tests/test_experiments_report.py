@@ -52,6 +52,20 @@ class TestReport:
         lines = [l for l in text.splitlines() if l.startswith("|")]
         assert lines and all(l.count("|") >= 5 for l in lines)
 
+    def test_chaos_section(self):
+        text = build_report(
+            separation_factor=12.0,
+            scenario_ids=[1],
+            foi_target_points=220,
+            lloyd_grid_target=900,
+            resolution=12,
+            chaos=True,
+            chaos_scenarios=[1],
+        )
+        assert "## Recovery under failures" in text
+        assert "recovered" in text
+        assert "escort rejoins" in text
+
     def test_write_report(self, tmp_path):
         path = write_report(
             tmp_path / "report.md",

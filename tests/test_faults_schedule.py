@@ -1,0 +1,165 @@
+"""Tests for declarative fault schedules and archetype builders."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import LinkFaults
+from repro.errors import PlanningError
+from repro.faults import (
+    ARCHETYPES,
+    CrashFault,
+    FaultSchedule,
+    SlowFault,
+    StuckFault,
+    build_archetype_schedule,
+    random_schedule,
+)
+
+
+def lattice_positions(n=25):
+    side = int(np.ceil(np.sqrt(n)))
+    xs, ys = np.meshgrid(np.arange(side), np.arange(side))
+    return np.c_[xs.ravel(), ys.ravel()][:n].astype(float) * 10.0
+
+
+class TestFaultValidation:
+    def test_crash_needs_robots(self):
+        with pytest.raises(PlanningError):
+            CrashFault(at=0.5, robots=())
+
+    def test_crash_rejects_duplicates(self):
+        with pytest.raises(PlanningError):
+            CrashFault(at=0.5, robots=(1, 1))
+
+    def test_crash_time_must_be_fraction(self):
+        with pytest.raises(PlanningError):
+            CrashFault(at=1.0, robots=(0,))
+        with pytest.raises(PlanningError):
+            CrashFault(at=-0.1, robots=(0,))
+
+    def test_stuck_duration_positive(self):
+        with pytest.raises(PlanningError):
+            StuckFault(at=0.2, robots=(0,), duration=0.0)
+
+    def test_slow_factor_range(self):
+        with pytest.raises(PlanningError):
+            SlowFault(at=0.2, robots=(0,), factor=0.0, duration=0.1)
+        with pytest.raises(PlanningError):
+            SlowFault(at=0.2, robots=(0,), factor=1.5, duration=0.1)
+        SlowFault(at=0.2, robots=(0,), factor=1.0, duration=0.1)  # ok
+
+    def test_schedule_rejects_equal_instants(self):
+        with pytest.raises(PlanningError):
+            FaultSchedule(
+                crashes=(CrashFault(at=0.3, robots=(0,)),),
+                stucks=(StuckFault(at=0.3, robots=(1,), duration=0.1),),
+            )
+
+    def test_schedule_rejects_unordered_crashes(self):
+        with pytest.raises(PlanningError):
+            FaultSchedule(
+                crashes=(
+                    CrashFault(at=0.6, robots=(0,)),
+                    CrashFault(at=0.6, robots=(1,)),
+                )
+            )
+
+    def test_events_time_ordered(self):
+        sched = FaultSchedule(
+            crashes=(CrashFault(at=0.7, robots=(0,)),),
+            stucks=(StuckFault(at=0.2, robots=(1,), duration=0.1),),
+            slows=(SlowFault(at=0.5, robots=(2,), factor=0.5, duration=0.1),),
+        )
+        assert [e.at for e in sched.events()] == [0.2, 0.5, 0.7]
+
+    def test_crashed_ids_union(self):
+        sched = FaultSchedule(
+            crashes=(
+                CrashFault(at=0.2, robots=(3, 1)),
+                CrashFault(at=0.6, robots=(5,)),
+            )
+        )
+        assert sched.crashed_ids == (1, 3, 5)
+
+    def test_to_dict_round_trips_comms(self):
+        sched = FaultSchedule(
+            seed=9,
+            crashes=(CrashFault(at=0.4, robots=(2,)),),
+            comms=LinkFaults(loss_rate=0.1, duplication_rate=0.05),
+        )
+        doc = sched.to_dict()
+        assert doc["seed"] == 9
+        assert doc["crashes"] == [{"at": 0.4, "robots": [2]}]
+        assert doc["comms"]["loss_rate"] == 0.1
+
+
+class TestArchetypes:
+    @pytest.mark.parametrize("archetype", ARCHETYPES)
+    def test_builders_are_deterministic(self, archetype):
+        pos = lattice_positions()
+        a = build_archetype_schedule(archetype, pos, seed=3)
+        b = build_archetype_schedule(archetype, pos, seed=3)
+        assert a == b
+        assert a.name == archetype
+
+    def test_different_seeds_differ_somewhere(self):
+        pos = lattice_positions()
+        schedules = {
+            build_archetype_schedule("single", pos, seed=s).crashes[0].robots
+            for s in range(20)
+        }
+        assert len(schedules) > 1
+
+    def test_cluster_is_geometric(self):
+        pos = lattice_positions()
+        sched = build_archetype_schedule("cluster", pos, seed=0)
+        cluster = sched.crashes[0].robots
+        assert len(cluster) >= 2
+        pts = pos[list(cluster)]
+        # Nearest-neighbour cluster: mutual distances stay small
+        # compared to the lattice diameter.
+        diam = np.hypot(*(pos.max(0) - pos.min(0)))
+        spread = max(
+            np.hypot(*(p - q)) for p in pts for q in pts
+        )
+        assert spread < diam / 2
+
+    def test_cascade_has_multiple_instants(self):
+        sched = build_archetype_schedule(
+            "cascade", lattice_positions(), seed=1
+        )
+        assert len(sched.crashes) == 3
+        ats = [c.at for c in sched.crashes]
+        assert ats == sorted(ats)
+
+    def test_storm_has_comms_faults(self):
+        sched = build_archetype_schedule("storm", lattice_positions(), seed=0)
+        assert sched.comms is not None
+        assert sched.comms.active
+
+    def test_unknown_archetype_rejected(self):
+        with pytest.raises(PlanningError):
+            build_archetype_schedule("meteor", lattice_positions())
+
+    def test_too_few_robots_rejected(self):
+        with pytest.raises(PlanningError):
+            build_archetype_schedule("single", lattice_positions(4))
+
+
+class TestRandomSchedule:
+    def test_deterministic(self):
+        assert random_schedule(30, seed=5) == random_schedule(30, seed=5)
+
+    def test_valid_for_many_seeds(self):
+        for seed in range(30):
+            sched = random_schedule(30, seed=seed)
+            ats = [c.at for c in sched.crashes]
+            assert ats == sorted(set(ats))
+            assert all(0.0 <= at < 1.0 for at in ats)
+            assert all(
+                0 <= i < 30 for c in sched.crashes for i in c.robots
+            )
+
+    def test_rejects_empty_swarm(self):
+        with pytest.raises(PlanningError):
+            random_schedule(0, seed=1)

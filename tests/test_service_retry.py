@@ -1,0 +1,180 @@
+"""Tests for ServiceClient retry/backoff on transient failures."""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.obs import Metrics, activate_metrics
+from repro.service import ServiceClient
+from repro.service.jobs import QueueFull
+
+
+class ScriptedHandler(BaseHTTPRequestHandler):
+    """Answers from a per-server script of (status, headers, body)."""
+
+    def _serve(self):
+        script = self.server.script
+        status, headers, body = (
+            script.pop(0) if script else (200, {}, {"ok": True})
+        )
+        self.server.hits += 1
+        payload = json.dumps(body).encode()
+        self.send_response(status)
+        for key, value in headers.items():
+            self.send_header(key, value)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = _serve
+    do_POST = _serve
+
+    def log_message(self, *args):  # silence test output
+        pass
+
+
+@pytest.fixture
+def scripted_server():
+    server = ThreadingHTTPServer(("127.0.0.1", 0), ScriptedHandler)
+    server.script = []
+    server.hits = 0
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def client_for(server, **kwargs):
+    kwargs.setdefault("backoff_s", 0.001)
+    return ServiceClient("127.0.0.1", server.server_address[1], **kwargs)
+
+
+class TestTransientRetries:
+    def test_503_then_success(self, scripted_server):
+        scripted_server.script = [
+            (503, {}, {"error": "draining"}),
+            (503, {}, {"error": "draining"}),
+            (200, {}, {"jobs": []}),
+        ]
+        metrics = Metrics()
+        with activate_metrics(metrics):
+            doc = client_for(scripted_server, retries=3).jobs()
+        assert doc == {"jobs": []}
+        assert scripted_server.hits == 3
+        assert metrics.snapshot()["service.client_retries"]["value"] == 2
+
+    def test_429_honors_retry_after(self, scripted_server):
+        scripted_server.script = [
+            (429, {"Retry-After": "0.001"}, {"error": "queue full"}),
+            (202, {}, {"job_id": "j1", "state": "queued"}),
+        ]
+        doc = client_for(scripted_server, retries=1).submit_request(
+            {"scenario_ids": [1]}
+        )
+        assert doc["job_id"] == "j1"
+        assert scripted_server.hits == 2
+
+    def test_budget_exhaustion_surfaces_the_answer(self, scripted_server):
+        scripted_server.script = [
+            (429, {"Retry-After": "0.001"}, {"error": "queue full"}),
+            (429, {"Retry-After": "0.001"}, {"error": "queue full"}),
+        ]
+        with pytest.raises(QueueFull) as err:
+            client_for(scripted_server, retries=1).submit_request({})
+        assert err.value.retry_after_s == pytest.approx(0.001)
+        assert scripted_server.hits == 2
+
+    def test_zero_retries_preserves_strict_behaviour(self, scripted_server):
+        scripted_server.script = [(503, {}, {"error": "draining"})]
+        with pytest.raises(ServiceError):
+            client_for(scripted_server).jobs()
+        assert scripted_server.hits == 1
+
+    def test_non_retryable_status_is_immediate(self, scripted_server):
+        scripted_server.script = [(404, {}, {"error": "no such job"})]
+        with pytest.raises(ServiceError, match="404"):
+            client_for(scripted_server, retries=5).status("nope")
+        assert scripted_server.hits == 1
+
+
+class TestConnectionRefused:
+    def test_retries_then_raises(self):
+        # Port 1 on localhost refuses connections.
+        client = ServiceClient(
+            "127.0.0.1", 1, timeout=0.5, retries=2, backoff_s=0.001
+        )
+        metrics = Metrics()
+        with activate_metrics(metrics):
+            with pytest.raises(ServiceError, match="cannot reach"):
+                client.jobs()
+        assert metrics.snapshot()["service.client_retries"]["value"] == 2
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceClient(retries=-1)
+
+
+class TestHealthzNeverRetries:
+    def test_healthz_sees_raw_503(self, scripted_server):
+        scripted_server.script = [
+            (503, {}, {"state": "draining"}),
+            (200, {}, {"state": "ok"}),
+        ]
+        doc = client_for(scripted_server, retries=5).healthz()
+        assert doc["http_status"] == 503
+        assert doc["state"] == "draining"
+        assert scripted_server.hits == 1
+
+
+class TestBackoffShape:
+    def test_backoff_is_bounded_and_seeded(self):
+        client = ServiceClient(
+            retries=5, backoff_s=0.5, backoff_max_s=2.0, retry_seed=1
+        )
+        sleeps = []
+        client_sleep = lambda s: sleeps.append(s)  # noqa: E731
+        import repro.service.client as mod
+
+        original_sleep = mod.time.sleep
+        mod.time.sleep = client_sleep
+        try:
+            for attempt in range(6):
+                client._backoff(attempt)
+        finally:
+            mod.time.sleep = original_sleep
+        # Exponential then clipped at backoff_max_s, jitter in [0.5, 1).
+        assert all(s <= 2.0 for s in sleeps)
+        assert sleeps[0] >= 0.25  # 0.5 * jitter >= 0.5*0.5
+        assert max(sleeps[3:]) >= 1.0  # capped region still sleeps
+
+        again = ServiceClient(
+            retries=5, backoff_s=0.5, backoff_max_s=2.0, retry_seed=1
+        )
+        sleeps2 = []
+        mod.time.sleep = lambda s: sleeps2.append(s)
+        try:
+            for attempt in range(6):
+                again._backoff(attempt)
+        finally:
+            mod.time.sleep = original_sleep
+        assert sleeps == sleeps2
+
+    def test_retry_after_is_clipped(self):
+        client = ServiceClient(retries=1, backoff_max_s=0.01)
+        import repro.service.client as mod
+
+        sleeps = []
+        original_sleep = mod.time.sleep
+        mod.time.sleep = lambda s: sleeps.append(s)
+        try:
+            client._backoff(0, retry_after=60.0)
+        finally:
+            mod.time.sleep = original_sleep
+        assert sleeps[0] <= 0.01
