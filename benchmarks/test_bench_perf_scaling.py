@@ -1,15 +1,27 @@
-"""Planner wall-clock scaling with swarm size (ours).
+"""Planner and per-stage wall-clock scaling with swarm size (ours).
 
-Plans scenario-1-style transitions at 49/100/169 robots and reports the
-end-to-end planning time, backing the complexity discussion: every
-stage is near-linear or ``O(n^2)`` with small constants at the paper's
-144-robot scale.
+Two benchmarks:
+
+* ``test_perf_planner_scaling`` plans scenario-1-style transitions at
+  49/100/169 robots and reports the end-to-end planning time, backing
+  the complexity discussion at the paper's 144-robot scale.
+* ``test_perf_stage_scaling_curve`` runs the per-stage scaling curve
+  (:mod:`repro.experiments.scaling`) at 100 / 1 000 / 10 000 robots,
+  prints the wall-clock / peak-RSS table that ``python -m repro report
+  --scaling`` emits, and asserts the swarm-scale budgets: the
+  spatial-hash unit-disk graph at 10 000 robots must finish under two
+  seconds inside 100 MB and grow sub-quadratically.
 """
 
 import time
 
 from repro.coverage import LloydConfig
 from repro.experiments import format_table
+from repro.experiments.scaling import (
+    format_scaling_table,
+    scaling_curve,
+    stage_lookup,
+)
 from repro.foi import m1_base, m2_scenario1
 from repro.marching import MarchingConfig, MarchingPlanner
 from repro.robots import RadioSpec, Swarm
@@ -45,3 +57,30 @@ def test_perf_planner_scaling(benchmark):
     ))
     # Sanity: planning 169 robots stays within interactive budgets.
     assert timings[-1][1] < 60.0
+
+
+SCALING_SIZES = (100, 1_000, 10_000)
+
+
+def test_perf_stage_scaling_curve(benchmark):
+    curve = benchmark.pedantic(
+        lambda: scaling_curve(sizes=SCALING_SIZES), rounds=1, iterations=1
+    )
+    print("\nPer-stage scaling (uniform synthetic swarms, mean degree ~10):")
+    print(format_scaling_table(curve))
+
+    by_key = stage_lookup(curve)
+    udg_10k = by_key[("network.udg_edges", 10_000)]
+    assert udg_10k["seconds"] < 2.0, f"10k UDG took {udg_10k['seconds']:.2f}s"
+    assert udg_10k["peak_bytes"] < 100e6, (
+        f"10k UDG peaked at {udg_10k['peak_bytes'] / 1e6:.0f} MB"
+    )
+    # 100x more robots must cost far less than the 10_000x a quadratic
+    # stage would; 300x leaves generous headroom over the ~linear ideal.
+    udg_100 = by_key[("network.udg_edges", 100)]
+    ratio = udg_10k["seconds"] / max(udg_100["seconds"], 1e-4)
+    assert ratio < 300.0, f"UDG scaling ratio t(10k)/t(100) = {ratio:.0f}"
+    # Factorization reuse must actually pay off at scale.
+    cold = by_key[("harmonic.solve_cold", 10_000)]["seconds"]
+    warm = by_key[("harmonic.solve_warm", 10_000)]["seconds"]
+    assert warm < cold, f"warm solve ({warm:.3f}s) not faster than cold ({cold:.3f}s)"

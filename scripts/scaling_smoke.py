@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""CI smoke test for swarm-scale vectorization.
+
+Asserts the scaling contract on hardware-independent guards:
+
+1. the n=100/1000 scaling curve finishes inside a generous wall
+   budget, with the spatial-hash edge set verified against the
+   brute-force oracle at both sizes (``scaling_curve`` raises on any
+   deviation),
+2. unit-disk-graph construction grows sub-quadratically: a 10x swarm
+   must cost far less than the 100x a quadratic build would,
+3. the 10 000-robot graph builds in under two seconds inside 100 MB of
+   peak allocation (the budgets that used to be impossible with the
+   dense pairwise matrix), and
+4. ``python -m repro report --scaling`` - through a real process
+   boundary - emits the "Scaling curves" section with one row per
+   pipeline stage.
+
+Run:  PYTHONPATH=src python scripts/scaling_smoke.py
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+WALL_BUDGET_S = 60.0
+UDG_RATIO_LIMIT = 30.0
+
+STAGES = [
+    "network.udg_edges",
+    "network.adjacency",
+    "network.components",
+    "robots.sampling",
+    "metrics.stable_links",
+    "mesh.delaunay",
+    "harmonic.solve_cold",
+    "harmonic.solve_warm",
+    "geometry.locator_build",
+    "geometry.locate_batch",
+]
+
+
+def check_curve() -> None:
+    from repro.experiments.scaling import (
+        format_scaling_table,
+        scaling_curve,
+        stage_lookup,
+    )
+
+    t0 = time.perf_counter()
+    curve = scaling_curve(sizes=(100, 1_000), verify_max_n=1_000)
+    elapsed = time.perf_counter() - t0
+    print(format_scaling_table(curve))
+    print(f"curve wall-clock: {elapsed:.2f}s")
+    assert elapsed < WALL_BUDGET_S, f"curve took {elapsed:.1f}s"
+
+    by_key = stage_lookup(curve)
+    for stage in STAGES:
+        for n in (100, 1_000):
+            assert (stage, n) in by_key, f"missing measurement {stage} @ {n}"
+
+    # 10x the robots must not cost 100x the time (the quadratic
+    # signature); the 1e-3 s floor keeps the ratio meaningful when the
+    # small size is too fast to time.
+    t100 = by_key[("network.udg_edges", 100)]["seconds"]
+    t1000 = by_key[("network.udg_edges", 1_000)]["seconds"]
+    ratio = t1000 / max(t100, 1e-3)
+    print(f"UDG t(1000)/t(100) = {ratio:.1f}")
+    assert ratio < UDG_RATIO_LIMIT, f"UDG scaling ratio {ratio:.1f}"
+
+    cold = by_key[("harmonic.solve_cold", 1_000)]["seconds"]
+    warm = by_key[("harmonic.solve_warm", 1_000)]["seconds"]
+    print(f"harmonic solve cold/warm @ 1k: {cold:.3f}s / {warm:.3f}s")
+
+
+def check_10k_udg() -> None:
+    import numpy as np
+
+    from repro.experiments.scaling import _measure, synthetic_swarm_positions
+    from repro.network import udg_edges
+
+    pts = synthetic_swarm_positions(10_000, comm_range=80.0, seed=0)
+    edges, seconds, peak = _measure(lambda: udg_edges(pts, 80.0))
+    print(
+        f"10k-robot UDG: {len(edges)} edges in {seconds:.3f}s, "
+        f"peak {peak / 1e6:.1f} MB"
+    )
+    assert seconds < 2.0, f"10k UDG took {seconds:.2f}s"
+    assert peak < 100e6, f"10k UDG peaked at {peak / 1e6:.0f} MB"
+    assert np.all(edges[:, 0] < edges[:, 1]), "edge list not canonical"
+
+
+def check_report_cli() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "report.md"
+        cmd = [
+            sys.executable, "-m", "repro", "report",
+            "--scenarios", "1",
+            "--scaling", "--scaling-sizes", "100", "1000",
+            "--output", str(out),
+        ]
+        print(f"$ {' '.join(cmd)}")
+        proc = subprocess.run(cmd, text=True, capture_output=True)
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        assert proc.returncode == 0, f"exit code {proc.returncode}"
+        text = out.read_text()
+    assert "## Scaling curves" in text, "report lacks the scaling section"
+    for stage in STAGES:
+        assert f"| {stage} |" in text, f"report lacks stage row {stage}"
+
+
+def main() -> int:
+    check_curve()
+    check_10k_udg()
+    check_report_cli()
+    print("scaling smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "its recovery metrics to the report")
     p_report.add_argument("--chaos-seeds", type=int, nargs="+", default=[0],
                           help="seeds for the --chaos sweep (default: 0)")
+    p_report.add_argument("--scaling", action="store_true",
+                          help="append per-stage swarm-size scaling curves "
+                               "(wall-clock and peak allocation)")
+    p_report.add_argument("--scaling-sizes", type=int, nargs="+", default=None,
+                          help="swarm sizes for --scaling "
+                               "(default: 100 1000 10000)")
 
     p_pipe = sub.add_parser(
         "pipeline", help="run the Fig. 2 pipeline and write its six panels",
@@ -300,6 +306,8 @@ def _cmd_report(args) -> int:
         workers=args.workers,
         chaos=args.chaos,
         chaos_seeds=args.chaos_seeds,
+        scaling=args.scaling,
+        scaling_sizes=args.scaling_sizes,
     )
     print(f"wrote {path}")
     return 0

@@ -28,6 +28,11 @@ from repro.experiments.lemmas import (
     lemma1_example,
     lemma2_example,
 )
+from repro.experiments.scaling import (
+    format_scaling_table,
+    scaling_curve,
+    synthetic_swarm_positions,
+)
 from repro.experiments.scenarios import COMM_RANGE, ROBOT_COUNT, SCENARIOS, ScenarioSpec, get_scenario
 from repro.experiments.trace import TransitionTrace, record_trace, render_trace_chart
 from repro.experiments.tables import format_table, render_sweep, render_table1
@@ -57,6 +62,7 @@ __all__ = [
     "TransitionTrace",
     "build_report",
     "evaluate_trajectory",
+    "format_scaling_table",
     "format_table",
     "get_scenario",
     "lemma1_example",
@@ -65,8 +71,10 @@ __all__ = [
     "render_table1",
     "run_scenario",
     "run_scenarios",
+    "scaling_curve",
     "sweep_many",
     "sweep_separations",
+    "synthetic_swarm_positions",
     "write_all_sweep_figures",
     "write_report",
     "write_sweep_figures",

@@ -36,6 +36,8 @@ def build_report(
     chaos: bool = False,
     chaos_seeds: Sequence[int] = (0,),
     chaos_scenarios: Sequence[int] | None = None,
+    scaling: bool = False,
+    scaling_sizes: Sequence[int] | None = None,
     **run_kwargs,
 ) -> str:
     """Run the scenarios and return the markdown report text.
@@ -49,6 +51,11 @@ def build_report(
     With ``chaos=True`` the report appends a resilience section: a
     seeded fault-archetype sweep (:mod:`repro.experiments.chaos`) and
     its recovery metrics.
+
+    With ``scaling=True`` the report appends swarm-size scaling curves
+    (:mod:`repro.experiments.scaling`): wall-clock and peak allocation
+    per pipeline stage at each size in ``scaling_sizes`` (default
+    100 / 1 000 / 10 000).
     """
     ids = sorted(scenario_ids or SCENARIOS)
     tracer = Tracer()
@@ -145,6 +152,28 @@ def build_report(
                     for d in summary["cases"]
                 ],
             ),
+        ])
+    if scaling:
+        from repro.experiments.scaling import (
+            DEFAULT_SIZES,
+            format_scaling_table,
+            scaling_curve,
+        )
+
+        sizes = list(scaling_sizes) if scaling_sizes else list(DEFAULT_SIZES)
+        curve = scaling_curve(sizes=sizes)
+        parts.extend([
+            "",
+            "## Scaling curves",
+            "",
+            f"Synthetic uniform swarms (constant density, seed "
+            f"{curve['seed']}, comm range {curve['comm_range']:g} m) at "
+            f"n = {', '.join(str(n) for n in curve['sizes'])}; each cell is "
+            "wall-clock / peak allocation (tracemalloc) for one pipeline "
+            "stage.  The spatial-hash edge set is verified against the "
+            "brute-force oracle at the sizes where the oracle is feasible.",
+            "",
+            format_scaling_table(curve),
         ])
     parts.extend([
         "",

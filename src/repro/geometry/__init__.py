@@ -8,6 +8,7 @@ independent oracle in tests.
 from repro.geometry.barycentric import (
     barycentric_coords,
     barycentric_coords_many,
+    barycentric_coords_paired,
     from_barycentric,
     point_in_triangle,
     triangle_area,
@@ -50,6 +51,7 @@ __all__ = [
     "as_points",
     "barycentric_coords",
     "barycentric_coords_many",
+    "barycentric_coords_paired",
     "bounding_box_polygon",
     "clip_convex",
     "clip_halfplane",

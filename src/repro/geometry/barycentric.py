@@ -20,6 +20,7 @@ __all__ = [
     "from_barycentric",
     "point_in_triangle",
     "barycentric_coords_many",
+    "barycentric_coords_paired",
 ]
 
 
@@ -105,6 +106,52 @@ def barycentric_coords_many(p, tri_a, tri_b, tri_c) -> np.ndarray:
         t2 = (
             (p[0] - a[:, 0]) * (c[:, 1] - a[:, 1])
             - (p[1] - a[:, 1]) * (c[:, 0] - a[:, 0])
+        ) / area2
+    t1 = np.where(np.abs(area2) < 1e-300, np.nan, t1)
+    t2 = np.where(np.abs(area2) < 1e-300, np.nan, t2)
+    t3 = 1.0 - t1 - t2
+    return np.column_stack([t1, t2, t3])
+
+
+def barycentric_coords_paired(pts, tri_a, tri_b, tri_c) -> np.ndarray:
+    """Row-wise barycentric coordinates: point ``k`` in triangle ``k``.
+
+    The batched counterpart of :func:`barycentric_coords_many` for the
+    case of *many points, each against its own triangle* - the shape
+    the vectorised point-location queries produce.  Identical
+    arithmetic per element, so results match the one-point call
+    bitwise.
+
+    Parameters
+    ----------
+    pts : (m, 2) array-like
+    tri_a, tri_b, tri_c : (m, 2) arrays
+        Corner coordinates of point ``k``'s candidate triangle.
+
+    Returns
+    -------
+    (m, 3) ndarray
+        Rows are ``(t1, t2, t3)``; degenerate triangles yield rows of
+        ``nan`` rather than raising, so callers can mask them out.
+    """
+    p = as_points(pts)
+    a = as_points(tri_a)
+    b = as_points(tri_b)
+    c = as_points(tri_c)
+    if not (len(p) == len(a) == len(b) == len(c)):
+        raise GeometryError("paired barycentric inputs must align row-wise")
+    area2 = (b[:, 0] - a[:, 0]) * (c[:, 1] - a[:, 1]) - (b[:, 1] - a[:, 1]) * (
+        c[:, 0] - a[:, 0]
+    )
+    px = p[:, 0]
+    py = p[:, 1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t1 = (
+            (b[:, 0] - px) * (c[:, 1] - py) - (b[:, 1] - py) * (c[:, 0] - px)
+        ) / area2
+        t2 = (
+            (px - a[:, 0]) * (c[:, 1] - a[:, 1])
+            - (py - a[:, 1]) * (c[:, 0] - a[:, 0])
         ) / area2
     t1 = np.where(np.abs(area2) < 1e-300, np.nan, t1)
     t2 = np.where(np.abs(area2) < 1e-300, np.nan, t2)

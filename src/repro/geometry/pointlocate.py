@@ -4,6 +4,13 @@ The induced harmonic map must locate, for every robot, the grid
 triangle of the target FoI's disk embedding that contains the robot's
 (rotated) disk position.  A uniform bucket grid over the triangle
 bounding boxes turns each query into a handful of barycentric tests.
+
+The bucket table is built with vectorised numpy (no per-triangle
+Python loops), and :meth:`TriangleLocator.locate_many` /
+:meth:`TriangleLocator.locate_nearest_many` answer *all* query points
+of a batch in a handful of array operations - the swarm-scale path the
+induced map uses.  The batch results are bitwise-identical to the
+corresponding sequence of single-point calls.
 """
 
 from __future__ import annotations
@@ -11,10 +18,27 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import GeometryError
-from repro.geometry.barycentric import barycentric_coords_many
+from repro.geometry.barycentric import (
+    barycentric_coords_many,
+    barycentric_coords_paired,
+)
 from repro.geometry.vec import as_point, as_points
 
 __all__ = ["TriangleLocator"]
+
+# Row budget per chunk of the dense miss-recovery distance matrix.
+_NEAREST_CHUNK_ELEMENTS = 4_000_000
+
+
+def _expand_ragged(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat index array ``[s, s+1, .., s+c-1]`` per ``(s, c)`` row."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return np.repeat(starts, counts) + offsets
 
 
 class TriangleLocator:
@@ -56,16 +80,38 @@ class TriangleLocator:
         self._dx = max((xmax - self._xmin) / resolution, 1e-12)
         self._dy = max((ymax - self._ymin) / resolution, 1e-12)
 
-        buckets: dict[tuple[int, int], list[int]] = {}
+        # Bucket span per triangle (bounding-box overlap), expanded to
+        # one (bucket, triangle) entry per covered cell - all without a
+        # Python loop over triangles.
+        m = len(tris)
         lo_i = np.clip(((xs.min(axis=0) - self._xmin) / self._dx).astype(int), 0, resolution - 1)
         hi_i = np.clip(((xs.max(axis=0) - self._xmin) / self._dx).astype(int), 0, resolution - 1)
         lo_j = np.clip(((ys.min(axis=0) - self._ymin) / self._dy).astype(int), 0, resolution - 1)
         hi_j = np.clip(((ys.max(axis=0) - self._ymin) / self._dy).astype(int), 0, resolution - 1)
-        for t in range(len(tris)):
-            for i in range(lo_i[t], hi_i[t] + 1):
-                for j in range(lo_j[t], hi_j[t] + 1):
-                    buckets.setdefault((i, j), []).append(t)
-        self._buckets = {k: np.asarray(v, dtype=int) for k, v in buckets.items()}
+        wi = (hi_i - lo_i + 1).astype(np.int64)
+        wj = (hi_j - lo_j + 1).astype(np.int64)
+        span = wi * wj
+        total = int(span.sum())
+        tri_ids = np.repeat(np.arange(m, dtype=np.int64), span)
+        local = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(span) - span, span
+        )
+        wj_exp = np.repeat(wj, span)
+        cell_i = np.repeat(lo_i.astype(np.int64), span) + local // wj_exp
+        cell_j = np.repeat(lo_j.astype(np.int64), span) + local % wj_exp
+        cell_key = cell_i * resolution + cell_j
+        order = np.argsort(cell_key, kind="stable")
+        sorted_keys = cell_key[order]
+        self._bucket_tris = tri_ids[order]
+        self._bucket_keys, self._bucket_start, self._bucket_count = np.unique(
+            sorted_keys, return_index=True, return_counts=True
+        )
+        self._buckets = {
+            (int(k) // resolution, int(k) % resolution): self._bucket_tris[s:s + c]
+            for k, s, c in zip(
+                self._bucket_keys, self._bucket_start, self._bucket_count
+            )
+        }
 
     def _bucket_of(self, p: np.ndarray) -> tuple[int, int]:
         i = int(np.clip((p[0] - self._xmin) / self._dx, 0, self._res - 1))
@@ -93,6 +139,64 @@ class TriangleLocator:
         best = hits[np.argmax(bary[hits].min(axis=1))]
         return int(cand[best]), bary[best]
 
+    def locate_many(
+        self, points, tol: float = 1e-9
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`locate` over many query points.
+
+        Returns
+        -------
+        (triangle_indices, barycentric) : ((k,) int ndarray, (k, 3) ndarray)
+            Row ``q`` matches ``locate(points[q])``; misses are marked
+            with triangle index ``-1`` and a ``nan`` barycentric row.
+        """
+        pts = as_points(points)
+        k = len(pts)
+        tri_out = np.full(k, -1, dtype=int)
+        bary_out = np.full((k, 3), np.nan)
+        if k == 0:
+            return tri_out, bary_out
+
+        bi = np.clip((pts[:, 0] - self._xmin) / self._dx, 0, self._res - 1).astype(int)
+        bj = np.clip((pts[:, 1] - self._ymin) / self._dy, 0, self._res - 1).astype(int)
+        key = bi.astype(np.int64) * self._res + bj
+        g = np.searchsorted(self._bucket_keys, key)
+        g_clip = np.minimum(g, len(self._bucket_keys) - 1)
+        found = self._bucket_keys[g_clip] == key
+        counts = np.where(found, self._bucket_count[g_clip], 0)
+        total = int(counts.sum())
+        if total == 0:
+            return tri_out, bary_out
+
+        query_ids = np.repeat(np.arange(k, dtype=np.int64), counts)
+        cand = self._bucket_tris[
+            _expand_ragged(np.where(found, self._bucket_start[g_clip], 0), counts)
+        ]
+        bary = barycentric_coords_paired(
+            pts[query_ids], self._ta[cand], self._tb[cand], self._tc[cand]
+        )
+        ok = np.all(bary >= -tol, axis=1) & ~np.any(np.isnan(bary), axis=1)
+        score = np.where(ok, np.where(ok[:, None], bary, 0.0).min(axis=1), -np.inf)
+
+        # First index of the per-query maximum score: segment max, then
+        # segment min of the positions attaining it (ties resolve to the
+        # first candidate, matching np.argmax in the scalar path).
+        has = counts > 0
+        seg_starts = (np.cumsum(counts) - counts)[has]
+        seg_max = np.maximum.reduceat(score, seg_starts)
+        best_pos = np.where(
+            ok & (score == np.repeat(seg_max, counts[has])),
+            np.arange(total, dtype=np.int64),
+            total,
+        )
+        first_best = np.minimum.reduceat(best_pos, seg_starts)
+        hit = first_best < total
+        rows = np.flatnonzero(has)[hit]
+        sel = first_best[hit]
+        tri_out[rows] = cand[sel]
+        bary_out[rows] = bary[sel]
+        return tri_out, bary_out
+
     def locate_nearest(self, point) -> tuple[int, np.ndarray]:
         """Like :meth:`locate` but never fails.
 
@@ -119,3 +223,42 @@ class TriangleLocator:
         s = bary.sum()
         bary = bary / s if s > 0 else np.array([1.0, 0.0, 0.0])
         return t, bary
+
+    def locate_nearest_many(self, points) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`locate_nearest`: every row resolves to a triangle.
+
+        Returns
+        -------
+        (triangle_indices, barycentric) : ((k,) int ndarray, (k, 3) ndarray)
+            Row ``q`` matches ``locate_nearest(points[q])`` bitwise.
+        """
+        pts = as_points(points)
+        tri_out, bary_out = self.locate_many(pts)
+        miss = np.flatnonzero(tri_out < 0)
+        if len(miss) == 0:
+            return tri_out, bary_out
+
+        mp = pts[miss]
+        m = len(self._centroids)
+        chunk = max(1, _NEAREST_CHUNK_ELEMENTS // m)
+        nearest = np.empty(len(miss), dtype=np.int64)
+        for s in range(0, len(miss), chunk):
+            block = mp[s:s + chunk]
+            d = np.hypot(
+                self._centroids[None, :, 0] - block[:, 0, None],
+                self._centroids[None, :, 1] - block[:, 1, None],
+            )
+            nearest[s:s + chunk] = np.argmin(d, axis=1)
+        bary = barycentric_coords_paired(
+            mp, self._ta[nearest], self._tb[nearest], self._tc[nearest]
+        )
+        nan_rows = np.any(np.isnan(bary), axis=1)
+        bary[nan_rows] = (1.0, 0.0, 0.0)
+        bary = np.clip(bary, 0.0, None)
+        sums = bary.sum(axis=1)
+        pos = sums > 0
+        bary[pos] = bary[pos] / sums[pos, None]
+        bary[~pos] = (1.0, 0.0, 0.0)
+        tri_out[miss] = nearest
+        bary_out[miss] = bary
+        return tri_out, bary_out

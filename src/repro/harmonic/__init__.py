@@ -8,7 +8,12 @@ from repro.harmonic.rotation import (
     exhaustive_angle_search,
     hierarchical_angle_search,
 )
-from repro.harmonic.solvers import harmonic_energy, solve_iterative, solve_linear
+from repro.harmonic.solvers import (
+    clear_factorization_cache,
+    harmonic_energy,
+    solve_iterative,
+    solve_linear,
+)
 from repro.harmonic.transfer import InducedMap
 
 __all__ = [
@@ -20,6 +25,7 @@ __all__ = [
     "stretch_report",
     "boundary_parameterization",
     "circle_positions",
+    "clear_factorization_cache",
     "compute_disk_map",
     "exhaustive_angle_search",
     "harmonic_energy",

@@ -14,9 +14,23 @@ Two solvers compute the same fixed point:
   neighboring vertices").
 * :func:`solve_linear` - the sparse Laplacian system solved directly;
   orders of magnitude faster and used as the default engine.
+
+:func:`solve_linear` reuses sparse LU factorizations across calls: the
+CSC Laplacian is content-addressed (:func:`repro.exec.stable_hash` of
+its structure and values) and the ``spla.factorized`` solve closure is
+kept in a small process-wide LRU, so the rotation search's repeated
+harmonic evaluations - and any multi-RHS solve - factorize an unchanged
+matrix exactly once.  ``scipy.sparse.linalg.spsolve`` solves dense
+multi-column systems through the very same factorization path, so warm
+results are byte-identical to cold ``spsolve`` results (a regression
+test pins this).
 """
 
 from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable
 
 import numpy as np
 import scipy.sparse as sp
@@ -24,9 +38,61 @@ import scipy.sparse.linalg as spla
 
 from repro.errors import MappingError
 from repro.mesh.trimesh import TriMesh
-from repro.obs import span
+from repro.obs import get_metrics, span
 
-__all__ = ["solve_linear", "solve_iterative", "harmonic_energy"]
+__all__ = [
+    "solve_linear",
+    "solve_iterative",
+    "harmonic_energy",
+    "clear_factorization_cache",
+]
+
+# Process-wide LRU of LU factorizations keyed by the CSC matrix's
+# content hash.  A handful of distinct Laplacians are live at any time
+# (swarm mesh + target mesh per planning problem), so a small capacity
+# suffices; the SuperLU objects it holds are the expensive part of a
+# solve and are pure functions of the matrix.
+FACTORIZATION_CACHE_CAPACITY = 16
+_factor_cache: "OrderedDict[str, Callable[[np.ndarray], np.ndarray]]" = OrderedDict()
+_factor_lock = threading.Lock()
+
+
+def clear_factorization_cache() -> None:
+    """Drop all cached LU factorizations (tests / memory pressure)."""
+    with _factor_lock:
+        _factor_cache.clear()
+
+
+def _laplacian_key(mat: sp.csc_matrix) -> str:
+    from repro.exec.cache import stable_hash
+
+    return stable_hash(
+        "tutte-laplacian",
+        int(mat.shape[0]),
+        mat.indptr.astype(np.int64),
+        mat.indices.astype(np.int64),
+        np.asarray(mat.data, dtype=float),
+    )
+
+
+def _factorized_solver(mat: sp.csc_matrix) -> tuple[Callable, str]:
+    """LU solve closure for ``mat``, reused across equal-content calls."""
+    key = _laplacian_key(mat)
+    with _factor_lock:
+        solver = _factor_cache.get(key)
+        if solver is not None:
+            _factor_cache.move_to_end(key)
+    if solver is not None:
+        get_metrics().counter("cache.harmonic_factorization.hits").inc()
+        return solver, "hit"
+    solver = spla.factorized(mat)
+    get_metrics().counter("cache.harmonic_factorization.misses").inc()
+    with _factor_lock:
+        _factor_cache[key] = solver
+        _factor_cache.move_to_end(key)
+        while len(_factor_cache) > FACTORIZATION_CACHE_CAPACITY:
+            _factor_cache.popitem(last=False)
+    return solver, "miss"
 
 
 def _split_vertices(
@@ -44,8 +110,31 @@ def _split_vertices(
     return interior, b
 
 
+def _interior_neighbors(
+    mesh: TriMesh, interior: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flattened sorted neighbour array and per-vertex counts.
+
+    Equivalent to ``concatenate([adjacency[v] for v in interior])`` but
+    sliced out of the mesh's CSR adjacency with pure numpy indexing.
+    """
+    indptr, indices = mesh.adjacency_csr
+    counts = indptr[interior + 1] - indptr[interior]
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64), counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    nbr_flat = indices[np.repeat(indptr[interior], counts) + offsets]
+    return nbr_flat, counts
+
+
 def solve_linear(
-    mesh: TriMesh, boundary: np.ndarray, boundary_positions: np.ndarray
+    mesh: TriMesh,
+    boundary: np.ndarray,
+    boundary_positions: np.ndarray,
+    reuse_factorization: bool = True,
 ) -> np.ndarray:
     """Solve the uniform-weight Tutte system with a sparse direct solver.
 
@@ -57,6 +146,11 @@ def solve_linear(
         Pinned vertex indices.
     boundary_positions : (b, 2) array
         Their target positions (typically on the unit circle).
+    reuse_factorization : bool
+        Look the CSC Laplacian's LU factorization up in the process
+        LRU before factorizing (default).  ``False`` forces a fresh
+        ``spsolve`` - the oracle path the byte-identity tests compare
+        against.
 
     Returns
     -------
@@ -76,8 +170,7 @@ def solve_linear(
     ni = len(interior)
     pos_in_interior = -np.ones(n, dtype=int)
     pos_in_interior[interior] = np.arange(ni)
-    adj = mesh.adjacency
-    counts = np.array([len(adj[v]) for v in interior])
+    nbr_flat, counts = _interior_neighbors(mesh, interior)
     if np.any(counts == 0):
         v = int(interior[int(np.flatnonzero(counts == 0)[0])])
         raise MappingError(f"interior vertex {v} has no neighbours")
@@ -86,9 +179,6 @@ def solve_linear(
         # Vectorised COO assembly: one flattened neighbour array, split
         # into interior couplings (matrix entries) and boundary
         # couplings (right-hand-side contributions).
-        nbr_flat = np.concatenate(
-            [np.asarray(adj[v], dtype=int) for v in interior]
-        )
         seg_ids = np.repeat(np.arange(ni), counts)
         inv_deg = 1.0 / counts.astype(float)
         nbr_slot = pos_in_interior[nbr_flat]
@@ -107,7 +197,14 @@ def solve_linear(
 
         mat = sp.csr_matrix((vals, (rows, cols)), shape=(ni, ni))
         sp_.set_attributes(nnz=int(mat.nnz))
-        solution = spla.spsolve(mat.tocsc(), rhs)
+        csc = mat.tocsc()
+        if reuse_factorization:
+            solver, state = _factorized_solver(csc)
+            solution = solver(rhs)
+            sp_.set_attributes(factorization=state)
+        else:
+            solution = spla.spsolve(csc, rhs)
+            sp_.set_attributes(factorization="off")
         if solution.ndim == 1:
             solution = solution[:, None]
         if not np.all(np.isfinite(solution)):
@@ -152,10 +249,8 @@ def solve_iterative(
     if len(interior) == 0:
         return pos, 0
 
-    # Flatten adjacency into numpy indices for a vectorised Jacobi sweep.
-    adj = mesh.adjacency
-    nbr_flat = np.concatenate([np.asarray(adj[v], dtype=int) for v in interior])
-    counts = np.array([len(adj[v]) for v in interior])
+    # Flattened CSR adjacency indices for a vectorised Jacobi sweep.
+    nbr_flat, counts = _interior_neighbors(mesh, interior)
     if np.any(counts == 0):
         raise MappingError("interior vertex with no neighbours")
     seg_ids = np.repeat(np.arange(len(interior)), counts)

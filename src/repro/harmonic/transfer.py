@@ -105,4 +105,26 @@ class InducedMap:
     def _map_points_impl(self, pts: np.ndarray, rotation: float) -> np.ndarray:
         if rotation != 0.0:
             pts = rotate(pts, rotation)
-        return np.array([self.map_point(p) for p in pts])
+        if len(pts) == 0:
+            return np.zeros((0, 2))
+        # Batched point location plus vectorised barycentric transfer;
+        # every arithmetic step mirrors :meth:`map_point` element-wise,
+        # so the rows are bitwise-identical to the per-point loop.
+        tri_idx, bary = self.target.locator.locate_nearest_many(pts)
+        corners = self.target.filled.mesh.triangles[tri_idx]
+        weights = np.asarray(bary, dtype=float).copy()
+        virtual = self._is_virtual[corners]
+        has_virtual = virtual.any(axis=1)
+        degenerate = np.zeros(len(pts), dtype=bool)
+        if has_virtual.any():
+            weights[virtual] = 0.0
+            sums = weights.sum(axis=1)
+            degenerate = has_virtual & (sums <= 1e-12)
+            renorm = has_virtual & ~degenerate
+            weights[renorm] = weights[renorm] / sums[renorm, None]
+        result = (weights[:, :, None] * self._geo[corners]).sum(axis=1)
+        for i in np.flatnonzero(degenerate):
+            # Landed (numerically) on a virtual vertex: defer to the
+            # scalar nearest-real-corner fallback for this rare row.
+            result[i] = self.map_point(pts[i])
+        return result

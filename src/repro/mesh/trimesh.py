@@ -58,8 +58,14 @@ class TriMesh:
             raise MeshError(f"triangles must have shape (m, 3), got {tris.shape}")
         if len(tris) and (tris.min() < 0 or tris.max() >= len(self.vertices)):
             raise MeshError("triangle indices out of range")
-        for t in tris:
-            if len(set(t.tolist())) != 3:
+        if len(tris):
+            dup = (
+                (tris[:, 0] == tris[:, 1])
+                | (tris[:, 1] == tris[:, 2])
+                | (tris[:, 0] == tris[:, 2])
+            )
+            if dup.any():
+                t = tris[int(np.flatnonzero(dup)[0])]
                 raise MeshError(f"triangle {t.tolist()} repeats a vertex")
         # Orient all triangles counter-clockwise.
         if len(tris):
@@ -118,13 +124,33 @@ class TriMesh:
         return mapping
 
     @cached_property
+    def adjacency_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Vertex adjacency in CSR form: ``(indptr, indices)``.
+
+        ``indices[indptr[v]:indptr[v + 1]]`` are vertex ``v``'s
+        neighbours in ascending order; the harmonic solvers consume
+        this directly so assembling a Laplacian never loops over
+        vertices in Python.
+        """
+        n = self.vertex_count
+        e = self.edges
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        if len(e) == 0:
+            return indptr, np.zeros(0, dtype=np.int64)
+        src = np.concatenate([e[:, 0], e[:, 1]])
+        dst = np.concatenate([e[:, 1], e[:, 0]])
+        order = np.lexsort((dst, src))
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        return indptr, dst[order]
+
+    @cached_property
     def adjacency(self) -> list[list[int]]:
         """Per-vertex sorted list of neighbouring vertex indices."""
-        adj: list[set[int]] = [set() for _ in range(self.vertex_count)]
-        for u, v in self.edges:
-            adj[u].add(int(v))
-            adj[v].add(int(u))
-        return [sorted(s) for s in adj]
+        indptr, indices = self.adjacency_csr
+        return [
+            indices[indptr[v]:indptr[v + 1]].tolist()
+            for v in range(self.vertex_count)
+        ]
 
     def neighbors(self, v: int) -> list[int]:
         """Neighbouring vertex indices of vertex ``v``."""

@@ -4,6 +4,14 @@ Robots are "connected" exactly when their Euclidean distance is at most
 the communication range ``r_c`` (disk model, Sec. II).  The
 :class:`UnitDiskGraph` snapshot is the basis for neighbour queries,
 link bookkeeping and connectivity checks throughout the library.
+
+Edge construction uses a spatial hash (uniform cell grid with cell size
+equal to the communication range): only points in the same or adjacent
+cells can be within range, so candidate pairs - and therefore time and
+memory - scale with the *output* size instead of ``n^2``.  The old
+dense-distance-matrix construction survives as
+:func:`_udg_edges_bruteforce`, the oracle the property tests compare
+against; both return bitwise-identical edge arrays.
 """
 
 from __future__ import annotations
@@ -17,21 +25,153 @@ from repro.geometry.vec import as_points, pairwise_distances
 
 __all__ = ["UnitDiskGraph", "udg_edges"]
 
+_EMPTY_EDGES = np.zeros((0, 2), dtype=int)
 
-def udg_edges(positions, comm_range: float) -> np.ndarray:
-    """All undirected links ``(i, j)`` with ``i < j`` within ``comm_range``.
+# Cells are widened by this relative slack so that floating-point
+# rounding in ``floor((x - xmin) / cell)`` can never place two points at
+# distance <= comm_range more than one cell index apart.
+_CELL_SLACK = 1e-9
 
-    Returns an ``(m, 2)`` int array (empty when no pair is in range).
+# Pairs whose squared distance falls within this relative band around
+# ``comm_range**2`` are re-tested with the oracle's exact
+# ``hypot(dx, dy) <= comm_range`` predicate; everything else is decided
+# on the squared distance alone (no sqrt).  The band is far wider than
+# the few-ulp disagreement possible between the two predicates.
+_BAND = 1e-9
+
+
+def _udg_edges_bruteforce(positions, comm_range: float) -> np.ndarray:
+    """Dense ``O(n^2)`` edge construction (test oracle).
+
+    This is the original implementation: materialises the full pairwise
+    distance matrix and masks the upper triangle.  Kept as the ground
+    truth the spatial-hash path must match bitwise.
     """
     pts = as_points(positions)
     if comm_range <= 0:
         raise GeometryError("communication range must be positive")
     if len(pts) < 2:
-        return np.zeros((0, 2), dtype=int)
+        return _EMPTY_EDGES.copy()
     d = pairwise_distances(pts)
     iu, ju = np.triu_indices(len(pts), k=1)
     mask = d[iu, ju] <= comm_range
     return np.column_stack([iu[mask], ju[mask]]).astype(int)
+
+
+def _expand_ragged(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat index array ``[s, s+1, .., s+c-1]`` per ``(s, c)`` row."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return np.repeat(starts, counts) + offsets
+
+
+def _candidate_pairs(pts: np.ndarray, comm_range: float) -> tuple[np.ndarray, np.ndarray]:
+    """Index pairs from the cell grid that could be within range.
+
+    Bins points into cells of width ``comm_range`` (plus fp slack) and
+    emits every pair sharing a cell plus every pair in half-plane
+    neighbouring cells - offsets (0,1), (1,-1), (1,0), (1,1) - so each
+    unordered pair appears exactly once.
+    """
+    n = len(pts)
+    cell = comm_range * (1.0 + _CELL_SLACK)
+    mins = pts.min(axis=0)
+    fij = np.floor((pts - mins) / cell)
+    if float(np.abs(fij).max(initial=0.0)) > 2**31:
+        # Degenerate spread (range tiny vs extent): grid keys would
+        # overflow; almost no pairs survive anyway, brute force is safe.
+        iu, ju = np.triu_indices(n, k=1)
+        return iu.astype(np.int64), ju.astype(np.int64)
+    ci = fij[:, 0].astype(np.int64)
+    cj = fij[:, 1].astype(np.int64)
+    ny = int(cj.max()) + 1
+    key = ci * ny + cj
+
+    order = np.argsort(key, kind="stable")
+    skey = key[order]
+    uniq, ustart, ucount = np.unique(skey, return_index=True, return_counts=True)
+
+    pair_i: list[np.ndarray] = []
+    pair_j: list[np.ndarray] = []
+
+    # Within-cell pairs: each sorted position pairs with every later
+    # position of its own cell.
+    pos = np.arange(n, dtype=np.int64)
+    group_of_pos = np.repeat(np.arange(len(uniq), dtype=np.int64), ucount)
+    group_end = (ustart + ucount)[group_of_pos]
+    later = group_end - pos - 1
+    if later.sum() > 0:
+        pair_i.append(np.repeat(pos, later))
+        pair_j.append(_expand_ragged(pos + 1, later))
+
+    # Cross-cell pairs against the four half-plane neighbour cells.
+    for di, dj in ((0, 1), (1, -1), (1, 0), (1, 1)):
+        if dj == 1:
+            valid = cj[order] + 1 < ny
+        elif dj == -1:
+            valid = cj[order] >= 1
+        else:
+            valid = np.ones(n, dtype=bool)
+        if not valid.any():
+            continue
+        vpos = pos[valid]
+        nkey = skey[valid] + di * ny + dj
+        g = np.searchsorted(uniq, nkey)
+        g_clip = np.minimum(g, len(uniq) - 1)
+        found = uniq[g_clip] == nkey
+        if not found.any():
+            continue
+        vpos = vpos[found]
+        g = g_clip[found]
+        counts = ucount[g]
+        pair_i.append(np.repeat(vpos, counts))
+        pair_j.append(_expand_ragged(ustart[g], counts))
+
+    if not pair_i:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    i = order[np.concatenate(pair_i)]
+    j = order[np.concatenate(pair_j)]
+    return i, j
+
+
+def udg_edges(positions, comm_range: float) -> np.ndarray:
+    """All undirected links ``(i, j)`` with ``i < j`` within ``comm_range``.
+
+    Returns an ``(m, 2)`` int array (empty when no pair is in range).
+    Built through a spatial hash - ``O(n + candidates)`` time and
+    memory - and bitwise-identical to :func:`_udg_edges_bruteforce`:
+    candidate pairs are filtered on squared distance (no sqrt), with a
+    narrow band around ``comm_range**2`` re-tested using the oracle's
+    exact ``hypot`` predicate.
+    """
+    pts = as_points(positions)
+    if comm_range <= 0:
+        raise GeometryError("communication range must be positive")
+    if len(pts) < 2:
+        return _EMPTY_EDGES.copy()
+    i, j = _candidate_pairs(pts, comm_range)
+    if len(i) == 0:
+        return _EMPTY_EDGES.copy()
+    dx = pts[i, 0] - pts[j, 0]
+    dy = pts[i, 1] - pts[j, 1]
+    d2 = dx * dx + dy * dy
+    r2 = comm_range * comm_range
+    within = d2 <= r2 * (1.0 - _BAND)
+    band = ~within & (d2 <= r2 * (1.0 + _BAND))
+    if band.any():
+        within[band] = np.hypot(dx[band], dy[band]) <= comm_range
+    i = i[within]
+    j = j[within]
+    if len(i) == 0:
+        return _EMPTY_EDGES.copy()
+    a = np.minimum(i, j)
+    b = np.maximum(i, j)
+    order = np.lexsort((b, a))
+    return np.column_stack([a[order], b[order]]).astype(int)
 
 
 class UnitDiskGraph:
@@ -66,24 +206,51 @@ class UnitDiskGraph:
         return frozenset((int(i), int(j)) for i, j in self.edges)
 
     @cached_property
+    def _csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Neighbour lists in CSR form: ``(indptr, indices)``.
+
+        ``indices[indptr[v]:indptr[v + 1]]`` are node ``v``'s neighbours
+        in ascending order.  Built from the doubled edge array with one
+        lexsort - no per-edge Python loop.
+        """
+        n = self.node_count
+        e = self.edges
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        if len(e) == 0:
+            return indptr, np.zeros(0, dtype=np.int64)
+        src = np.concatenate([e[:, 0], e[:, 1]])
+        dst = np.concatenate([e[:, 1], e[:, 0]])
+        order = np.lexsort((dst, src))
+        np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        return indptr, dst[order]
+
+    @cached_property
     def adjacency(self) -> list[list[int]]:
         """Per-node sorted neighbour lists."""
-        adj: list[list[int]] = [[] for _ in range(self.node_count)]
-        for i, j in self.edges:
-            adj[int(i)].append(int(j))
-            adj[int(j)].append(int(i))
-        return [sorted(a) for a in adj]
+        indptr, indices = self._csr
+        return [
+            indices[indptr[v]:indptr[v + 1]].tolist()
+            for v in range(self.node_count)
+        ]
 
     def neighbors(self, i: int) -> list[int]:
         """Nodes within communication range of node ``i``."""
         return self.adjacency[i]
 
     def degree(self, i: int) -> int:
-        return len(self.adjacency[i])
+        indptr, _ = self._csr
+        return int(indptr[i + 1] - indptr[i])
 
     def has_edge(self, i: int, j: int) -> bool:
         a, b = (i, j) if i < j else (j, i)
         return (a, b) in self.edge_set
+
+    def _frontier_neighbors(self, frontier: np.ndarray) -> np.ndarray:
+        """Unique neighbours of all ``frontier`` nodes (one numpy pass)."""
+        indptr, indices = self._csr
+        counts = indptr[frontier + 1] - indptr[frontier]
+        flat = indices[_expand_ragged(indptr[frontier], counts)]
+        return np.unique(flat)
 
     @cached_property
     def components(self) -> list[list[int]]:
@@ -91,21 +258,21 @@ class UnitDiskGraph:
         n = self.node_count
         seen = np.zeros(n, dtype=bool)
         comps: list[list[int]] = []
-        adj = self.adjacency
         for start in range(n):
             if seen[start]:
                 continue
-            stack = [start]
             seen[start] = True
-            comp = [start]
-            while stack:
-                v = stack.pop()
-                for w in adj[v]:
-                    if not seen[w]:
-                        seen[w] = True
-                        comp.append(w)
-                        stack.append(w)
-            comps.append(sorted(comp))
+            frontier = np.array([start], dtype=np.int64)
+            members = [frontier]
+            while frontier.size:
+                neigh = self._frontier_neighbors(frontier)
+                new = neigh[~seen[neigh]]
+                if new.size == 0:
+                    break
+                seen[new] = True
+                members.append(new)
+                frontier = new
+            comps.append(np.sort(np.concatenate(members)).tolist())
         comps.sort(key=len, reverse=True)
         return comps
 
@@ -121,16 +288,16 @@ class UnitDiskGraph:
         network boundary (the anchor set) exists.
         """
         mask = np.zeros(self.node_count, dtype=bool)
-        stack = [int(a) for a in anchors]
-        for a in stack:
+        for a in (int(a) for a in anchors):
             if not 0 <= a < self.node_count:
                 raise GeometryError(f"anchor {a} out of range")
             mask[a] = True
-        adj = self.adjacency
-        while stack:
-            v = stack.pop()
-            for w in adj[v]:
-                if not mask[w]:
-                    mask[w] = True
-                    stack.append(w)
+        frontier = np.flatnonzero(mask).astype(np.int64)
+        while frontier.size:
+            neigh = self._frontier_neighbors(frontier)
+            new = neigh[~mask[neigh]]
+            if new.size == 0:
+                break
+            mask[new] = True
+            frontier = new
         return mask

@@ -224,9 +224,61 @@ class SwarmTrajectory:
     def duration(self) -> float:
         return self.t_end - self.t_start
 
+    @cached_property
+    def _vector_groups(self) -> dict:
+        """Paths grouped by shape for vectorised sampling.
+
+        Almost every path a planner emits is either stationary (one
+        waypoint) or a single timed segment (two waypoints); those are
+        sampled for the whole swarm with a couple of array expressions.
+        Longer polylines fall back to per-path sampling.  Grouping is
+        computed once - paths are never mutated after construction.
+        """
+        single, two, other = [], [], []
+        for i, p in enumerate(self.paths):
+            if len(p.waypoints) == 1:
+                single.append(i)
+            elif len(p.waypoints) == 2 and p.times[1] > p.times[0]:
+                two.append(i)
+            else:
+                other.append(i)
+        g: dict = {
+            "single_idx": np.array(single, dtype=int),
+            "two_idx": np.array(two, dtype=int),
+            "other_idx": other,
+        }
+        g["single_w"] = (
+            np.array([self.paths[i].waypoints[0] for i in single])
+            if single
+            else np.zeros((0, 2))
+        )
+        if two:
+            g["two_w0"] = np.array([self.paths[i].waypoints[0] for i in two])
+            g["two_w1"] = np.array([self.paths[i].waypoints[1] for i in two])
+            g["two_t0"] = np.array([self.paths[i].times[0] for i in two])
+            g["two_t1"] = np.array([self.paths[i].times[1] for i in two])
+        else:
+            g["two_w0"] = g["two_w1"] = np.zeros((0, 2))
+            g["two_t0"] = g["two_t1"] = np.zeros(0)
+        return g
+
     def positions_at(self, t: float) -> np.ndarray:
         """All robot positions at time ``t`` as an ``(n, 2)`` array."""
-        return np.array([p.position_at(t) for p in self.paths])
+        g = self._vector_groups
+        out = np.empty((len(self.paths), 2))
+        if len(g["single_idx"]):
+            out[g["single_idx"]] = g["single_w"]
+        if len(g["two_idx"]):
+            t0, t1 = g["two_t0"], g["two_t1"]
+            w0, w1 = g["two_w0"], g["two_w1"]
+            alpha = (t - t0) / (t1 - t0)
+            vals = (1.0 - alpha)[:, None] * w0 + alpha[:, None] * w1
+            vals = np.where((t <= t0)[:, None], w0, vals)
+            vals = np.where((t >= t1)[:, None], w1, vals)
+            out[g["two_idx"]] = vals
+        for i in g["other_idx"]:
+            out[i] = self.paths[i].position_at(t)
+        return out
 
     @property
     def start_positions(self) -> np.ndarray:
@@ -238,7 +290,14 @@ class SwarmTrajectory:
 
     def path_lengths(self) -> np.ndarray:
         """Per-robot travelled distance ``d_i``."""
-        return np.array([p.length for p in self.paths])
+        g = self._vector_groups
+        out = np.zeros(len(self.paths))
+        if len(g["two_idx"]):
+            seg = g["two_w1"] - g["two_w0"]
+            out[g["two_idx"]] = np.hypot(seg[:, 0], seg[:, 1])
+        for i in g["other_idx"]:
+            out[i] = self.paths[i].length
+        return out
 
     def distances_between(self, t0: float, t1: float) -> np.ndarray:
         """Per-robot distance travelled over the window ``[t0, t1]``."""
@@ -250,10 +309,11 @@ class SwarmTrajectory:
 
     def critical_times(self) -> np.ndarray:
         """Sorted union of every waypoint time (plus the interval ends)."""
-        ts = {self.t_start, self.t_end}
-        for p in self.paths:
-            ts.update(float(t) for t in p.times)
-        arr = np.array(sorted(ts))
+        arr = np.unique(
+            np.concatenate(
+                [[self.t_start, self.t_end], *[p.times for p in self.paths]]
+            )
+        )
         return arr[(arr >= self.t_start - 1e-9) & (arr <= self.t_end + 1e-9)]
 
     def sample_times(self, resolution: int = 32) -> np.ndarray:
@@ -264,25 +324,67 @@ class SwarmTrajectory:
 
     def discontinuity_times(self) -> np.ndarray:
         """Union of every path's jump times, clipped to the interval."""
-        ts: set[float] = set()
-        for p in self.paths:
-            ts.update(float(t) for t in p.discontinuity_times())
-        if not ts:
+        g = self._vector_groups
+        parts = [self.paths[i].discontinuity_times() for i in g["other_idx"]]
+        if len(g["two_idx"]):
+            # A two-waypoint path jumps when its time stamps (nearly)
+            # coincide but its endpoints differ - same predicate as
+            # :meth:`TimedPath.discontinuity_times`.
+            dt = g["two_t1"] - g["two_t0"]
+            seg = g["two_w1"] - g["two_w0"]
+            jump = (dt <= 1e-12) & (np.hypot(seg[:, 0], seg[:, 1]) > 0.0)
+            parts.append(g["two_t1"][jump])
+        flat = np.concatenate(parts) if parts else np.empty(0, dtype=float)
+        if len(flat) == 0:
             return np.empty(0, dtype=float)
-        arr = np.array(sorted(ts))
+        arr = np.unique(flat)
         return arr[(arr >= self.t_start - 1e-9) & (arr <= self.t_end + 1e-9)]
 
     def positions_over(self, times, side: str = "right") -> np.ndarray:
         """Positions for every robot at every time: shape ``(k, n, 2)``.
 
         ``side`` selects the one-sided limit taken at discontinuities
-        (see :meth:`TimedPath.positions_at_many`).
+        (see :meth:`TimedPath.positions_at_many`).  Stationary and
+        single-segment paths - the vast majority of planner output -
+        are sampled for the whole swarm at once; the results are
+        bitwise-identical to stacking per-path samples.
         """
+        if side not in ("right", "left"):
+            raise PlanningError(f"side must be 'left' or 'right', got {side!r}")
         ts = np.asarray(times, dtype=float)
-        per_robot = np.stack(
-            [p.positions_at_many(ts, side=side) for p in self.paths], axis=1
-        )
-        return per_robot
+        g = self._vector_groups
+        out = np.empty((len(ts), len(self.paths), 2))
+        if len(g["single_idx"]):
+            out[:, g["single_idx"], :] = g["single_w"][None, :, :]
+        if len(g["two_idx"]):
+            t0, t1 = g["two_t0"], g["two_t1"]
+            w0, w1 = g["two_w0"], g["two_w1"]
+            if side == "right":
+                # np.interp's exact branches: at-or-before the segment
+                # start and at-or-after its end return the endpoint
+                # value; strictly inside uses the slope formula.
+                slope = (w1 - w0) / (t1 - t0)[:, None]
+                vals = (
+                    slope[None, :, :] * (ts[:, None] - t0[None, :])[:, :, None]
+                    + w0[None, :, :]
+                )
+                vals = np.where(
+                    (ts[:, None] <= t0[None, :])[:, :, None], w0[None, :, :], vals
+                )
+                vals = np.where(
+                    (ts[:, None] >= t1[None, :])[:, :, None], w1[None, :, :], vals
+                )
+            else:
+                # The clipped-alpha formula alone is the scalar "left"
+                # path; clamping already covers the out-of-span cases.
+                alpha = np.clip(
+                    (ts[:, None] - t0[None, :]) / (t1 - t0)[None, :], 0.0, 1.0
+                )[:, :, None]
+                vals = (1.0 - alpha) * w0[None, :, :] + alpha * w1[None, :, :]
+            out[:, g["two_idx"], :] = vals
+        for i in g["other_idx"]:
+            out[:, i, :] = self.paths[i].positions_at_many(ts, side=side)
+        return out
 
     def snapshots(self, resolution: int = 32) -> Iterable[np.ndarray]:
         """Position arrays at :meth:`sample_times` in time order."""
