@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""CI smoke test for the scenario-zoo invariant campaign.
+
+Runs ``python -m repro zoo`` twice (once serial, once with two
+workers) over a small fixed-seed family x seed matrix, through a real
+process boundary, and asserts the campaign contract:
+
+1. both invocations exit 0 with every invariant passing,
+2. the two summary files are byte-identical (same (family, seed) =>
+   same campaign bytes, regardless of worker count or process),
+3. a counterexample triple built from any case document replays
+   byte-identically through ``--replay``, and
+4. a tampered triple is flagged as DIVERGED with a non-zero exit
+   (the replay check actually checks something).
+
+Run:  PYTHONPATH=src python scripts/zoo_smoke.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+MATRIX = ["--families", "corridor", "star", "--seeds", "2"]
+
+
+def run_zoo(extra: list[str]) -> subprocess.CompletedProcess:
+    cmd = [sys.executable, "-m", "repro", "zoo", *extra]
+    print(f"$ {' '.join(cmd)}")
+    proc = subprocess.run(cmd, text=True, capture_output=True)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    return proc
+
+
+def canonical_sha(doc) -> str:
+    payload = json.dumps(
+        doc, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        serial = Path(tmp) / "serial.json"
+        parallel = Path(tmp) / "parallel.json"
+        proc = run_zoo([*MATRIX, "--workers", "1", "--output", str(serial)])
+        assert proc.returncode == 0, f"serial run exit {proc.returncode}"
+        proc = run_zoo([*MATRIX, "--workers", "2", "--output", str(parallel)])
+        assert proc.returncode == 0, f"parallel run exit {proc.returncode}"
+
+        a, b = serial.read_bytes(), parallel.read_bytes()
+        assert a == b, "zoo summaries differ between worker counts"
+        print(f"byte-identical summaries: {len(a)} bytes")
+
+        summary = json.loads(a)
+        agg = summary["summary"]
+        assert agg["all_pass"], agg
+        assert agg["cases"] == len(summary["cases"]) > 0, agg
+        assert summary["counterexamples"] == [], summary["counterexamples"]
+        for family, fam in summary["families"].items():
+            assert fam["passed"] == fam["cases"], (family, fam)
+            assert all(v == 0 for v in fam["invariant_failures"].values())
+
+        # Counterexample-replay round trip: a triple built from a case
+        # document must reproduce that document byte for byte.
+        case = summary["cases"][0]
+        entry = {
+            "family": case["family"],
+            "seed": case["seed"],
+            "params": case["params"],
+            "case_sha256": canonical_sha(case),
+        }
+        triple = Path(tmp) / "triple.json"
+        triple.write_text(json.dumps(entry))
+        proc = run_zoo(["--replay", str(triple)])
+        assert proc.returncode == 0, f"replay exit {proc.returncode}"
+        assert "byte-identical" in proc.stdout, proc.stdout
+        print("replay round-trip: byte-identical")
+
+        # A tampered digest must be caught.
+        entry["case_sha256"] = "0" * 64
+        triple.write_text(json.dumps(entry))
+        proc = run_zoo(["--replay", str(triple)])
+        assert proc.returncode != 0, "tampered replay not flagged"
+        assert "DIVERGED" in proc.stdout, proc.stdout
+        print("tampered replay flagged: DIVERGED")
+    print("zoo smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -109,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "its recovery metrics to the report")
     p_report.add_argument("--chaos-seeds", type=int, nargs="+", default=[0],
                           help="seeds for the --chaos sweep (default: 0)")
+    p_report.add_argument("--zoo", action="store_true",
+                          help="append a procedural scenario-zoo invariant "
+                               "campaign (per-family pass/fail table)")
+    p_report.add_argument("--zoo-seeds", type=int, default=2, metavar="N",
+                          help="seeds per family for the --zoo campaign "
+                               "(default: 2)")
     p_report.add_argument("--scaling", action="store_true",
                           help="append per-stage swarm-size scaling curves "
                                "(wall-clock and peak allocation)")
@@ -156,6 +162,43 @@ def build_parser() -> argparse.ArgumentParser:
                          help="M1-M2 distance in communication ranges")
     p_chaos.add_argument("--output", metavar="FILE", default=None,
                          help="write the canonical JSON summary to FILE")
+
+    p_zoo = sub.add_parser(
+        "zoo",
+        help="procedural scenario-zoo invariant campaign",
+        parents=[common, parallel],
+    )
+    p_zoo.add_argument("--families", nargs="+", default=["all"],
+                       metavar="NAME",
+                       help="zoo families (default: all; see repro."
+                       "experiments.zoo.FAMILIES)")
+    p_zoo.add_argument("--seeds", type=int, default=3, metavar="N",
+                       help="seeds per family, 0..N-1 (default: 3)")
+    p_zoo.add_argument("--seed-list", type=int, nargs="+", default=None,
+                       metavar="SEED",
+                       help="explicit seeds (overrides --seeds)")
+    p_zoo.add_argument("--robots", type=int, default=36,
+                       help="robots per case")
+    p_zoo.add_argument("--separation", type=float, default=5.0,
+                       help="M1-M2 distance in communication ranges")
+    p_zoo.add_argument("--methods", nargs="+", default=None,
+                       metavar="METHOD",
+                       help="planner methods (default: 'ours (a)' "
+                       "'ours (b)')")
+    p_zoo.add_argument("--no-shrink", action="store_true",
+                       help="keep failing cases at their drawn params "
+                       "instead of shrinking them")
+    p_zoo.add_argument("--output", metavar="FILE", default=None,
+                       help="write the canonical JSON summary to FILE")
+    p_zoo.add_argument("--counterexamples", metavar="FILE",
+                       default="zoo_counterexamples.json",
+                       help="persist replayable failure triples here "
+                       "(default: zoo_counterexamples.json; only "
+                       "written when there are failures)")
+    p_zoo.add_argument("--replay", metavar="JSON_OR_FILE", default=None,
+                       help="replay one counterexample triple (inline "
+                       "JSON) or every entry of a persisted file, and "
+                       "verify byte-identical reproduction")
 
     p_serve = sub.add_parser(
         "serve",
@@ -306,6 +349,8 @@ def _cmd_report(args) -> int:
         workers=args.workers,
         chaos=args.chaos,
         chaos_seeds=args.chaos_seeds,
+        zoo=args.zoo,
+        zoo_seeds=args.zoo_seeds,
         scaling=args.scaling,
         scaling_sizes=args.scaling_sizes,
     )
@@ -401,6 +446,78 @@ def _cmd_chaos(args) -> int:
     # typed unrecoverable never reaches this point (it would have
     # raised); exit non-zero only if a recovered case broke C=1.
     return 0 if summary["summary"]["connected_all"] else 1
+
+
+def _cmd_zoo(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.experiments.zoo import (
+        FAMILIES,
+        ZooConfig,
+        render_zoo,
+        replay_counterexample,
+        summary_bytes,
+        zoo_campaign,
+    )
+
+    config = ZooConfig(
+        robot_count=args.robots,
+        separation_factor=args.separation,
+        methods=tuple(args.methods) if args.methods else ("ours (a)", "ours (b)"),
+        shrink=not args.no_shrink,
+    )
+
+    if args.replay:
+        source = Path(args.replay)
+        try:
+            text = source.read_text() if source.exists() else args.replay
+            parsed = json_module.loads(text)
+        except (OSError, json_module.JSONDecodeError) as exc:
+            print(f"error: cannot parse --replay argument: {exc}",
+                  file=sys.stderr)
+            return 2
+        entries = parsed if isinstance(parsed, list) else [parsed]
+        all_reproduced = True
+        for entry in entries:
+            doc, matches = replay_counterexample(entry, config)
+            verdict = "byte-identical" if matches else "DIVERGED"
+            print(
+                f"replay {doc['family']} seed {doc['seed']}: "
+                f"outcome={doc['outcome']} reproduction={verdict}"
+            )
+            all_reproduced = all_reproduced and matches
+        return 0 if all_reproduced else 1
+
+    families = tuple(FAMILIES) if "all" in args.families else tuple(args.families)
+    unknown = [f for f in families if f not in FAMILIES]
+    if unknown:
+        print(f"error: unknown families {unknown}; valid: {list(FAMILIES)}",
+              file=sys.stderr)
+        return 2
+    seeds = tuple(args.seed_list) if args.seed_list else tuple(range(args.seeds))
+    summary = zoo_campaign(
+        families=families,
+        seeds=seeds,
+        config=config,
+        workers=args.workers,
+    )
+    print(render_zoo(summary))
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_bytes(summary_bytes(summary))
+        print(f"wrote {out}")
+    if summary["counterexamples"] and args.counterexamples:
+        ce = Path(args.counterexamples)
+        ce.parent.mkdir(parents=True, exist_ok=True)
+        ce.write_text(
+            json_module.dumps(summary["counterexamples"], indent=2,
+                              sort_keys=True)
+        )
+        print(f"wrote {len(summary['counterexamples'])} counterexample(s) "
+              f"to {ce}")
+    return 0 if summary["summary"]["all_pass"] else 1
 
 
 def _cmd_serve(args) -> int:
@@ -502,6 +619,7 @@ _COMMANDS = {
     "lemmas": _cmd_lemmas,
     "report": _cmd_report,
     "chaos": _cmd_chaos,
+    "zoo": _cmd_zoo,
     "pipeline": _cmd_pipeline,
     "plan": _cmd_plan,
     "serve": _cmd_serve,

@@ -34,6 +34,15 @@ from repro.experiments.scaling import (
     synthetic_swarm_positions,
 )
 from repro.experiments.scenarios import COMM_RANGE, ROBOT_COUNT, SCENARIOS, ScenarioSpec, get_scenario
+from repro.experiments.zoo import (
+    FAMILIES as ZOO_FAMILIES,
+    ZooCase,
+    ZooConfig,
+    ZooParams,
+    render_zoo,
+    run_zoo_case,
+    zoo_campaign,
+)
 from repro.experiments.trace import TransitionTrace, record_trace, render_trace_chart
 from repro.experiments.tables import format_table, render_sweep, render_table1
 
@@ -55,6 +64,13 @@ __all__ = [
     "record_trace",
     "render_trace_chart",
     "ScenarioRun",
+    "ZOO_FAMILIES",
+    "ZooCase",
+    "ZooConfig",
+    "ZooParams",
+    "render_zoo",
+    "run_zoo_case",
+    "zoo_campaign",
     "ScenarioSpec",
     "SweepPoint",
     "SweepResult",

@@ -21,16 +21,28 @@ from repro.robots.swarm import Swarm
 __all__ = ["RandomScenario", "random_foi", "random_scenario"]
 
 
+def _holes_overlap(a, b) -> bool:
+    """Mutual-containment overlap test between two hole polygons."""
+    return bool(np.any(a.contains(b.vertices))) or bool(np.any(b.contains(a.vertices)))
+
+
 def random_foi(
     rng: np.random.Generator,
     area: float = 250_000.0,
     max_holes: int = 2,
     name: str = "random-foi",
+    hole_clearance: float = 0.05,
 ) -> FieldOfInterest:
     """A random blob FoI (optionally holed) with the given free area.
 
     Holes are placed near the blob centre with bounded size so the
-    region stays connected and lattice-deployable.
+    region stays connected and lattice-deployable.  Every hole is
+    guaranteed at least ``hole_clearance`` distance (in unit-blob
+    coordinates, where the outer boundary sits near radius 1) from the
+    outer boundary: a draw that would pinch the free region is shrunk
+    about its centroid until it clears, and a draw that cannot clear
+    even at minimum size raises :class:`ScenarioError` instead of
+    silently degrading the region.
 
     Parameters
     ----------
@@ -39,7 +51,22 @@ def random_foi(
         Target free area.
     max_holes : int
         Uniformly 0..max_holes holes.
+    hole_clearance : float
+        Minimum unit-space distance between any hole and the outer
+        boundary.  Must be non-negative.
+
+    Raises
+    ------
+    ScenarioError
+        If ``hole_clearance`` is negative, or a drawn hole cannot
+        satisfy the clearance at any permitted shrink.
     """
+    from repro.experiments.zoo.validate import shrink_hole_to_clearance
+
+    if hole_clearance < 0.0:
+        raise ScenarioError(
+            f"hole_clearance must be non-negative, got {hole_clearance}"
+        )
     harmonics = {}
     for k in rng.choice([2, 3, 4, 5], size=2, replace=False):
         harmonics[int(k)] = (
@@ -68,13 +95,18 @@ def random_foi(
                 samples=40,
                 center=center,
             )
-        holes.append(hole)
-    try:
-        foi = FieldOfInterest(outer, holes, name=name)
-    except Exception:
-        # Rare degenerate draw (hole clipped the boundary): drop holes.
-        foi = FieldOfInterest(outer, [], name=name)
-    return foi.scaled_to_area(area)
+        cleared = shrink_hole_to_clearance(outer, hole, hole_clearance)
+        if cleared is None:
+            raise ScenarioError(
+                f"{name}: hole at angle {angle:.3f} cannot satisfy "
+                f"clearance {hole_clearance} from the outer boundary; "
+                "lower hole_clearance or max_holes"
+            )
+        # Deterministic de-overlap: a hole that would intersect an
+        # already-kept one is dropped, never silently merged.
+        if not any(_holes_overlap(cleared, kept) for kept in holes):
+            holes.append(cleared)
+    return FieldOfInterest(outer, holes, name=name).scaled_to_area(area)
 
 
 @dataclass(frozen=True)
@@ -98,6 +130,7 @@ def random_scenario(
     comm_range: float = 80.0,
     separation_range: tuple[float, float] = (8.0, 40.0),
     max_holes: int = 2,
+    hole_clearance: float = 0.05,
 ) -> RandomScenario:
     """Generate a deployable random marching problem from ``seed``.
 
@@ -116,14 +149,16 @@ def random_scenario(
     # Lattice spacing ~ sqrt(2A / (sqrt(3) n)); target 60% of comm range.
     target_spacing = 0.6 * comm_range
     area1 = float(np.sqrt(3.0) / 2.0 * robot_count * target_spacing**2)
-    m1 = random_foi(rng, area=area1, max_holes=max_holes, name=f"random-M1[{seed}]")
+    m1 = random_foi(rng, area=area1, max_holes=max_holes,
+                    name=f"random-M1[{seed}]", hole_clearance=hole_clearance)
     try:
         swarm = Swarm.deploy_lattice(m1, robot_count, radio)
     except Exception as exc:
         raise ScenarioError(f"seed {seed}: cannot deploy swarm ({exc})") from exc
 
     area2 = area1 * float(rng.uniform(0.7, 1.2))
-    m2 = random_foi(rng, area=area2, max_holes=max_holes, name=f"random-M2[{seed}]")
+    m2 = random_foi(rng, area=area2, max_holes=max_holes,
+                    name=f"random-M2[{seed}]", hole_clearance=hole_clearance)
     sep = float(rng.uniform(*separation_range)) * comm_range
     bearing = float(rng.uniform(0.0, 2.0 * np.pi))
     offset = m1.centroid + sep * np.array([np.cos(bearing), np.sin(bearing)]) - m2.centroid

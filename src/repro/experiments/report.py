@@ -36,6 +36,9 @@ def build_report(
     chaos: bool = False,
     chaos_seeds: Sequence[int] = (0,),
     chaos_scenarios: Sequence[int] | None = None,
+    zoo: bool = False,
+    zoo_seeds: int = 2,
+    zoo_families: Sequence[str] | None = None,
     scaling: bool = False,
     scaling_sizes: Sequence[int] | None = None,
     **run_kwargs,
@@ -51,6 +54,11 @@ def build_report(
     With ``chaos=True`` the report appends a resilience section: a
     seeded fault-archetype sweep (:mod:`repro.experiments.chaos`) and
     its recovery metrics.
+
+    With ``zoo=True`` the report appends a scenario-zoo section: a
+    procedural-FoI invariant campaign (:mod:`repro.experiments.zoo`)
+    with a per-family pass/fail table and any replayable
+    counterexample triples.
 
     With ``scaling=True`` the report appends swarm-size scaling curves
     (:mod:`repro.experiments.scaling`): wall-clock and peak allocation
@@ -153,6 +161,58 @@ def build_report(
                 ],
             ),
         ])
+    if zoo:
+        from repro.experiments.zoo import FAMILIES, INVARIANTS, zoo_campaign
+        from repro.io import dumps_canonical
+
+        families = tuple(zoo_families) if zoo_families else FAMILIES
+        zoo_summary = zoo_campaign(
+            families=families,
+            seeds=tuple(range(zoo_seeds)),
+            workers=workers,
+        )
+        zagg = zoo_summary["summary"]
+        parts.extend([
+            "",
+            "## Scenario zoo",
+            "",
+            f"Procedural invariant campaign over families "
+            f"{list(zoo_summary['matrix']['families'])} x seeds "
+            f"{list(zoo_summary['matrix']['seeds'])} "
+            f"({zoo_summary['config']['robot_count']} robots per case, "
+            f"methods {zoo_summary['config']['methods']}): "
+            f"{zagg['passed']}/{zagg['cases']} cases passed every "
+            "whole-pipeline invariant (C = 1 incl. jump left-limits, "
+            "Lemma-1 distance floor, Definition-2 re-verification of the "
+            "plan document, canonical-byte stability).",
+            "",
+            _md_table(
+                ["family", "cases", "pass", "fail", "err"]
+                + list(INVARIANTS),
+                [
+                    [family, agg["cases"], agg["passed"], agg["failed"],
+                     agg["errors"]]
+                    + [
+                        "ok" if agg["invariant_failures"][n] == 0
+                        else f"{agg['invariant_failures'][n]} FAIL"
+                        for n in INVARIANTS
+                    ]
+                    for family, agg in zoo_summary["families"].items()
+                ],
+            ),
+        ])
+        if zoo_summary["counterexamples"]:
+            parts.extend([
+                "",
+                "Replayable counterexamples (each reproduces "
+                "byte-identically via `python -m repro zoo --replay`):",
+                "",
+            ])
+            for entry in zoo_summary["counterexamples"]:
+                triple = dumps_canonical(
+                    {k: entry[k] for k in ("family", "seed", "params")}
+                ).decode("utf-8")
+                parts.append(f"- `{triple}`")
     if scaling:
         from repro.experiments.scaling import (
             DEFAULT_SIZES,

@@ -1,0 +1,402 @@
+"""Procedural FoI families: the scenario zoo's shape generators.
+
+The paper states its guarantees for *arbitrary* fields of interest but
+evaluates on seven fixed shapes.  This module generates unbounded
+families of valid polygon-with-holes regions from a ``(family, seed)``
+pair so campaigns and property tests can sweep geometry the authors
+never drew: serpentine corridors, archipelagos of lobes joined by thin
+necks, annuli and ring sectors, star-concave blobs, and rough-boundary
+blobs - exactly the stress classes (thin corridors, near-disconnected
+targets) the related coverage and pattern-formation literature names
+as hard for harmonic maps.
+
+Every family is a pure function of ``(family, seed, params)``: the
+parameters are drawn from a seed-derived stream, and the build consumes
+an independent stream, so a shrunk counterexample - same seed, milder
+params - is still byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ScenarioError
+from repro.foi.region import FieldOfInterest
+from repro.foi.shapes import ellipse_polygon, flower_polygon, radial_blob
+from repro.geometry.polygon import Polygon
+
+__all__ = [
+    "FAMILIES",
+    "ZooParams",
+    "build_foi",
+    "draw_params",
+    "family_rng",
+]
+
+#: The five shape families of the zoo, in canonical order.
+FAMILIES = ("corridor", "archipelago", "annulus", "star", "rough")
+
+# Stream tags: parameter draws and geometry jitter consume independent
+# generators so explicit params (e.g. a shrunk counterexample) leave
+# the build's randomness untouched.
+_STREAM_PARAMS = 0
+_STREAM_BUILD = 1
+
+
+@dataclass(frozen=True)
+class ZooParams:
+    """The knobs shared by every family (JSON round-trippable).
+
+    Attributes
+    ----------
+    lobes : int
+        Family-specific multiplicity: corridor slits, archipelago
+        lobes, star petals (unused by annulus/rough).
+    hole_count : int
+        Holes punched into the free region (families that support it).
+    hole_area_fraction : float
+        Total hole area as a fraction of the outer area.
+    roughness : float
+        Boundary perturbation amplitude in [0, 1].
+    min_corridor_width : float
+        Narrowest free passage the family guarantees, as a fraction of
+        the shape's unit scale (corridor width, archipelago neck,
+        annulus ring thickness).
+    """
+
+    lobes: int = 3
+    hole_count: int = 0
+    hole_area_fraction: float = 0.0
+    roughness: float = 0.0
+    min_corridor_width: float = 0.2
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "lobes": int(self.lobes),
+            "hole_count": int(self.hole_count),
+            "hole_area_fraction": float(self.hole_area_fraction),
+            "roughness": float(self.roughness),
+            "min_corridor_width": float(self.min_corridor_width),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ZooParams":
+        try:
+            return cls(
+                lobes=int(data["lobes"]),
+                hole_count=int(data["hole_count"]),
+                hole_area_fraction=float(data["hole_area_fraction"]),
+                roughness=float(data["roughness"]),
+                min_corridor_width=float(data["min_corridor_width"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScenarioError(f"malformed zoo params: {exc}") from exc
+
+
+def family_rng(family: str, seed: int, stream: int = _STREAM_BUILD) -> np.random.Generator:
+    """The deterministic generator for one ``(family, seed, stream)``.
+
+    Seeded through ``SeedSequence`` on plain integers (the family name
+    enters as its CRC-32), so the stream is identical across processes
+    and platforms - the property the campaign's byte-identity contract
+    rests on.
+    """
+    if family not in FAMILIES:
+        raise ScenarioError(
+            f"unknown zoo family {family!r}; valid: {list(FAMILIES)}"
+        )
+    tag = zlib.crc32(family.encode("utf-8"))
+    return np.random.default_rng([int(seed), tag, stream])
+
+
+def draw_params(family: str, seed: int) -> ZooParams:
+    """Draw a family's parameters from its seed-derived stream."""
+    rng = family_rng(family, seed, _STREAM_PARAMS)
+    if family == "corridor":
+        width = float(rng.uniform(0.14, 0.22))
+        return ZooParams(
+            lobes=int(rng.integers(2, 4)),
+            roughness=float(rng.uniform(0.0, 0.5)),
+            min_corridor_width=width,
+        )
+    if family == "archipelago":
+        return ZooParams(
+            lobes=int(rng.integers(2, 5)),
+            roughness=float(rng.uniform(0.0, 0.3)),
+            min_corridor_width=float(rng.uniform(0.25, 0.45)),
+        )
+    if family == "annulus":
+        thickness = float(rng.uniform(0.38, 0.52))
+        holed = bool(rng.random() < 0.5)
+        return ZooParams(
+            lobes=1,
+            hole_count=1 if holed else 0,
+            hole_area_fraction=(1.0 - thickness) ** 2 if holed else 0.0,
+            roughness=float(rng.uniform(0.0, 0.15)),
+            min_corridor_width=thickness,
+        )
+    if family == "star":
+        return ZooParams(
+            lobes=int(rng.integers(4, 8)),
+            hole_count=int(rng.integers(0, 2)),
+            hole_area_fraction=float(rng.uniform(0.015, 0.04)),
+            roughness=float(rng.uniform(0.25, 0.45)),
+            min_corridor_width=0.3,
+        )
+    if family == "rough":
+        return ZooParams(
+            hole_count=int(rng.integers(0, 3)),
+            hole_area_fraction=float(rng.uniform(0.02, 0.08)),
+            roughness=float(rng.uniform(0.05, 0.25)),
+            min_corridor_width=0.3,
+        )
+    raise ScenarioError(f"unknown zoo family {family!r}")  # pragma: no cover
+
+
+def _validated_params(family: str, params: ZooParams) -> ZooParams:
+    """Clamp params into the family's safe envelope; reject nonsense."""
+    if params.lobes < 1:
+        raise ScenarioError(f"{family}: lobes must be >= 1, got {params.lobes}")
+    if params.hole_count < 0 or params.hole_area_fraction < 0:
+        raise ScenarioError(f"{family}: hole parameters must be non-negative")
+    if not 0.0 <= params.roughness <= 1.0:
+        raise ScenarioError(
+            f"{family}: roughness must be in [0, 1], got {params.roughness}"
+        )
+    if params.min_corridor_width <= 0:
+        raise ScenarioError(
+            f"{family}: min_corridor_width must be positive, "
+            f"got {params.min_corridor_width}"
+        )
+    return params
+
+
+# ----------------------------------------------------------------------
+# Family builders (unit scale; callers use FieldOfInterest.scaled_to_area)
+# ----------------------------------------------------------------------
+
+
+def _corridor(params: ZooParams, rng: np.random.Generator) -> FieldOfInterest:
+    """A serpentine comb: a square with alternating slits cut in.
+
+    The free space is a single winding corridor; its narrowest passage
+    (over each slit tip and between adjacent slits) is at least
+    ``min_corridor_width``.
+    """
+    w = params.min_corridor_width
+    # Slit count capped so the corridor between adjacent slits keeps
+    # width >= w: slit pitch 1/(k+1), slit width 0.4 * pitch.
+    k = min(params.lobes, max(2, int(0.6 / w) - 1))
+    pitch = 1.0 / (k + 1)
+    s = 0.4 * pitch
+    jitter = params.roughness * 0.08
+    centers = []
+    depths = []
+    for j in range(k):
+        centers.append((j + 1) * pitch + float(rng.uniform(-1, 1)) * jitter * pitch)
+        depths.append(1.0 - w * (1.0 + float(rng.uniform(0.0, 1.0)) * jitter))
+    pts: list[tuple[float, float]] = [(0.0, 0.0)]
+    for j in range(k):  # bottom edge, left to right; even slits cut upward
+        if j % 2 == 0:
+            x0, x1 = centers[j] - s / 2.0, centers[j] + s / 2.0
+            pts += [(x0, 0.0), (x0, depths[j]), (x1, depths[j]), (x1, 0.0)]
+    pts += [(1.0, 0.0), (1.0, 1.0)]
+    for j in reversed(range(k)):  # top edge, right to left; odd slits cut down
+        if j % 2 == 1:
+            x0, x1 = centers[j] + s / 2.0, centers[j] - s / 2.0
+            d = 1.0 - depths[j]
+            pts += [(x0, 1.0), (x0, d), (x1, d), (x1, 1.0)]
+    pts += [(0.0, 1.0)]
+    return FieldOfInterest(Polygon(pts), name="zoo-corridor")
+
+
+def _archipelago(params: ZooParams, rng: np.random.Generator) -> FieldOfInterest:
+    """Lobes along a spine joined by thin necks (a caterpillar profile).
+
+    Built as ``{(x, y): |y| <= f(x)}`` where ``f`` is the max of one
+    semi-elliptic bump per lobe and a constant neck half-width, so the
+    polygon is x-monotone and simple by construction.
+    """
+    n_lobes = max(2, params.lobes)
+    half_pitch = 0.5 / n_lobes
+    centers = (np.arange(n_lobes) + 0.5) / n_lobes
+    heights = half_pitch * (0.85 + 0.3 * rng.uniform(0.0, 1.0, n_lobes))
+    neck_half = params.min_corridor_width * float(heights.mean())
+    xs = np.linspace(0.0, 1.0, 24 * n_lobes)
+    f = np.full_like(xs, neck_half)
+    for c, h in zip(centers, heights):
+        u = (xs - c) / half_pitch
+        bump = h * np.sqrt(np.clip(1.0 - u * u, 0.0, None))
+        f = np.maximum(f, bump)
+    if params.roughness > 0:
+        noise = rng.normal(0.0, 1.0, len(xs))
+        # Smooth the noise so the boundary stays locally sane.
+        kernel = np.ones(5) / 5.0
+        noise = np.convolve(noise, kernel, mode="same")
+        f = f * (1.0 + 0.1 * params.roughness * noise)
+        f = np.maximum(f, 0.8 * neck_half)
+    top = np.column_stack([xs, f])
+    bottom = np.column_stack([xs[::-1], -f[::-1]])
+    return FieldOfInterest(Polygon(np.vstack([top, bottom])), name="zoo-archipelago")
+
+
+def _annulus(params: ZooParams, rng: np.random.Generator) -> FieldOfInterest:
+    """A ring of thickness ``min_corridor_width``.
+
+    With ``hole_count == 1`` it is a true annulus (disk with a
+    concentric hole - the harmonic map must fill the hole with a
+    virtual vertex); otherwise a ring sector opened by a gap, which is
+    a topological disk the map must unroll.
+    """
+    t = min(max(params.min_corridor_width, 0.2), 0.8)
+    inner = 1.0 - t
+    wobble = 1.0 + params.roughness * 0.2 * float(rng.uniform(-1.0, 1.0))
+    if params.hole_count >= 1:
+        outer = ellipse_polygon(1.0, wobble, samples=72)
+        hole = ellipse_polygon(inner, inner * wobble, samples=48)
+        return FieldOfInterest(outer, [hole], name="zoo-annulus")
+    gap = float(rng.uniform(0.7, 1.3))
+    half_gap = gap / 2.0
+    theta = np.linspace(half_gap, 2.0 * np.pi - half_gap, 72)
+    outer_arc = np.column_stack([np.cos(theta), wobble * np.sin(theta)])
+    inner_arc = np.column_stack(
+        [inner * np.cos(theta[::-1]), inner * wobble * np.sin(theta[::-1])]
+    )
+    return FieldOfInterest(
+        Polygon(np.vstack([outer_arc, inner_arc])), name="zoo-ring-sector"
+    )
+
+
+def _star(params: ZooParams, rng: np.random.Generator) -> FieldOfInterest:
+    """A star-concave blob: deep petals, optionally a central hole."""
+    depth = min(max(params.roughness, 0.1), 0.5)
+    phase = float(rng.uniform(0.0, 2.0 * np.pi))
+    theta = np.linspace(0.0, 2.0 * np.pi, 96, endpoint=False)
+    r = 1.0 + depth * np.cos(params.lobes * theta + phase)
+    outer = Polygon(np.column_stack([r * np.cos(theta), r * np.sin(theta)]))
+    holes = []
+    if params.hole_count >= 1:
+        # Keep the hole well inside the star's inner radius (1 - depth).
+        r_hole = min(
+            np.sqrt(max(params.hole_area_fraction, 1e-4) * np.pi) / np.pi ** 0.5,
+            0.45 * (1.0 - depth),
+        )
+        holes.append(ellipse_polygon(r_hole, r_hole, samples=24))
+    return FieldOfInterest(outer, holes, name="zoo-star")
+
+
+def _rough(params: ZooParams, rng: np.random.Generator) -> FieldOfInterest:
+    """A blob with a high-frequency rough boundary and scattered holes."""
+    harmonics: dict[int, tuple[float, float]] = {}
+    for k in range(2, 11):
+        amp = params.roughness / max(k - 1, 1)
+        harmonics[k] = (
+            float(rng.uniform(-amp, amp)),
+            float(rng.uniform(-amp, amp)),
+        )
+    outer = radial_blob(harmonics, samples=128)
+    holes: list[Polygon] = []
+
+    def overlaps(a: Polygon, b: Polygon) -> bool:
+        return bool(np.any(a.contains(b.vertices))) or bool(
+            np.any(b.contains(a.vertices))
+        )
+
+    if params.hole_count > 0:
+        per_hole = params.hole_area_fraction / params.hole_count
+        size = float(np.sqrt(per_hole))  # radius ~ sqrt(fraction) of unit blob
+        slots = rng.permutation(4)[: params.hole_count]
+        for slot in slots:
+            angle = slot * np.pi / 2.0 + float(rng.uniform(-0.3, 0.3))
+            rr = float(rng.uniform(0.15, 0.3))
+            center = (rr * np.cos(angle), rr * np.sin(angle))
+            if rng.random() < 0.5:
+                hole = ellipse_polygon(
+                    size, size * float(rng.uniform(0.7, 1.3)),
+                    samples=20, center=center,
+                )
+            else:
+                hole = flower_polygon(
+                    petals=int(rng.integers(3, 7)),
+                    base_radius=size,
+                    petal_depth=float(rng.uniform(0.2, 0.4)),
+                    samples=32,
+                    center=center,
+                )
+            # Deterministic de-overlap: a hole that intersects an
+            # already-kept one is dropped, never silently merged.
+            if not any(overlaps(hole, kept) for kept in holes):
+                holes.append(hole)
+    return FieldOfInterest(outer, holes, name="zoo-rough")
+
+
+_BUILDERS = {
+    "corridor": _corridor,
+    "archipelago": _archipelago,
+    "annulus": _annulus,
+    "star": _star,
+    "rough": _rough,
+}
+
+
+def build_foi(
+    family: str,
+    seed: int,
+    params: ZooParams | None = None,
+    validate: bool = True,
+) -> tuple[FieldOfInterest, ZooParams]:
+    """Build one zoo FoI at unit scale; returns ``(foi, params)``.
+
+    ``params`` defaults to :func:`draw_params`; passing explicit params
+    (a shrunk counterexample) reuses the same build stream, so the
+    result is a pure function of ``(family, seed, params)``.
+
+    Raises
+    ------
+    ScenarioError
+        On an unknown family, out-of-envelope params, or (with
+        ``validate=True``) a generated region that fails validation.
+    """
+    if params is None:
+        params = draw_params(family, seed)
+    params = _validated_params(family, params)
+    rng = family_rng(family, seed, _STREAM_BUILD)
+    foi = _BUILDERS[family](params, rng)
+    foi = FieldOfInterest(
+        foi.outer, foi.holes, name=f"zoo-{family}[{seed}]"
+    )
+    if validate:
+        from repro.experiments.zoo.validate import validate_foi
+
+        report = validate_foi(foi)
+        if not report.ok:
+            raise ScenarioError(
+                f"zoo {family} seed {seed}: generated region failed "
+                f"validation ({report.failures})"
+            )
+    return foi, params
+
+
+def mild_params(family: str, params: ZooParams) -> list[ZooParams]:
+    """Candidate one-step param reductions, mildest-first (for shrinking)."""
+    candidates: list[ZooParams] = []
+    if params.hole_count > 0:
+        candidates.append(
+            replace(params, hole_count=params.hole_count - 1)
+        )
+    if params.roughness > 0.05:
+        candidates.append(replace(params, roughness=params.roughness / 2.0))
+    if params.lobes > 2:
+        candidates.append(replace(params, lobes=params.lobes - 1))
+    if params.min_corridor_width < 0.45:
+        candidates.append(
+            replace(
+                params,
+                min_corridor_width=min(params.min_corridor_width * 1.4, 0.5),
+            )
+        )
+    return candidates

@@ -1,0 +1,50 @@
+"""Hypothesis strategies over the zoo (test-support; needs hypothesis).
+
+Property tests draw validated zoo geometry directly::
+
+    from repro.experiments.zoo.strategies import st_zoo_case
+
+    @given(case=st_zoo_case())
+    def test_pipeline_invariant(case):
+        doc = run_zoo_case(case)
+        assert doc["outcome"] == "pass"
+
+Importing this module requires ``hypothesis`` (a test dependency); the
+rest of the zoo package stays importable without it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.experiments.zoo.campaign import ZooCase
+from repro.experiments.zoo.families import FAMILIES, build_foi, draw_params
+
+__all__ = ["st_foi_family", "st_zoo_seed", "st_zoo_case", "st_zoo_foi"]
+
+
+def st_foi_family(families=FAMILIES):
+    """Strategy over zoo family names."""
+    return st.sampled_from(tuple(families))
+
+
+def st_zoo_seed(max_seed: int = 10_000):
+    """Strategy over zoo seeds (shrinks toward 0 - the pinned cases)."""
+    return st.integers(min_value=0, max_value=max_seed)
+
+
+@st.composite
+def st_zoo_case(draw, families=FAMILIES, max_seed: int = 10_000) -> ZooCase:
+    """A replayable campaign cell: ``(family, seed)`` with drawn params."""
+    family = draw(st_foi_family(families))
+    seed = draw(st_zoo_seed(max_seed))
+    return ZooCase(family=family, seed=seed, params=draw_params(family, seed))
+
+
+@st.composite
+def st_zoo_foi(draw, families=FAMILIES, max_seed: int = 10_000):
+    """A validated unit-scale zoo FoI (for geometry-level properties)."""
+    family = draw(st_foi_family(families))
+    seed = draw(st_zoo_seed(max_seed))
+    foi, _ = build_foi(family, seed)
+    return foi

@@ -4,7 +4,10 @@ import numpy as np
 import pytest
 
 from repro.coverage import LloydConfig
+from repro.errors import ScenarioError
+from repro.exec import ParallelMap
 from repro.experiments import random_foi, random_scenario
+from repro.experiments.zoo.validate import hole_clearance as clearance_of
 from repro.marching import MarchingConfig, MarchingPlanner
 from repro.metrics import connectivity_report
 
@@ -33,6 +36,83 @@ class TestRandomFoi:
             foi = random_foi(np.random.default_rng(seed), max_holes=2)
             for hole in foi.holes:
                 assert foi.outer.contains(hole.vertices).all()
+
+
+class TestHoleClearance:
+    """random_foi must enforce hole clearance instead of pinching."""
+
+    def test_negative_clearance_rejected(self):
+        with pytest.raises(ScenarioError, match="non-negative"):
+            random_foi(np.random.default_rng(0), hole_clearance=-0.1)
+
+    def test_impossible_clearance_raises(self):
+        # A clearance wider than the blob itself cannot be satisfied by
+        # any shrink; the generator must say so, not degrade silently.
+        holed = [s for s in range(20)
+                 if random_foi(np.random.default_rng(s), max_holes=2).has_holes]
+        assert holed, "no holed draw in the probe range"
+        with pytest.raises(ScenarioError, match="clearance"):
+            random_foi(np.random.default_rng(holed[0]), max_holes=2,
+                       hole_clearance=2.0)
+
+    def test_clearance_enforced_in_unit_terms(self):
+        # Unit-space clearance scales with sqrt(area); the unit blob's
+        # outer area is < 2.5^2, so scaled clearance / sqrt(area) must
+        # stay above hole_clearance / 2.5.
+        want = 0.3
+        checked = 0
+        for seed in range(20):
+            foi = random_foi(np.random.default_rng(seed), area=10_000.0,
+                             max_holes=2, hole_clearance=want)
+            for hole in foi.holes:
+                rel = clearance_of(foi.outer, hole) / np.sqrt(foi.outer.area)
+                assert rel >= want / 2.5
+                checked += 1
+        assert checked > 0
+
+    def test_pinched_seed_now_kept_with_clearance(self):
+        # Seed 50 used to hit the silent drop-all-holes fallback for M1;
+        # the clearance shrink now keeps a valid hole instead.
+        sc = random_scenario(seed=50, robot_count=36)
+        for foi in (sc.m1, sc.m2):
+            for hole in foi.holes:
+                assert clearance_of(foi.outer, hole) > 0.0
+
+
+def _scenario_digest(seed: int) -> str:
+    """Module-level so the process backend can pickle it."""
+    import hashlib
+
+    sc = random_scenario(seed, robot_count=36)
+    h = hashlib.sha256()
+    for arr in (sc.m1.outer.vertices, sc.m2.outer.vertices, sc.swarm.positions):
+        h.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+    for foi in (sc.m1, sc.m2):
+        for hole in foi.holes:
+            h.update(np.ascontiguousarray(hole.vertices, dtype=np.float64).tobytes())
+    return h.hexdigest()
+
+
+class TestGeneratorEdgeCases:
+    def test_max_holes_zero_never_holed(self):
+        for seed in range(8):
+            foi = random_foi(np.random.default_rng(seed), max_holes=0)
+            assert not foi.has_holes
+
+    def test_minimum_area(self):
+        # Tiny target areas still produce valid, correctly-sized regions.
+        foi = random_foi(np.random.default_rng(3), area=1.0, max_holes=2)
+        assert foi.area == pytest.approx(1.0)
+        for hole in foi.holes:
+            assert foi.outer.contains(hole.vertices).all()
+
+    def test_seed_to_scenario_deterministic_across_processes(self):
+        seeds = [0, 1, 50]
+        local = [_scenario_digest(s) for s in seeds]
+        remote = ParallelMap(backend="process", workers=2).map(
+            _scenario_digest, seeds
+        )
+        assert local == list(remote)
 
 
 class TestRandomScenario:
