@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""CI load smoke: a seeded client burst against a 2-shard fleet.
+
+Boots ``python -m repro serve --service-workers 2`` as a subprocess on
+an ephemeral port, fires a fixed-seed 200-client open-loop burst at it
+with :mod:`repro.experiments.loadgen`, and asserts the "heavy traffic"
+claims the service makes:
+
+1. dedup is *exact*: hits equal ``clients - uniques`` and exactly one
+   job is created per unique content address,
+2. zero 5xx responses anywhere in the burst,
+3. p99 latency per endpoint stays under a (very generous) CI budget,
+4. the canonical summary is byte-identical across two bursts against
+   two freshly booted fleets - same seed, same bytes, and
+5. SIGINT shuts each server down cleanly (exit code 0).
+
+Run:  PYTHONPATH=src python scripts/load_smoke.py
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+
+from repro.experiments.loadgen import (
+    LoadgenConfig,
+    loadgen_passed,
+    render_loadgen,
+    run_loadgen,
+    summary_bytes,
+)
+
+CONFIG = LoadgenConfig(
+    clients=200,
+    duplicate_fraction=0.95,  # 10 unique plans, 190 dedup hits
+    arrival_rate_hz=400.0,
+    seed=0,
+    stream_every=20,  # every 20th client consumes the SSE stream
+    foi_target_points=120,
+    lloyd_grid_target=300,
+    resolution=10,
+    timeout_s=600.0,
+)
+# Generous budgets: CI runners are slow and shared.  "plan"/"result"
+# are single HTTP round-trips; "job" is end-to-end completion latency
+# (queue wait behind the whole burst + solve), so it gets its own.
+P99_BUDGET_MS = {"plan": 5_000.0, "result": 5_000.0, "job": 180_000.0}
+
+
+def boot_fleet() -> subprocess.Popen:
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--service-workers", "2",
+            "--workers", "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # The server announces its bound port on the first stdout line.
+    banner = server.stdout.readline().strip()
+    print(banner)
+    server.port = int(banner.rsplit(":", 1)[1])
+    return server
+
+
+def shutdown(server: subprocess.Popen) -> None:
+    server.send_signal(signal.SIGINT)
+    try:
+        server.wait(timeout=60.0)
+    except subprocess.TimeoutExpired:
+        server.kill()
+        server.wait()
+        raise AssertionError("server did not shut down on SIGINT")
+    assert server.returncode == 0, f"server exited {server.returncode}"
+    print(f"server exited {server.returncode}")
+
+
+def run_burst(label: str) -> dict:
+    server = boot_fleet()
+    try:
+        summary = run_loadgen(CONFIG, port=server.port)
+    finally:
+        shutdown(server)
+    print(f"--- burst {label} ---")
+    print(render_loadgen(summary))
+
+    canonical = summary["canonical"]
+    assert canonical["dedup_exact"], canonical
+    assert canonical["dedup_hits"] == CONFIG.clients - canonical["uniques"]
+    assert canonical["jobs_created"] == canonical["uniques"]
+    assert canonical["zero_5xx"], summary["timing"]["errors"]
+    assert canonical["retry_after_correct"]
+    assert canonical["all_clients_completed"]
+    assert canonical["results_byte_identical"]
+    for endpoint, stats in summary["timing"]["endpoints"].items():
+        assert stats["p99_ms"] <= P99_BUDGET_MS[endpoint], (endpoint, stats)
+    assert loadgen_passed(summary)
+    return summary
+
+
+def main() -> int:
+    first = run_burst("1/2")
+    second = run_burst("2/2")
+    assert summary_bytes(first) == summary_bytes(second), (
+        "canonical summary differs across fresh fleets for the same seed"
+    )
+    print("canonical summary byte-identical across fresh fleets: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

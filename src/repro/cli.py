@@ -9,8 +9,9 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro pipeline 3 --output out/fig2
     python -m repro plan 3 --trace out.jsonl
     python -m repro chaos --seeds 0 1 --output chaos.json
-    python -m repro serve --port 8642 --workers 2
+    python -m repro serve --port 8642 --workers 2 --service-workers 2
     python -m repro submit 1 --separation 12 --output plan.json
+    python -m repro loadgen --clients 200 --seed 0
 
 Every command prints the same rows the paper reports and exits non-zero
 on failure, so the CLI doubles as a smoke test in CI.
@@ -121,6 +122,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--scaling-sizes", type=int, nargs="+", default=None,
                           help="swarm sizes for --scaling "
                                "(default: 100 1000 10000)")
+    p_report.add_argument("--load", action="store_true",
+                          help="append a seeded service load-test section "
+                               "(latency percentiles + correctness checks)")
+    p_report.add_argument("--load-clients", type=int, default=200,
+                          help="clients for the --load burst (default: 200)")
+    p_report.add_argument("--load-seed", type=int, default=0,
+                          help="schedule seed for --load (default: 0)")
+    p_report.add_argument("--load-service-workers", type=int, default=2,
+                          metavar="N",
+                          help="fleet shards for --load (default: 2)")
 
     p_pipe = sub.add_parser(
         "pipeline", help="run the Fig. 2 pipeline and write its six panels",
@@ -209,7 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=8642,
                          help="bind port (0 picks an ephemeral port)")
     p_serve.add_argument("--capacity", type=int, default=64,
-                         help="maximum queued jobs before 429 backpressure")
+                         help="maximum queued jobs before 429 backpressure "
+                              "(split evenly across --service-workers)")
+    p_serve.add_argument("--service-workers", type=int, default=1,
+                         metavar="N",
+                         help="shard workers: the job queue is sharded by "
+                              "consistent hash of the content address, each "
+                              "shard with its own dispatcher pool (default: 1)")
     p_serve.add_argument("--job-timeout", type=float, default=None,
                          metavar="SECONDS",
                          help="per-job wall-clock budget (default: none)")
@@ -218,6 +235,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--ttl", type=float, default=3600.0,
                          metavar="SECONDS",
                          help="retention of finished jobs and results")
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="seeded open-loop load test of the planning service",
+        parents=[common],
+    )
+    p_loadgen.add_argument("--clients", type=int, default=200,
+                           help="concurrent clients to replay (default: 200)")
+    p_loadgen.add_argument("--duplicate-fraction", type=float, default=0.5,
+                           help="fraction of clients that resubmit an "
+                                "already-scheduled request (default: 0.5)")
+    p_loadgen.add_argument("--arrival-rate", type=float, default=200.0,
+                           metavar="HZ",
+                           help="open-loop arrival rate (default: 200/s)")
+    p_loadgen.add_argument("--seed", type=int, default=0,
+                           help="schedule seed; same seed, same traffic")
+    p_loadgen.add_argument("--stream-every", type=int, default=0, metavar="K",
+                           help="every Kth client follows its job over the "
+                                "SSE events endpoint (default: 0 = off)")
+    p_loadgen.add_argument("--points", type=int, default=200,
+                           help="foi_target_points per request (default: 200)")
+    p_loadgen.add_argument("--grid-target", type=int, default=600,
+                           help="lloyd_grid_target per request (default: 600)")
+    p_loadgen.add_argument("--resolution", type=int, default=12,
+                           help="metric resolution per request (default: 12)")
+    p_loadgen.add_argument("--timeout", type=float, default=300.0,
+                           help="per-client deadline in seconds")
+    p_loadgen.add_argument("--max-inflight", type=int, default=256,
+                           help="socket concurrency bound (default: 256)")
+    p_loadgen.add_argument("--host", default="127.0.0.1")
+    p_loadgen.add_argument("--port", type=int, default=None,
+                           help="attach to a running service; omit to boot "
+                                "a fresh in-process fleet instead")
+    p_loadgen.add_argument("--service-workers", type=int, default=2,
+                           metavar="N",
+                           help="fleet shards for the self-contained mode "
+                                "(ignored with --port; default: 2)")
+    p_loadgen.add_argument("--output", metavar="FILE", default=None,
+                           help="write the canonical summary bytes to FILE")
 
     p_submit = sub.add_parser(
         "submit",
@@ -353,6 +409,10 @@ def _cmd_report(args) -> int:
         zoo_seeds=args.zoo_seeds,
         scaling=args.scaling,
         scaling_sizes=args.scaling_sizes,
+        load=args.load,
+        load_clients=args.load_clients,
+        load_seed=args.load_seed,
+        load_service_workers=args.load_service_workers,
     )
     print(f"wrote {path}")
     return 0
@@ -536,6 +596,7 @@ def _cmd_serve(args) -> int:
         port=args.port,
         capacity=args.capacity,
         dispatchers=max(1, resolve_workers(args.workers)),
+        service_workers=max(1, args.service_workers),
         job_timeout_s=args.job_timeout,
         retries=args.retries,
         ttl_s=args.ttl,
@@ -555,6 +616,45 @@ def _cmd_serve(args) -> int:
     finally:
         service.stop()
     return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.experiments.loadgen import (
+        LoadgenConfig,
+        loadgen_passed,
+        render_loadgen,
+        run_loadgen,
+        run_loadgen_fleet,
+        summary_bytes,
+    )
+
+    config = LoadgenConfig(
+        clients=args.clients,
+        duplicate_fraction=args.duplicate_fraction,
+        arrival_rate_hz=args.arrival_rate,
+        seed=args.seed,
+        stream_every=args.stream_every,
+        foi_target_points=args.points,
+        lloyd_grid_target=args.grid_target,
+        resolution=args.resolution,
+        timeout_s=args.timeout,
+        max_inflight=args.max_inflight,
+    )
+    if args.port is not None:
+        summary = run_loadgen(config, port=args.port, host=args.host)
+    else:
+        summary = run_loadgen_fleet(
+            config, service_workers=max(1, args.service_workers)
+        )
+    print(render_loadgen(summary))
+    if args.output:
+        from pathlib import Path
+
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_bytes(summary_bytes(summary))
+        print(f"wrote {out}")
+    return 0 if loadgen_passed(summary) else 1
 
 
 def _cmd_submit(args) -> int:
@@ -623,6 +723,7 @@ _COMMANDS = {
     "pipeline": _cmd_pipeline,
     "plan": _cmd_plan,
     "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "submit": _cmd_submit,
 }
 

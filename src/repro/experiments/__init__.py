@@ -20,6 +20,13 @@ from repro.experiments.chaos import (
     run_chaos_case,
 )
 from repro.experiments.figures import write_all_sweep_figures, write_sweep_figures
+from repro.experiments.loadgen import (
+    LoadgenConfig,
+    build_schedule,
+    render_loadgen,
+    run_loadgen,
+    run_loadgen_fleet,
+)
 from repro.experiments.generator import RandomScenario, random_foi, random_scenario
 from repro.experiments.report import build_report, write_report
 from repro.experiments.lemmas import (
@@ -56,6 +63,7 @@ __all__ = [
     "run_chaos_case",
     "Lemma1Example",
     "Lemma2Example",
+    "LoadgenConfig",
     "ROBOT_COUNT",
     "RandomScenario",
     "SCENARIOS",
@@ -77,14 +85,18 @@ __all__ = [
     "TransitionEvaluation",
     "TransitionTrace",
     "build_report",
+    "build_schedule",
     "evaluate_trajectory",
     "format_scaling_table",
     "format_table",
     "get_scenario",
     "lemma1_example",
     "lemma2_example",
+    "render_loadgen",
     "render_sweep",
     "render_table1",
+    "run_loadgen",
+    "run_loadgen_fleet",
     "run_scenario",
     "run_scenarios",
     "scaling_curve",

@@ -41,6 +41,10 @@ def build_report(
     zoo_families: Sequence[str] | None = None,
     scaling: bool = False,
     scaling_sizes: Sequence[int] | None = None,
+    load: bool = False,
+    load_clients: int = 200,
+    load_seed: int = 0,
+    load_service_workers: int = 2,
     **run_kwargs,
 ) -> str:
     """Run the scenarios and return the markdown report text.
@@ -64,6 +68,12 @@ def build_report(
     (:mod:`repro.experiments.scaling`): wall-clock and peak allocation
     per pipeline stage at each size in ``scaling_sizes`` (default
     100 / 1 000 / 10 000).
+
+    With ``load=True`` the report appends a service load-test section
+    (:mod:`repro.experiments.loadgen`): a seeded ``load_clients``-strong
+    burst against a fresh ``load_service_workers``-shard in-process
+    fleet, with per-endpoint latency percentiles and the correctness
+    checklist (zero 5xx, Retry-After, exact dedup, byte-identity).
     """
     ids = sorted(scenario_ids or SCENARIOS)
     tracer = Tracer()
@@ -234,6 +244,67 @@ def build_report(
             "brute-force oracle at the sizes where the oracle is feasible.",
             "",
             format_scaling_table(curve),
+        ])
+    if load:
+        from repro.experiments.loadgen import (
+            LoadgenConfig,
+            loadgen_passed,
+            run_loadgen_fleet,
+        )
+        from repro.io import canonical_digest
+
+        config = LoadgenConfig(clients=load_clients, seed=load_seed)
+        load_summary = run_loadgen_fleet(
+            config, service_workers=load_service_workers
+        )
+        canonical = load_summary["canonical"]
+        timing = load_summary["timing"]
+        checks = [
+            ("all clients completed", canonical["all_clients_completed"]),
+            ("zero 5xx", canonical["zero_5xx"]),
+            ("429 Retry-After correct", canonical["retry_after_correct"]),
+            ("dedup exact", canonical["dedup_exact"]),
+            ("results byte-identical", canonical["results_byte_identical"]),
+        ]
+        digest = canonical_digest({
+            "format_version": load_summary["format_version"],
+            "config": load_summary["config"],
+            "canonical": canonical,
+        })
+        parts.extend([
+            "",
+            "## Load testing",
+            "",
+            f"Seeded open-loop burst: {canonical['clients']} clients "
+            f"({canonical['uniques']} unique requests, "
+            f"{canonical['dedup_hits']} dedup hits, "
+            f"{timing['rejected_429']} x 429) against a fresh "
+            f"{load_summary['service_workers']}-shard fleet in "
+            f"{timing['elapsed_s']:.2f}s "
+            f"({timing['throughput_rps']:.1f} req/s); verdict: "
+            f"{'PASS' if loadgen_passed(load_summary) else 'FAIL'}.  "
+            f"Canonical summary digest `{digest}` (identical for any "
+            "worker count).",
+            "",
+            _md_table(
+                ["endpoint", "n", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+                [
+                    [
+                        endpoint,
+                        stats["count"],
+                        f"{stats['p50_ms']:.1f}",
+                        f"{stats['p95_ms']:.1f}",
+                        f"{stats['p99_ms']:.1f}",
+                        f"{stats['max_ms']:.1f}",
+                    ]
+                    for endpoint, stats in timing["endpoints"].items()
+                ],
+            ),
+            "",
+            _md_table(
+                ["check", "result"],
+                [[name, "ok" if ok else "FAIL"] for name, ok in checks],
+            ),
         ])
     parts.extend([
         "",

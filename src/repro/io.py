@@ -27,6 +27,7 @@ __all__ = [
     "save_result",
     "load_result_dict",
     "trajectory_from_dict",
+    "canonical_digest",
     "check_format_version",
     "dumps_canonical",
     "evaluation_to_dict",
@@ -68,6 +69,18 @@ def dumps_canonical(doc: Any) -> bytes:
     tests): two equal documents always produce identical bytes.
     """
     return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def canonical_digest(doc: Any) -> str:
+    """Hex SHA-256 of a document's canonical bytes.
+
+    A compact fingerprint for byte-identity comparisons across runs
+    and processes (the load generator reports one per summary so CI
+    can assert reproducibility without shipping whole documents).
+    """
+    import hashlib
+
+    return hashlib.sha256(dumps_canonical(doc)).hexdigest()
 
 
 def _trajectory_to_dict(trajectory: SwarmTrajectory) -> dict[str, Any]:

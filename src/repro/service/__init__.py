@@ -10,12 +10,15 @@ and :mod:`repro.obs` for per-request span trees and live metrics:
 * :class:`ExecutorBridge` - dispatcher threads that run each job
   through a :class:`repro.exec.ParallelMap` (per-job timeout, bounded
   retries, obs merge-back).
+* :class:`ShardRouter` - consistent-hash routing of content addresses
+  onto shard workers, so a fleet deduplicates exactly like one queue.
 * :class:`PlanningService` - the asyncio HTTP frontend
-  (``POST /v1/plan``, job polling, ``/healthz``, ``/metrics``,
-  ``/tracez``) with 429-with-``Retry-After`` backpressure and graceful
-  draining.
+  (``POST /v1/plan``, job polling, SSE progress streaming at
+  ``GET /v1/jobs/{id}/events``, ``/healthz``, ``/metrics``,
+  ``/tracez``) over ``service_workers`` shard workers, with
+  429-with-``Retry-After`` backpressure and graceful draining.
 * :class:`ServiceClient` - the blocking stdlib client used by tests,
-  examples and ``repro submit``.
+  examples, the load generator and ``repro submit``.
 
 Quickstart::
 
@@ -36,9 +39,11 @@ from repro.service.jobs import (
     JobQueue,
     QueueClosed,
     QueueFull,
+    job_id_for,
     normalize_plan_request,
 )
-from repro.service.server import PlanningService, run_plan_request
+from repro.service.server import PlanningService, ShardWorker, run_plan_request
+from repro.service.sharding import ShardRouter
 
 __all__ = [
     "JOB_STATES",
@@ -49,6 +54,9 @@ __all__ = [
     "QueueClosed",
     "QueueFull",
     "ServiceClient",
+    "ShardRouter",
+    "ShardWorker",
+    "job_id_for",
     "normalize_plan_request",
     "run_plan_request",
 ]

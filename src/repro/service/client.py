@@ -14,12 +14,20 @@ server's ``Retry-After``), so callers never have to inspect status
 codes unless they want to.
 
 With ``retries > 0`` the client absorbs transient failures before
-giving up: connection refused/reset (the service is restarting), 429
-backpressure (honouring the server's ``Retry-After``), and 503 while
-the service drains.  Sleeps follow bounded exponential backoff with
-seeded jitter, every retry increments the ``service.client_retries``
-obs counter, and the budget is per request - a request never retries
-more than ``retries`` times, so callers keep a hard latency bound.
+giving up: connection refused/reset (the service is restarting),
+mid-download disconnects (a truncated result body surfaces as
+``http.client.IncompleteRead`` and the whole GET is retried - results
+are immutable content-addressed documents, so a re-fetch is always
+safe), 429 backpressure (honouring the server's ``Retry-After``), and
+503 while the service drains.  Sleeps follow bounded exponential
+backoff with seeded jitter, every retry increments the
+``service.client_retries`` obs counter, and the budget is per request
+- a request never retries more than ``retries`` times, so callers keep
+a hard latency bound.
+
+:meth:`ServiceClient.iter_events` consumes the service's
+``GET /v1/jobs/{id}/events`` SSE stream, yielding progress events as
+dicts until the final ``end`` frame.
 """
 
 from __future__ import annotations
@@ -131,7 +139,12 @@ class ServiceClient:
                 status, headers, data = self._request_once(
                     method, path, payload
                 )
-            except OSError as exc:
+            except (OSError, http.client.HTTPException) as exc:
+                # OSError covers refused/reset connections;
+                # HTTPException covers a connection that died *mid
+                # response* (IncompleteRead from a truncated body,
+                # BadStatusLine from a connection closed before the
+                # status line).  Both get the same jittered schedule.
                 if last:
                     raise ServiceError(
                         f"cannot reach service at {self.host}:{self.port}: "
@@ -169,8 +182,13 @@ class ServiceClient:
                 retry_after = float(headers.get("retry-after", ""))
             except ValueError:
                 pass
-            raise QueueFull(message, retry_after_s=retry_after)
-        raise ServiceError(f"HTTP {status}: {message}")
+            exc: ServiceError = QueueFull(message, retry_after_s=retry_after)
+        else:
+            exc = ServiceError(f"HTTP {status}: {message}")
+        # The numeric status rides along so callers (e.g. the load
+        # generator's 5xx accounting) never parse it out of the message.
+        exc.status = status  # type: ignore[attr-defined]
+        raise exc
 
     # -- submission -----------------------------------------------------
 
@@ -241,6 +259,63 @@ class ServiceClient:
     def result(self, job_id: str) -> dict[str, Any]:
         """The plan document, JSON-decoded."""
         return self._json(self.result_bytes(job_id))
+
+    def iter_events(self, job_id: str, timeout: float | None = None):
+        """Stream the job's progress events (``GET /v1/jobs/{id}/events``).
+
+        Yields each server-sent event as a dict (``seq``, ``kind``,
+        kind-specific fields) and returns after the final ``end``
+        frame - or when the server closes the stream, whichever comes
+        first.  Keepalive comments are filtered out.  Never retried:
+        events carry sequence numbers, so a caller that loses the
+        stream can reattach and skip what it already saw.
+
+        ``timeout`` bounds each read (defaults to the client timeout);
+        a stall longer than that raises :class:`ServiceError`.
+        """
+        conn = http.client.HTTPConnection(
+            self.host,
+            self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                data = response.read()
+                headers = {k.lower(): v for k, v in response.getheaders()}
+                self._raise_for(response.status, headers, data)
+            data_lines: list[bytes] = []
+            while True:
+                try:
+                    line = response.readline()
+                except OSError as exc:
+                    raise ServiceError(
+                        f"event stream for job {job_id} stalled: {exc}"
+                    ) from exc
+                if not line:
+                    return  # server closed the stream
+                line = line.strip()
+                if line.startswith(b":"):
+                    continue  # keepalive comment frame
+                if not line:  # blank line terminates one event
+                    if data_lines:
+                        try:
+                            event = json.loads(b"\n".join(data_lines))
+                        except json.JSONDecodeError as exc:
+                            raise ServiceError(
+                                f"invalid event frame: {exc}"
+                            ) from exc
+                        data_lines = []
+                        yield event
+                        if event.get("kind") == "end":
+                            return
+                    continue
+                field, _, value = line.partition(b":")
+                if field == b"data":
+                    data_lines.append(value.strip())
+        finally:
+            conn.close()
 
     def cancel(self, job_id: str) -> dict[str, Any]:
         status, headers, data = self._request("POST", f"/v1/jobs/{job_id}/cancel")

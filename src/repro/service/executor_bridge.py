@@ -131,9 +131,23 @@ class ExecutorBridge:
 
     def _run_job(self, job: Job) -> None:
         metrics = self.metrics
+        shard = self.queue.shard
         queue_wait = (job.started_at or 0.0) - job.submitted_at
         metrics.histogram("service.queue_wait_s").observe(queue_wait)
         metrics.gauge("service.queue.depth").set(self.queue.depth())
+        if shard is not None:
+            # Per-shard claim latency: how long this job sat queued on
+            # *this* shard before a dispatcher claimed it.  The loadgen
+            # report reads these to attribute tail latency to a shard.
+            metrics.histogram(
+                f"service.shard.{shard}.claim_latency_s"
+            ).observe(queue_wait)
+            metrics.gauge(f"service.shard.{shard}.queue.depth").set(
+                self.queue.depth()
+            )
+        self.queue.publish(
+            job.job_id, "claimed", queue_wait_s=queue_wait, shard=shard
+        )
         with span(
             "service.job", job_id=job.job_id, priority=job.priority
         ) as job_span:
@@ -153,8 +167,24 @@ class ExecutorBridge:
             try:
                 with span("service.solve", job_id=job.job_id):
                     (doc,) = engine.map(self.runner, [job.request])
+                t_solved = time.monotonic()
+                self.queue.publish(
+                    job.job_id, "phase", phase="solve",
+                    duration_s=t_solved - t0,
+                )
+                for payload_doc in self._recovery_metrics(doc):
+                    # Chaos-style documents carry RecoveryMetrics per
+                    # case; stream them so a mission operator watching
+                    # the job sees recovery outcomes as they land.
+                    self.queue.publish(
+                        job.job_id, "recovery", **payload_doc
+                    )
                 with span("service.serialize", job_id=job.job_id):
                     payload = dumps_canonical(doc)
+                self.queue.publish(
+                    job.job_id, "phase", phase="serialize",
+                    duration_s=time.monotonic() - t_solved,
+                )
             except ExecutionError as exc:
                 job_span.set_attributes(outcome="failed")
                 metrics.counter("service.jobs.failed").inc()
@@ -171,6 +201,30 @@ class ExecutorBridge:
             metrics.counter("service.jobs.solved").inc()
             job_span.set_attributes(outcome="done", payload_bytes=len(payload))
             self.queue.complete(job.job_id, payload)
+
+    @staticmethod
+    def _recovery_metrics(doc: Any):
+        """RecoveryMetrics payloads inside a result document, if any.
+
+        Recognises the chaos-sweep document shape (``cases`` entries
+        with ``outcome == "recovered"`` carrying a ``metrics`` dict) so
+        fault-injected mission jobs stream their recovery outcomes;
+        plain plan documents yield nothing.
+        """
+        if not isinstance(doc, dict):
+            return
+        for case in doc.get("cases") or []:
+            if (
+                isinstance(case, dict)
+                and case.get("outcome") == "recovered"
+                and isinstance(case.get("metrics"), dict)
+            ):
+                yield {
+                    "scenario_id": case.get("scenario_id"),
+                    "archetype": case.get("archetype"),
+                    "seed": case.get("seed"),
+                    "metrics": case["metrics"],
+                }
 
     def _absorb_queue_wait_span(self, job: Job, queue_wait: float) -> None:
         """Inject the already-elapsed queue wait as a real span record."""

@@ -47,6 +47,7 @@ __all__ = [
     "JobQueue",
     "QueueClosed",
     "QueueFull",
+    "job_id_for",
     "normalize_plan_request",
 ]
 
@@ -157,6 +158,16 @@ def normalize_plan_request(doc: Any) -> tuple[dict[str, Any], int]:
     return request, priority
 
 
+def job_id_for(request: dict[str, Any]) -> str:
+    """The content address of a normalised request (the job id).
+
+    Exposed so the HTTP frontend can route a submission to its shard
+    *before* admission - :meth:`JobQueue.submit` derives the same id
+    internally, so routing and dedup always agree.
+    """
+    return stable_hash(request)
+
+
 @dataclass
 class Job:
     """One unit of planning work, identified by its request's content hash.
@@ -179,6 +190,9 @@ class Job:
     error: str | None = None
     submissions: int = 1
     attributes: dict[str, Any] = field(default_factory=dict)
+    #: progress events for the streaming endpoint, in publish order;
+    #: reset when a failed/cancelled job is revived for a fresh attempt.
+    events: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def terminal(self) -> bool:
@@ -221,6 +235,11 @@ class JobQueue:
         :meth:`evict_expired` may drop them.
     clock : callable
         Monotonic time source (injectable for tests).
+    shard : int, optional
+        The fleet shard index this queue belongs to (None for the
+        single-queue service).  Purely identity: the executor bridge
+        and the ``/metrics`` endpoint use it to label per-shard depth
+        and claim-latency instruments.
     """
 
     def __init__(
@@ -228,6 +247,7 @@ class JobQueue:
         capacity: int = 64,
         ttl_s: float = 3600.0,
         clock: Callable[[], float] = time.monotonic,
+        shard: int | None = None,
     ) -> None:
         if capacity < 1:
             raise ServiceError("queue capacity must be positive")
@@ -235,6 +255,7 @@ class JobQueue:
             raise ServiceError("job TTL must be positive")
         self.capacity = capacity
         self.ttl_s = ttl_s
+        self.shard = shard
         self._clock = clock
         self._jobs: dict[str, Job] = {}
         self._cond = threading.Condition()
@@ -287,6 +308,8 @@ class JobQueue:
                 job.error = None
                 job.submissions += 1
                 job.seq = self._seq
+                job.events = []  # a fresh attempt starts a fresh stream
+                self._publish_locked(job, "queued", revived=True)
             else:
                 job = Job(
                     job_id=job_id,
@@ -296,6 +319,7 @@ class JobQueue:
                     submitted_at=now,
                 )
                 self._jobs[job_id] = job
+                self._publish_locked(job, "queued", revived=False)
             self._seq += 1
             metrics.counter("service.jobs.accepted").inc()
             self._cond.notify()
@@ -351,7 +375,34 @@ class JobQueue:
             job.finished_at = self._clock()
             job.result = result
             job.error = error
+            self._publish_locked(job, state, error=error)
             self._cond.notify_all()
+
+    # -- progress events ------------------------------------------------
+
+    def publish(self, job_id: str, kind: str, **data: Any) -> None:
+        """Append a progress event to the job's stream (no-op if gone).
+
+        Events are monotonically sequenced per job; the streaming
+        endpoint replays from any cursor via :meth:`events_since`, so a
+        reconnecting consumer never misses or re-sees an event.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                self._publish_locked(job, kind, **data)
+                self._cond.notify_all()
+
+    def _publish_locked(self, job: Job, kind: str, **data: Any) -> None:
+        job.events.append({"seq": len(job.events), "kind": kind, **data})
+
+    def events_since(self, job_id: str, start: int = 0) -> list[dict[str, Any]]:
+        """Copies of the job's events with ``seq >= start`` (empty if gone)."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return []
+            return [dict(event) for event in job.events[start:]]
 
     # -- lifecycle ------------------------------------------------------
 
@@ -363,6 +414,8 @@ class JobQueue:
                 return False
             job.state = "cancelled"
             job.finished_at = self._clock()
+            self._publish_locked(job, "cancelled")
+            self._cond.notify_all()
             get_metrics().counter("service.jobs.cancelled").inc()
             return True
 
@@ -377,6 +430,7 @@ class JobQueue:
                     if job.state == "queued":
                         job.state = "cancelled"
                         job.finished_at = self._clock()
+                        self._publish_locked(job, "cancelled")
             self._cond.notify_all()
 
     @property

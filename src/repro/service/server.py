@@ -12,34 +12,55 @@ Endpoints
 ``POST /v1/plan``
     Submit a plan request (see
     :func:`~repro.service.jobs.normalize_plan_request` for the body
-    schema).  ``202`` with ``{"job_id", "state", "deduplicated"}``;
-    ``429`` + ``Retry-After`` when the queue is full (the estimate
-    comes from the observed ``service.job_duration_s`` histogram);
-    ``503`` while draining.
+    schema).  ``202`` with ``{"job_id", "state", "deduplicated",
+    "shard"}``; ``429`` + ``Retry-After`` when the owning shard's
+    queue is full (the estimate comes from the observed
+    ``service.job_duration_s`` histogram); ``503`` while draining.
 ``GET /v1/jobs`` / ``GET /v1/jobs/{id}``
-    Job listing / one job's status document.
+    Job listing (all shards merged) / one job's status document.
 ``GET /v1/jobs/{id}/result``
     ``200`` with the canonical-JSON plan document once ``done``;
     ``202`` while queued/running, ``404`` unknown, ``410`` cancelled,
     ``500`` with the failure reason when ``failed``.
+``GET /v1/jobs/{id}/events`` (alias ``GET /v1/plan/{id}/events``)
+    Server-sent-events stream of the job's progress: ``queued``,
+    ``claimed`` (with the measured queue wait and owning shard),
+    ``phase`` timings for solve/serialize, ``recovery`` events when
+    the result document carries RecoveryMetrics, the terminal state,
+    and a final ``end`` frame.  Poll-free alternative to
+    ``GET /v1/jobs/{id}``; the stream replays from the beginning, so
+    attaching to a finished job yields its full history at once.
 ``POST /v1/jobs/{id}/cancel``
     Cancel a queued job (``409`` once running or terminal).
 ``GET /healthz``
     ``200 {"status": "ok", ...}`` in normal operation, ``503``
-    ``{"status": "draining"}`` during shutdown.
+    ``{"status": "draining"}`` during shutdown; includes per-shard
+    queue depths and the live event-stream count.
 ``GET /metrics``
-    Snapshot of the service's :class:`repro.obs.Metrics` registry.
+    Snapshot of the service's :class:`repro.obs.Metrics` registry,
+    including per-shard ``service.shard.{i}.queue.depth`` gauges and
+    ``service.shard.{i}.claim_latency_s`` histograms.
 ``GET /tracez``
     The most recent spans of the service's tracer.
 
 Architecture: the asyncio event loop runs in a dedicated thread and
 only ever does bookkeeping (parse, admit, look up, serialise a status
-doc) - solves happen on :class:`~repro.service.executor_bridge.ExecutorBridge`
-dispatcher threads via :class:`repro.exec.ParallelMap`, so a slow plan
-never blocks health checks or admissions.  The HTTP layer is a
-hand-rolled HTTP/1.1 subset (one request per connection,
-``Connection: close``): no new dependencies, and the stdlib
-``http.client`` in :mod:`repro.service.client` speaks it happily.
+doc, relay progress events) - solves happen on
+:class:`~repro.service.executor_bridge.ExecutorBridge` dispatcher
+threads via :class:`repro.exec.ParallelMap`, so a slow plan never
+blocks health checks or admissions.  With ``service_workers > 1`` the
+queue itself is sharded: each shard worker owns a private
+:class:`~repro.service.jobs.JobQueue` plus its own dispatcher pool,
+and submissions are routed by consistent hash of the content address
+(:class:`~repro.service.sharding.ShardRouter`), so identical requests
+still collapse onto one job on one shard while distinct requests
+spread across the fleet.  All shards share one content cache (and,
+when configured, the same atomic sharded
+:class:`~repro.exec.DiskStore`), so a solve on any shard warms every
+other.  The HTTP layer is a hand-rolled HTTP/1.1 subset (one request
+per connection, ``Connection: close``): no new dependencies, and the
+stdlib ``http.client`` in :mod:`repro.service.client` speaks it
+happily.
 """
 
 from __future__ import annotations
@@ -59,14 +80,17 @@ from repro.io import dumps_canonical, plan_document
 from repro.obs import Metrics, Tracer, activate, activate_metrics, span
 
 from repro.service.jobs import (
+    Job,
     JobQueue,
     QueueClosed,
     QueueFull,
+    job_id_for,
     normalize_plan_request,
 )
 from repro.service.executor_bridge import ExecutorBridge
+from repro.service.sharding import ShardRouter
 
-__all__ = ["PlanningService", "run_plan_request"]
+__all__ = ["PlanningService", "ShardWorker", "run_plan_request"]
 
 _REASONS = {
     200: "OK",
@@ -112,8 +136,19 @@ def run_plan_request(request: dict[str, Any], cache: ContentCache | None = None)
     return plan_document(runs)
 
 
+class ShardWorker:
+    """One fleet shard: a private job queue plus its dispatcher pool."""
+
+    __slots__ = ("index", "queue", "bridge")
+
+    def __init__(self, index: int, queue: JobQueue, bridge: ExecutorBridge) -> None:
+        self.index = index
+        self.queue = queue
+        self.bridge = bridge
+
+
 class PlanningService:
-    """Planning-as-a-service: HTTP frontend + job store + executor bridge.
+    """Planning-as-a-service: HTTP frontend + sharded job store + bridges.
 
     Parameters
     ----------
@@ -121,9 +156,15 @@ class PlanningService:
         Bind address; ``port=0`` picks an ephemeral port (read it back
         from :attr:`port` after :meth:`start`).
     capacity : int
-        Queued-job bound; admissions beyond it get ``429``.
+        Total queued-job bound, split evenly across the shards;
+        admissions beyond a shard's share get ``429``.
     dispatchers : int
-        Concurrent jobs in flight (executor-bridge threads).
+        Concurrent jobs in flight *per shard* (executor-bridge threads).
+    service_workers : int
+        Number of shard workers.  1 (the default) reproduces the PR-3
+        single-queue service exactly; N > 1 shards the queue by
+        consistent hash of the content address while every shard shares
+        the one content cache / disk store.
     job_timeout_s, retries
         Per-job engine budget (see :class:`ExecutorBridge`).
     ttl_s : float
@@ -145,6 +186,7 @@ class PlanningService:
         port: int = 0,
         capacity: int = 64,
         dispatchers: int = 2,
+        service_workers: int = 1,
         job_timeout_s: float | None = None,
         retries: int = 1,
         ttl_s: float = 3600.0,
@@ -155,28 +197,46 @@ class PlanningService:
         cache: ContentCache | None = None,
         tracez_limit: int = 256,
     ) -> None:
+        if service_workers < 1:
+            raise ServiceError("service_workers must be positive")
         self.host = host
         self.port = port
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else Metrics()
         self.cache = cache if cache is not None else ContentCache()
-        self.queue = JobQueue(capacity=capacity, ttl_s=ttl_s)
         self.runner = (
             runner
             if runner is not None
             else functools.partial(run_plan_request, cache=self.cache)
         )
-        self.bridge = ExecutorBridge(
-            self.queue,
-            self.runner,
-            dispatchers=dispatchers,
-            task_backend=task_backend,
-            job_timeout_s=job_timeout_s,
-            retries=retries,
-            tracer=self.tracer,
-            metrics=self.metrics,
-        )
+        self._router = ShardRouter(service_workers)
+        shard_capacity = max(1, capacity // service_workers)
+        self.shards: list[ShardWorker] = []
+        for index in range(service_workers):
+            queue = JobQueue(
+                capacity=shard_capacity, ttl_s=ttl_s, shard=index
+            )
+            bridge = ExecutorBridge(
+                queue,
+                self.runner,
+                dispatchers=dispatchers,
+                task_backend=task_backend,
+                job_timeout_s=job_timeout_s,
+                retries=retries,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+            self.shards.append(ShardWorker(index, queue, bridge))
+        # Single-shard aliases: the PR-3 API (and its tests) address the
+        # one queue/bridge directly; on a fleet they mean shard 0.
+        self.queue = self.shards[0].queue
+        self.bridge = self.shards[0].bridge
         self.tracez_limit = tracez_limit
+        #: event-stream tuning (tests shrink these to force edge paths)
+        self.events_poll_s = 0.05
+        self.events_keepalive_s = 1.0
+        self.events_drain_timeout_s = 10.0
+        self._streams: set[asyncio.Task] = set()
         self._draining = False
         self._started_at: float | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -187,20 +247,34 @@ class PlanningService:
         self._stopped = threading.Event()
         self._boot_error: BaseException | None = None
 
+    @property
+    def service_workers(self) -> int:
+        return len(self.shards)
+
+    def _shard_for(self, job_id: str) -> ShardWorker:
+        return self.shards[self._router.shard_for(job_id)]
+
+    def _find_job(self, job_id: str) -> tuple[JobQueue, Job | None]:
+        """The owning shard's queue and the job (None when unknown)."""
+        queue = self._shard_for(job_id).queue
+        return queue, queue.get(job_id)
+
     # -- lifecycle ------------------------------------------------------
 
     def start(self) -> "PlanningService":
-        """Bind, boot the event-loop thread and the dispatchers."""
+        """Bind, boot the event-loop thread and every shard's dispatchers."""
         if self._thread is not None:
             return self
-        self.bridge.start()
+        for shard in self.shards:
+            shard.bridge.start()
         self._thread = threading.Thread(
             target=self._loop_main, name="repro-service-http", daemon=True
         )
         self._thread.start()
         self._ready.wait(timeout=30.0)
         if self._boot_error is not None:
-            self.bridge.stop(drain=False, timeout=5.0)
+            for shard in self.shards:
+                shard.bridge.stop(drain=False, timeout=5.0)
             raise ServiceError(
                 f"service failed to start on {self.host}:{self.port}: "
                 f"{self._boot_error!r}"
@@ -222,7 +296,8 @@ class PlanningService:
         if self._thread is None:
             return
         self.drain()
-        self.bridge.stop(drain=drain, timeout=timeout)
+        for shard in self.shards:
+            shard.bridge.stop(drain=drain, timeout=timeout)
         if self._loop is not None and not self._loop.is_closed():
             future = asyncio.run_coroutine_threadsafe(
                 self._shutdown_async(), self._loop
@@ -283,6 +358,15 @@ class PlanningService:
             self._evict_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await self._evict_task
+        # Event streams on jobs that drained to terminal end on their
+        # own; cancel whatever is still attached (e.g. a consumer of a
+        # job whose client never read the final frames) so the loop
+        # stops with no orphaned tasks.
+        streams = list(self._streams)
+        for task in streams:
+            task.cancel()
+        if streams:
+            await asyncio.gather(*streams, return_exceptions=True)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -292,7 +376,8 @@ class PlanningService:
         while True:
             await asyncio.sleep(interval)
             with activate_metrics(self.metrics):
-                self.queue.evict_expired()
+                for shard in self.shards:
+                    shard.queue.evict_expired()
 
     # -- HTTP plumbing --------------------------------------------------
 
@@ -307,6 +392,10 @@ class PlanningService:
             if body is _TOO_LARGE:
                 status, payload, extra = 413, {"error": "request body too large"}, {}
             else:
+                events_job = self._events_job_id(method, path)
+                if events_job is not None:
+                    await self._stream_events(writer, events_job)
+                    return
                 status, payload, extra = self._route(method, path, body)
             await self._respond(writer, status, payload, extra)
         except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
@@ -371,6 +460,135 @@ class PlanningService:
         head.extend(f"{k}: {v}" for k, v in extra_headers.items())
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
         await writer.drain()
+
+    # -- progress-event streaming ---------------------------------------
+
+    @staticmethod
+    def _events_job_id(method: str, path: str) -> str | None:
+        """The job id of an event-stream request, None for anything else."""
+        parts = [p for p in path.split("/") if p]
+        if (
+            method == "GET"
+            and len(parts) == 4
+            and parts[0] == "v1"
+            and parts[1] in ("jobs", "plan")
+            and parts[3] == "events"
+        ):
+            return parts[2]
+        return None
+
+    async def _drain_stream(self, writer: asyncio.StreamWriter) -> None:
+        """Flush with a consumer deadline: a reader that stops draining
+        its socket for ``events_drain_timeout_s`` is disconnected rather
+        than allowed to pin server memory."""
+        await asyncio.wait_for(
+            writer.drain(), timeout=self.events_drain_timeout_s
+        )
+
+    async def _stream_events(
+        self, writer: asyncio.StreamWriter, job_id: str
+    ) -> None:
+        """Serve one ``text/event-stream`` connection for a job.
+
+        Replays the job's event log from the beginning, then follows it
+        until the job is terminal (final ``end`` frame) or the consumer
+        goes away.  Keepalive comment frames flush out silently-closed
+        connections; a drain announcement is sent once when the service
+        starts shutting down mid-stream.  Every exit path detaches the
+        task from ``_streams`` and records a ``service.events`` span
+        with its outcome, so shutdown can prove no stream was orphaned.
+        """
+        queue, job = self._find_job(job_id)
+        with activate(self.tracer), activate_metrics(self.metrics):
+            self.metrics.counter("service.http.events.requests").inc()
+            if job is None:
+                self.metrics.counter("service.http.status.404").inc()
+                await self._respond(
+                    writer, 404, {"error": f"unknown job {job_id}"}, {}
+                )
+                return
+            self.metrics.counter("service.http.status.200").inc()
+        task = asyncio.current_task()
+        assert task is not None
+        self._streams.add(task)
+        outcome = "complete"
+        emitted = 0
+        t0 = time.perf_counter()
+        try:
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: text/event-stream\r\n"
+                b"Cache-Control: no-cache\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            await self._drain_stream(writer)
+            cursor = 0
+            announced_drain = False
+            last_write = time.monotonic()
+            while True:
+                events = queue.events_since(job_id, cursor)
+                if events:
+                    cursor += len(events)
+                    emitted += len(events)
+                    for event in events:
+                        writer.write(_sse_frame(event))
+                    await self._drain_stream(writer)
+                    last_write = time.monotonic()
+                job = queue.get(job_id)
+                if job is None or (
+                    job.terminal and not queue.events_since(job_id, cursor)
+                ):
+                    writer.write(_sse_frame({
+                        "seq": cursor,
+                        "kind": "end",
+                        "state": "evicted" if job is None else job.state,
+                    }))
+                    emitted += 1
+                    await self._drain_stream(writer)
+                    break
+                if self._draining and not announced_drain:
+                    announced_drain = True
+                    writer.write(_sse_frame({
+                        "seq": cursor, "kind": "draining",
+                    }))
+                    await self._drain_stream(writer)
+                    last_write = time.monotonic()
+                if time.monotonic() - last_write >= self.events_keepalive_s:
+                    writer.write(b": keepalive\n\n")
+                    await self._drain_stream(writer)
+                    last_write = time.monotonic()
+                await asyncio.sleep(self.events_poll_s)
+        except ConnectionError:
+            outcome = "disconnect"
+        except asyncio.TimeoutError:
+            outcome = "slow_consumer"
+        except asyncio.CancelledError:
+            # Shutdown cancelled us; swallow so the connection's finally
+            # block still closes the socket cleanly.
+            outcome = "shutdown"
+        finally:
+            self._streams.discard(task)
+            self.metrics.histogram("service.http.events.latency_s").observe(
+                time.perf_counter() - t0
+            )
+            self.metrics.counter(f"service.events.{outcome}").inc()
+            if self.tracer.enabled:
+                self.tracer.absorb_records([
+                    {
+                        "name": "service.events",
+                        "span_id": 0,
+                        "parent_id": None,
+                        "depth": 0,
+                        "t_start": 0.0,
+                        "duration_s": time.perf_counter() - t0,
+                        "attributes": {
+                            "job_id": job_id,
+                            "outcome": outcome,
+                            "events": emitted,
+                            "origin": "service",
+                        },
+                    }
+                ])
 
     # -- routing --------------------------------------------------------
 
@@ -454,8 +672,9 @@ class PlanningService:
             return 400, {"error": f"request body is not valid JSON: {exc}"}, {}
         with span("service.admission"):
             request, priority = normalize_plan_request(doc)
+            shard = self._shard_for(job_id_for(request))
             try:
-                job, created = self.queue.submit(request, priority)
+                job, created = shard.queue.submit(request, priority)
             except QueueFull as exc:
                 retry_after = self._retry_after_s()
                 return (
@@ -465,33 +684,61 @@ class PlanningService:
                 )
             except QueueClosed as exc:
                 return 503, {"error": str(exc)}, {}
-        self.metrics.gauge("service.queue.depth").set(self.queue.depth())
+        self._observe_depths()
         return (
             202,
             {
                 "job_id": job.job_id,
                 "state": job.state,
                 "deduplicated": not created,
+                "shard": shard.index,
             },
             {},
         )
+
+    def _observe_depths(self) -> None:
+        """Refresh the global and per-shard queue-depth gauges."""
+        total = 0
+        for shard in self.shards:
+            depth = shard.queue.depth()
+            total += depth
+            self.metrics.gauge(f"service.shard.{shard.index}.queue.depth").set(
+                depth
+            )
+        self.metrics.gauge("service.queue.depth").set(total)
 
     def _retry_after_s(self) -> int:
         """Backlog-drain estimate from the job-duration histogram."""
         hist = self.metrics.histogram("service.job_duration_s")
         mean_s = hist.mean if hist.count else 1.0
-        counts = self.queue.counts()
-        backlog = counts["queued"] + counts["running"]
-        estimate = mean_s * max(1, backlog) / max(1, self.bridge.dispatchers)
+        backlog = 0
+        for shard in self.shards:
+            counts = shard.queue.counts()
+            backlog += counts["queued"] + counts["running"]
+        dispatchers = sum(shard.bridge.dispatchers for shard in self.shards)
+        estimate = mean_s * max(1, backlog) / max(1, dispatchers)
         return max(1, math.ceil(estimate))
 
+    def _aggregate_counts(self) -> dict[str, int]:
+        total: dict[str, int] = {}
+        for shard in self.shards:
+            for state, count in shard.queue.counts().items():
+                total[state] = total.get(state, 0) + count
+        return total
+
     def _get_healthz(self, body: bytes | None) -> tuple[int, Any, dict[str, str]]:
-        counts = self.queue.counts()
+        counts = self._aggregate_counts()
         doc = {
             "status": "draining" if self._draining else "ok",
             "jobs": counts,
             "queue_depth": counts["queued"],
-            "dispatchers": self.bridge.dispatchers,
+            "dispatchers": sum(s.bridge.dispatchers for s in self.shards),
+            "service_workers": self.service_workers,
+            "shards": [
+                {"shard": s.index, "queue_depth": s.queue.depth()}
+                for s in self.shards
+            ],
+            "active_streams": len(self._streams),
             "uptime_s": (
                 time.monotonic() - self._started_at if self._started_at else 0.0
             ),
@@ -499,7 +746,7 @@ class PlanningService:
         return (503 if self._draining else 200), doc, {}
 
     def _get_metrics(self, body: bytes | None) -> tuple[int, Any, dict[str, str]]:
-        self.metrics.gauge("service.queue.depth").set(self.queue.depth())
+        self._observe_depths()
         return 200, self.metrics.snapshot(), {}
 
     def _get_tracez(self, body: bytes | None) -> tuple[int, Any, dict[str, str]]:
@@ -516,11 +763,18 @@ class PlanningService:
 
     def _get_jobs(self, body: bytes | None) -> tuple[int, Any, dict[str, str]]:
         now = time.monotonic()
+        entries = []
+        for shard in self.shards:
+            for job in shard.queue.jobs():
+                entry = job.to_dict(now)
+                entry["shard"] = shard.index
+                entries.append((job.submitted_at, job.job_id, entry))
+        entries.sort(key=lambda item: item[:2])
         return (
             200,
             {
-                "counts": self.queue.counts(),
-                "jobs": [job.to_dict(now) for job in self.queue.jobs()],
+                "counts": self._aggregate_counts(),
+                "jobs": [entry for _, _, entry in entries],
             },
             {},
         )
@@ -528,7 +782,7 @@ class PlanningService:
     def _get_job(
         self, body: bytes | None, job_id: str
     ) -> tuple[int, Any, dict[str, str]]:
-        job = self.queue.get(job_id)
+        _queue, job = self._find_job(job_id)
         if job is None:
             return 404, {"error": f"unknown job {job_id}"}, {}
         return 200, job.to_dict(time.monotonic()), {}
@@ -536,7 +790,7 @@ class PlanningService:
     def _get_result(
         self, body: bytes | None, job_id: str
     ) -> tuple[int, Any, dict[str, str]]:
-        job = self.queue.get(job_id)
+        _queue, job = self._find_job(job_id)
         if job is None:
             return 404, {"error": f"unknown job {job_id}"}, {}
         if job.state == "done":
@@ -550,16 +804,26 @@ class PlanningService:
     def _post_cancel(
         self, body: bytes | None, job_id: str
     ) -> tuple[int, Any, dict[str, str]]:
-        job = self.queue.get(job_id)
+        queue, job = self._find_job(job_id)
         if job is None:
             return 404, {"error": f"unknown job {job_id}"}, {}
-        if self.queue.cancel(job_id):
+        if queue.cancel(job_id):
             return 200, {"job_id": job_id, "state": "cancelled"}, {}
         return (
             409,
             {"error": f"job is {job.state}; only queued jobs can be cancelled"},
             {},
         )
+
+
+def _sse_frame(event: dict[str, Any]) -> bytes:
+    """One server-sent event: named by kind, id'd by sequence number."""
+    data = json.dumps(event, sort_keys=True, separators=(",", ":"))
+    return (
+        f"event: {event.get('kind', 'message')}\n"
+        f"id: {event.get('seq', 0)}\n"
+        f"data: {data}\n\n"
+    ).encode("utf-8")
 
 
 class _TooLarge:

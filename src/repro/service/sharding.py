@@ -1,0 +1,78 @@
+"""Consistent-hash routing of jobs onto shard workers.
+
+The fleet version of the planning service runs N shard workers, each
+owning a private :class:`~repro.service.jobs.JobQueue` and its own
+dispatcher pool.  Every request is routed by its *content address*
+(the job id, a :func:`repro.exec.stable_hash` of the canonical
+request), so the same request always lands on the same shard no matter
+which frontend connection carried it - which is exactly what keeps
+deduplication working across a fleet: identical submissions collapse
+onto one queued job on one shard, and everything else about the PR-3
+dedup contract carries over unchanged.
+
+The router is a classic hash ring with virtual nodes: each shard owns
+``replicas`` points on a 64-bit ring, and a job id is owned by the
+first shard point at or after its own ring position.  Properties the
+service relies on (and the tests pin):
+
+* **Deterministic** - ``shard_for`` is a pure function of
+  ``(job_id, shards, replicas)``; two processes or two runs always
+  agree, so routing never has to be persisted.
+* **Balanced** - virtual nodes keep the per-shard key share close to
+  ``1/shards`` without any coordination.
+* **Consistent** - growing the fleet from N to N+1 shards only moves
+  the keys won by the new shard's ring points; keys that stay put keep
+  their shard, so warm per-shard state survives a resize.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ServiceError
+
+__all__ = ["ShardRouter", "ring_point"]
+
+
+def ring_point(data: str) -> int:
+    """Position of ``data`` on the 64-bit hash ring (stable across runs)."""
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRouter:
+    """Maps job ids to shard indices via a virtual-node hash ring.
+
+    Parameters
+    ----------
+    shards : int
+        Number of shard workers in the fleet (>= 1).
+    replicas : int
+        Virtual nodes per shard; more replicas smooth the balance at
+        the cost of a slightly larger ring (64 is plenty for the
+        single-digit shard counts a service process runs).
+    """
+
+    def __init__(self, shards: int, replicas: int = 64) -> None:
+        if shards < 1:
+            raise ServiceError("shard count must be positive")
+        if replicas < 1:
+            raise ServiceError("replicas per shard must be positive")
+        self.shards = shards
+        self.replicas = replicas
+        ring = [
+            (ring_point(f"repro-shard:{shard}:{replica}"), shard)
+            for shard in range(shards)
+            for replica in range(replicas)
+        ]
+        ring.sort()
+        self._points = [point for point, _ in ring]
+        self._owners = [shard for _, shard in ring]
+
+    def shard_for(self, job_id: str) -> int:
+        """The shard index owning ``job_id`` (first point at/after it)."""
+        index = bisect.bisect_left(self._points, ring_point(job_id))
+        if index == len(self._points):  # wrap around the ring
+            index = 0
+        return self._owners[index]

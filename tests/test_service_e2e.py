@@ -153,3 +153,98 @@ class TestConcurrentDeduplication:
         assert solved == 4
         assert deduplicated == 12
         assert accepted == 4
+
+
+class TestShardedFleetE2E:
+    """The same dedup contract against a 2-shard fleet.
+
+    Runs last in the module so the shared service cache is warm: the
+    fleet re-solves the 16-submission matrix through real planners but
+    every disk-map entry is already present, keeping this test-sized.
+    """
+
+    def test_16_submissions_on_2_shards_exactly_4_solves(self, service):
+        with PlanningService(
+            port=0,
+            dispatchers=2,
+            capacity=32,
+            service_workers=2,
+            cache=service.cache,
+        ) as fleet:
+            client = ServiceClient(port=fleet.port, timeout=60.0)
+            single = ServiceClient(port=service.port, timeout=60.0)
+            scenario_ids = (1, 2, 4, 5)
+            before = client.metrics()
+
+            job_ids = []
+            shards = {}
+            errors = []
+            lock = threading.Lock()
+
+            def submit(sid):
+                try:
+                    submitted = client.submit(
+                        [sid],
+                        separation_factor=10.0,
+                        methods=["Hungarian"],
+                        foi_target_points=200,
+                        lloyd_grid_target=600,
+                        resolution=8,
+                    )
+                    with lock:
+                        job_ids.append(submitted["job_id"])
+                        shards[submitted["job_id"]] = submitted["shard"]
+                except Exception as exc:
+                    with lock:
+                        errors.append(exc)
+
+            threads = [
+                threading.Thread(target=submit, args=(scenario_ids[i % 4],))
+                for i in range(16)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert not errors, errors
+            assert len(job_ids) == 16
+            assert len(set(job_ids)) == 4
+
+            for job_id in set(job_ids):
+                status = client.wait(job_id, timeout=600.0, poll_s=0.2)
+                assert status["state"] == "done", status.get("error")
+
+            after = client.metrics()
+            for name, expected in (
+                ("service.jobs.solved", 4),
+                ("service.jobs.deduplicated", 12),
+                ("service.jobs.accepted", 4),
+            ):
+                delta = (
+                    metric_value(after, name) - metric_value(before, name)
+                )
+                assert delta == expected, name
+
+            # Routing agrees with the service's own router, and the
+            # fleet's results are byte-identical to the single-shard
+            # service's for the same requests.
+            for job_id in set(job_ids):
+                expected_shard = fleet._router.shard_for(job_id)
+                assert shards[job_id] == expected_shard
+                fleet_bytes = client.result_bytes(job_id)
+                request = client.status(job_id)["request"]
+                resubmitted = single.submit(
+                    request["scenario_ids"],
+                    separation_factor=10.0,
+                    methods=["Hungarian"],
+                    foi_target_points=200,
+                    lloyd_grid_target=600,
+                    resolution=8,
+                )
+                assert resubmitted["job_id"] == job_id
+                single.wait(job_id, timeout=600.0, poll_s=0.2)
+                assert single.result_bytes(job_id) == fleet_bytes
+
+            health = client.healthz()
+            assert health["service_workers"] == 2
+            assert len(health["shards"]) == 2

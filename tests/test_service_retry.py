@@ -21,6 +21,11 @@ class ScriptedHandler(BaseHTTPRequestHandler):
             script.pop(0) if script else (200, {}, {"ok": True})
         )
         self.server.hits += 1
+        headers = dict(headers)
+        # "X-Truncate-To: N" simulates a mid-download disconnect: the
+        # full Content-Length is declared but only N body bytes are
+        # written before the connection drops.
+        truncate = headers.pop("X-Truncate-To", None)
         payload = json.dumps(body).encode()
         self.send_response(status)
         for key, value in headers.items():
@@ -28,7 +33,12 @@ class ScriptedHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
         self.end_headers()
-        self.wfile.write(payload)
+        if truncate is not None:
+            self.wfile.write(payload[: int(truncate)])
+            self.wfile.flush()
+            self.connection.close()
+        else:
+            self.wfile.write(payload)
 
     do_GET = _serve
     do_POST = _serve
@@ -102,6 +112,53 @@ class TestTransientRetries:
         with pytest.raises(ServiceError, match="404"):
             client_for(scripted_server, retries=5).status("nope")
         assert scripted_server.hits == 1
+
+
+class TestMidDownloadDisconnect:
+    """A connection that dies during the result body must be retried.
+
+    ``http.client`` surfaces a truncated body as ``IncompleteRead``,
+    which is an ``HTTPException`` rather than an ``OSError`` - the
+    regression here is that the retry loop used to let it escape raw.
+    """
+
+    def test_truncated_body_retries_with_jitter_schedule(
+        self, scripted_server
+    ):
+        full = {"runs": {"1": {"ok": True}}, "format_version": 1}
+        scripted_server.script = [
+            (200, {"X-Truncate-To": "3"}, full),
+            (200, {}, full),
+        ]
+        metrics = Metrics()
+        with activate_metrics(metrics):
+            payload = client_for(scripted_server, retries=2).result_bytes(
+                "j1"
+            )
+        assert json.loads(payload) == full
+        assert scripted_server.hits == 2
+        assert metrics.snapshot()["service.client_retries"]["value"] == 1
+
+    def test_truncated_body_without_budget_surfaces_service_error(
+        self, scripted_server
+    ):
+        scripted_server.script = [
+            (200, {"X-Truncate-To": "3"}, {"runs": {}}),
+        ]
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client_for(scripted_server).result_bytes("j1")
+        assert scripted_server.hits == 1
+
+    def test_connection_dropped_right_after_headers_retries(
+        self, scripted_server
+    ):
+        scripted_server.script = [
+            (200, {"X-Truncate-To": "0"}, {"jobs": []}),
+            (200, {}, {"jobs": []}),
+        ]
+        doc = client_for(scripted_server, retries=1).jobs()
+        assert doc == {"jobs": []}
+        assert scripted_server.hits == 2
 
 
 class TestConnectionRefused:

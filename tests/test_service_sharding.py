@@ -1,0 +1,228 @@
+"""Consistent-hash router properties + routing-invariant dedup.
+
+The fleet contract: sharding is an implementation detail that must be
+invisible in results.  Any worker count and any submission order must
+produce byte-identical plan documents, exactly one solve per unique
+content address, and dedup counts equal to the single-queue service's.
+The hypothesis test drives the *actual* routing + queue + bridge stack
+(with a deterministic runner) across worker counts {1, 2, 4} and
+random submission-order permutations.
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ServiceError
+from repro.io import dumps_canonical
+from repro.obs import activate_metrics
+from repro.service import PlanningService, ShardRouter, job_id_for
+from repro.service.jobs import normalize_plan_request
+from repro.service.sharding import ring_point
+
+
+class TestRingPoint:
+    def test_deterministic_across_calls(self):
+        assert ring_point("abc") == ring_point("abc")
+
+    def test_64_bit_range(self):
+        for key in ("", "abc", "repro-shard:0:0", "x" * 100):
+            assert 0 <= ring_point(key) < 2**64
+
+    def test_distinct_keys_distinct_points(self):
+        points = {ring_point(f"key-{i}") for i in range(1000)}
+        assert len(points) == 1000
+
+
+class TestShardRouter:
+    def test_invalid_parameters(self):
+        with pytest.raises(ServiceError):
+            ShardRouter(0)
+        with pytest.raises(ServiceError):
+            ShardRouter(2, replicas=0)
+
+    def test_single_shard_owns_everything(self):
+        router = ShardRouter(1)
+        assert all(
+            router.shard_for(f"job-{i}") == 0 for i in range(100)
+        )
+
+    def test_deterministic_across_instances(self):
+        a, b = ShardRouter(4), ShardRouter(4)
+        keys = [f"job-{i}" for i in range(500)]
+        assert [a.shard_for(k) for k in keys] == [b.shard_for(k) for k in keys]
+
+    def test_returns_valid_indices(self):
+        router = ShardRouter(3)
+        owners = {router.shard_for(f"job-{i}") for i in range(2000)}
+        assert owners == {0, 1, 2}
+
+    def test_balance_within_factor_of_fair_share(self):
+        shards = 4
+        router = ShardRouter(shards)
+        counts = [0] * shards
+        n = 20_000
+        for i in range(n):
+            counts[router.shard_for(f"job-{i}")] += 1
+        fair = n / shards
+        for count in counts:
+            assert 0.5 * fair <= count <= 1.6 * fair, counts
+
+    def test_consistency_under_fleet_growth(self):
+        """Growing N -> N+1 only moves keys won by the new shard."""
+        before, after = ShardRouter(3), ShardRouter(4)
+        moved = 0
+        n = 5000
+        for i in range(n):
+            key = f"job-{i}"
+            old, new = before.shard_for(key), after.shard_for(key)
+            if old != new:
+                moved += 1
+                assert new == 3  # keys only ever move TO the new shard
+        # A classic ring moves ~1/(N+1) of the keys; allow generous slop.
+        assert moved <= 0.45 * n
+
+
+def _normalized(scenario_id: int, separation: float) -> dict:
+    request, _ = normalize_plan_request({
+        "scenario_ids": [scenario_id],
+        "separation_factor": separation,
+        "methods": ["ours (a)"],
+        "foi_target_points": 50,
+        "lloyd_grid_target": 100,
+        "resolution": 8,
+    })
+    return request
+
+
+#: 4 unique requests, each submitted 4 times = the PR-3 e2e matrix.
+_POOL = [
+    _normalized(1, 5.0),
+    _normalized(2, 5.0),
+    _normalized(4, 10.0),
+    _normalized(5, 10.0),
+]
+_SUBMISSIONS = [i for i in range(4) for _ in range(4)]
+
+
+def _echo_runner(request):
+    """Deterministic stand-in for the planner (pure function of input)."""
+    return {"echo": request, "format_version": 1}
+
+
+def _run_fleet(service_workers: int, order) -> tuple[dict, int, int]:
+    """Submit the matrix in the given order; return (results, solved, dedup).
+
+    Drives the real ShardRouter -> JobQueue -> ExecutorBridge stack
+    (the HTTP thread is irrelevant to routing, so it stays down).
+    """
+    svc = PlanningService(
+        port=0,
+        service_workers=service_workers,
+        dispatchers=2,
+        runner=_echo_runner,
+    )
+    for shard in svc.shards:
+        shard.bridge.start()
+    try:
+        job_ids = []
+        # The HTTP layer submits under the service's metrics registry;
+        # direct submission must activate it the same way for the
+        # dedup counter to land there.
+        with activate_metrics(svc.metrics):
+            for index in order:
+                request = _POOL[index]
+                shard = svc._shard_for(job_id_for(request))
+                job, _created = shard.queue.submit(request)
+                job_ids.append(job.job_id)
+        assert len(set(job_ids)) == len(_POOL)
+        deadline = time.monotonic() + 30.0
+        results = {}
+        for job_id in set(job_ids):
+            queue = svc._shard_for(job_id).queue
+            while True:
+                job = queue.get(job_id)
+                if job is not None and job.terminal:
+                    assert job.state == "done", job.error
+                    results[job_id] = job.result
+                    break
+                if time.monotonic() > deadline:
+                    raise AssertionError(f"job {job_id} never finished")
+                time.sleep(0.005)
+        snapshot = svc.metrics.snapshot()
+        solved = snapshot["service.jobs.solved"]["value"]
+        dedup = snapshot.get("service.jobs.deduplicated", {}).get("value", 0)
+        return results, solved, dedup
+    finally:
+        for shard in svc.shards:
+            shard.bridge.stop(drain=False, timeout=5.0)
+
+
+class TestRoutingInvariantDedup:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(order=st.permutations(_SUBMISSIONS))
+    def test_any_worker_count_any_order_same_bytes_one_solve_each(
+        self, order
+    ):
+        reference = None
+        for service_workers in (1, 2, 4):
+            results, solved, dedup = _run_fleet(service_workers, order)
+            assert solved == len(_POOL)
+            assert dedup == len(_SUBMISSIONS) - len(_POOL)
+            if reference is None:
+                reference = results
+            else:
+                assert results == reference  # byte-identical documents
+
+    def test_results_match_direct_runner_output(self):
+        results, solved, _dedup = _run_fleet(2, _SUBMISSIONS)
+        assert solved == len(_POOL)
+        for request in _POOL:
+            job_id = job_id_for(request)
+            assert results[job_id] == dumps_canonical(_echo_runner(request))
+
+    def test_concurrent_submitters_race_to_one_creator(self):
+        """16 threads submitting 4 uniques on a 4-shard fleet: exactly
+        one creator per unique, regardless of interleaving."""
+        svc = PlanningService(
+            port=0, service_workers=4, dispatchers=2, runner=_echo_runner
+        )
+        for shard in svc.shards:
+            shard.bridge.start()
+        try:
+            created_flags = []
+            lock = threading.Lock()
+
+            def submit(index):
+                request = _POOL[index]
+                shard = svc._shard_for(job_id_for(request))
+                _job, created = shard.queue.submit(request)
+                with lock:
+                    created_flags.append((index, created))
+
+            threads = [
+                threading.Thread(target=submit, args=(i,))
+                for i in _SUBMISSIONS
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10.0)
+            assert len(created_flags) == len(_SUBMISSIONS)
+            for index in range(len(_POOL)):
+                creators = [
+                    created
+                    for i, created in created_flags
+                    if i == index and created
+                ]
+                assert len(creators) == 1
+        finally:
+            for shard in svc.shards:
+                shard.bridge.stop(drain=False, timeout=5.0)
