@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""CI smoke test for the streaming mission campaign.
+
+Runs ``python -m repro mission`` twice (once serial, once with two
+workers) on a fixed-seed drifting mission, through a real process
+boundary, and asserts the mission contract:
+
+1. both invocations exit 0 with C = 1 at every sampled instant,
+2. the two canonical summary files are byte-identical (same
+   ``(spec, config)`` => same campaign bytes, regardless of worker
+   count or process),
+3. the drifting target produced at least one translation-canonical
+   disk-map cache hit (the replan reused the cold solve), and
+4. an unknown motion is rejected loudly with a non-zero exit.
+
+Run:  PYTHONPATH=src python scripts/mission_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+MATRIX = [
+    "--families", "corridor",
+    "--motions", "drift",
+    "--seeds", "1",
+    "--epochs", "3",
+]
+
+
+def run_mission(extra: list[str]) -> subprocess.CompletedProcess:
+    cmd = [sys.executable, "-m", "repro", "mission", *extra]
+    print(f"$ {' '.join(cmd)}")
+    proc = subprocess.run(cmd, text=True, capture_output=True)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    return proc
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        serial = Path(tmp) / "serial.json"
+        parallel = Path(tmp) / "parallel.json"
+        proc = run_mission([*MATRIX, "--workers", "1", "--output", str(serial)])
+        assert proc.returncode == 0, f"serial run exit {proc.returncode}"
+        proc = run_mission(
+            [*MATRIX, "--workers", "2", "--output", str(parallel)]
+        )
+        assert proc.returncode == 0, f"parallel run exit {proc.returncode}"
+
+        a, b = serial.read_bytes(), parallel.read_bytes()
+        assert a == b, "mission summaries differ between worker counts"
+        print(f"byte-identical summaries: {len(a)} bytes")
+
+        summary = json.loads(a)
+        agg = summary["summary"]
+        assert agg["connected_all"], agg
+        assert agg["passed"] == agg["cells"] > 0, agg
+        assert agg["errors"] == 0, agg
+        assert agg["cache_hits_total"] >= 1, (
+            "drifting target never hit the disk-map cache", agg
+        )
+        for cell in summary["cells"]:
+            assert cell["outcome"] == "pass", cell
+            assert cell["c_violations"] == 0, cell
+            assert cell["mission_sha256"], cell
+        print(
+            f"C = 1 everywhere; {agg['cache_hits_total']} cache hits over "
+            f"{agg['replans_total']} replans"
+        )
+
+        # A bad motion must fail loudly, not degrade silently.
+        proc = run_mission(["--motions", "teleport"])
+        assert proc.returncode != 0, "unknown motion not rejected"
+        assert "unknown mission motion" in proc.stderr, proc.stderr
+        print("unknown motion rejected: OK")
+    print("mission smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

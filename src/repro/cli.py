@@ -9,6 +9,7 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro pipeline 3 --output out/fig2
     python -m repro plan 3 --trace out.jsonl
     python -m repro chaos --seeds 0 1 --output chaos.json
+    python -m repro mission --families corridor --epochs 3
     python -m repro serve --port 8642 --workers 2 --service-workers 2
     python -m repro submit 1 --separation 12 --output plan.json
     python -m repro loadgen --clients 200 --seed 0
@@ -116,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--zoo-seeds", type=int, default=2, metavar="N",
                           help="seeds per family for the --zoo campaign "
                                "(default: 2)")
+    p_report.add_argument("--missions", action="store_true",
+                          help="append a streaming-replanning mission "
+                               "campaign (per-motion cache and C=1 table)")
+    p_report.add_argument("--mission-seeds", type=int, default=1, metavar="N",
+                          help="seeds per mission cell for --missions "
+                               "(default: 1)")
+    p_report.add_argument("--mission-epochs", type=int, default=3, metavar="N",
+                          help="target updates per mission for --missions "
+                               "(default: 3)")
     p_report.add_argument("--scaling", action="store_true",
                           help="append per-stage swarm-size scaling curves "
                                "(wall-clock and peak allocation)")
@@ -210,6 +220,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="replay one counterexample triple (inline "
                        "JSON) or every entry of a persisted file, and "
                        "verify byte-identical reproduction")
+
+    p_mission = sub.add_parser(
+        "mission",
+        help="streaming replanning campaign against moving targets",
+        parents=[common, parallel],
+    )
+    p_mission.add_argument("--families", nargs="+", default=None,
+                           metavar="NAME",
+                           help="zoo families the targets are drawn from "
+                           "(default: corridor annulus; 'all' for every "
+                           "family)")
+    p_mission.add_argument("--motions", nargs="+", default=None,
+                           metavar="MOTION",
+                           help="target motions (default: drift deform "
+                           "drift+deform)")
+    p_mission.add_argument("--seeds", type=int, default=1, metavar="N",
+                           help="seeds per cell, 0..N-1 (default: 1)")
+    p_mission.add_argument("--seed-list", type=int, nargs="+", default=None,
+                           metavar="SEED",
+                           help="explicit seeds (overrides --seeds)")
+    p_mission.add_argument("--epochs", type=int, default=3,
+                           help="target updates per mission (default: 3)")
+    p_mission.add_argument("--robots", type=int, default=25,
+                           help="robots per mission")
+    p_mission.add_argument("--method", choices=("a", "b"), default="a",
+                           help="planner method (default: a)")
+    p_mission.add_argument("--advance-fraction", type=float, default=0.5,
+                           help="fraction of each plan executed before the "
+                           "next target lands (default: 0.5)")
+    p_mission.add_argument("--output", metavar="FILE", default=None,
+                           help="write the canonical JSON summary to FILE")
 
     p_serve = sub.add_parser(
         "serve",
@@ -407,6 +448,9 @@ def _cmd_report(args) -> int:
         chaos_seeds=args.chaos_seeds,
         zoo=args.zoo,
         zoo_seeds=args.zoo_seeds,
+        missions=args.missions,
+        mission_seeds=args.mission_seeds,
+        mission_epochs=args.mission_epochs,
         scaling=args.scaling,
         scaling_sizes=args.scaling_sizes,
         load=args.load,
@@ -580,6 +624,54 @@ def _cmd_zoo(args) -> int:
     return 0 if summary["summary"]["all_pass"] else 1
 
 
+def _cmd_mission(args) -> int:
+    from repro.errors import MissionError
+    from repro.experiments.missions import (
+        DEFAULT_FAMILIES,
+        mission_campaign,
+        missions_passed,
+        render_missions,
+        summary_bytes,
+    )
+    from repro.experiments.zoo import FAMILIES
+    from repro.missions import MOTIONS, MissionConfig
+
+    if args.families and "all" in args.families:
+        families = tuple(FAMILIES)
+    else:
+        families = tuple(args.families) if args.families else DEFAULT_FAMILIES
+    motions = tuple(args.motions) if args.motions else tuple(MOTIONS)
+    seeds = (
+        tuple(args.seed_list) if args.seed_list else tuple(range(args.seeds))
+    )
+    try:
+        config = MissionConfig(
+            robot_count=args.robots,
+            method=args.method,
+            advance_fraction=args.advance_fraction,
+        )
+        summary = mission_campaign(
+            families=families,
+            motions=motions,
+            seeds=seeds,
+            epochs=args.epochs,
+            config=config,
+            workers=args.workers,
+        )
+    except MissionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_missions(summary))
+    if args.output:
+        from pathlib import Path
+
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_bytes(summary_bytes(summary))
+        print(f"wrote {out}")
+    return 0 if missions_passed(summary) else 1
+
+
 def _cmd_serve(args) -> int:
     from repro import service as service_module
     from repro.exec import get_cache, resolve_workers
@@ -720,6 +812,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "chaos": _cmd_chaos,
     "zoo": _cmd_zoo,
+    "mission": _cmd_mission,
     "pipeline": _cmd_pipeline,
     "plan": _cmd_plan,
     "serve": _cmd_serve,

@@ -82,6 +82,28 @@ class UnrecoverableError(ReproError):
         self.survivors = int(survivors)
 
 
+class MissionError(ReproError):
+    """A streaming mission is mis-specified or cannot continue.
+
+    Raised by :mod:`repro.missions` - on an invalid mission spec, on a
+    fault schedule the mission executor cannot honour, or when a crash
+    mid-epoch leaves the survivors unable to march on (too few robots,
+    disconnected network).  The mission contract mirrors the resilient
+    executor's: every epoch ends in a metrics record or a typed error,
+    never a silently degraded plan.
+
+    Attributes
+    ----------
+    epoch : int
+        Epoch being executed when the mission failed (-1 when the
+        failure precedes execution, e.g. a bad spec).
+    """
+
+    def __init__(self, message: str, epoch: int = -1) -> None:
+        super().__init__(message)
+        self.epoch = int(epoch)
+
+
 class ServiceError(ReproError):
     """The planning service rejected or could not complete a request.
 

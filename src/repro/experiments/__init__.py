@@ -28,6 +28,12 @@ from repro.experiments.loadgen import (
     run_loadgen_fleet,
 )
 from repro.experiments.generator import RandomScenario, random_foi, random_scenario
+from repro.experiments.missions import (
+    mission_campaign,
+    missions_passed,
+    render_missions,
+    run_mission_cell,
+)
 from repro.experiments.report import build_report, write_report
 from repro.experiments.lemmas import (
     Lemma1Example,
@@ -92,7 +98,11 @@ __all__ = [
     "get_scenario",
     "lemma1_example",
     "lemma2_example",
+    "mission_campaign",
+    "missions_passed",
     "render_loadgen",
+    "render_missions",
+    "run_mission_cell",
     "render_sweep",
     "render_table1",
     "run_loadgen",

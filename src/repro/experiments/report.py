@@ -39,6 +39,10 @@ def build_report(
     zoo: bool = False,
     zoo_seeds: int = 2,
     zoo_families: Sequence[str] | None = None,
+    missions: bool = False,
+    mission_seeds: int = 1,
+    mission_epochs: int = 3,
+    mission_families: Sequence[str] | None = None,
     scaling: bool = False,
     scaling_sizes: Sequence[int] | None = None,
     load: bool = False,
@@ -63,6 +67,11 @@ def build_report(
     procedural-FoI invariant campaign (:mod:`repro.experiments.zoo`)
     with a per-family pass/fail table and any replayable
     counterexample triples.
+
+    With ``missions=True`` the report appends a streaming-replanning
+    section (:mod:`repro.experiments.missions`): seeded missions whose
+    targets drift and deform across epochs, with per-cell replan /
+    cache-hit / C = 1 columns and the campaign's canonical digest.
 
     With ``scaling=True`` the report appends swarm-size scaling curves
     (:mod:`repro.experiments.scaling`): wall-clock and peak allocation
@@ -223,6 +232,58 @@ def build_report(
                     {k: entry[k] for k in ("family", "seed", "params")}
                 ).decode("utf-8")
                 parts.append(f"- `{triple}`")
+    if missions:
+        from repro.experiments.missions import (
+            DEFAULT_FAMILIES,
+            mission_campaign,
+        )
+        from repro.io import canonical_digest
+
+        mission_summary = mission_campaign(
+            families=tuple(mission_families or DEFAULT_FAMILIES),
+            seeds=tuple(range(mission_seeds)),
+            epochs=mission_epochs,
+            workers=workers,
+        )
+        magg = mission_summary["summary"]
+        parts.extend([
+            "",
+            "## Streaming missions",
+            "",
+            f"Seeded replanning campaign over families "
+            f"{list(mission_summary['matrix']['families'])} x motions "
+            f"{list(mission_summary['matrix']['motions'])} x seeds "
+            f"{list(mission_summary['matrix']['seeds'])} "
+            f"({mission_summary['config']['robot_count']} robots, "
+            f"{mission_summary['matrix']['epochs']} epochs per mission): "
+            f"{magg['passed']}/{magg['cells']} missions held C = 1 at "
+            f"every sampled instant (incl. jump left-limits) across "
+            f"{magg['replans_total']} incremental replans; "
+            f"{magg['cache_hits_total']} translation-canonical disk-map "
+            f"cache hits / {magg['cache_misses_total']} misses.  "
+            f"Canonical digest `{canonical_digest(mission_summary)}` "
+            "(identical for any worker count).",
+            "",
+            _md_table(
+                ["family", "motion", "seed", "outcome", "replans",
+                 "hits", "misses", "C viol", "D (km)"],
+                [
+                    [
+                        cell["family"], cell["motion"], cell["seed"],
+                        f"error@{cell['epoch']}", "-", "-", "-", "-", "-",
+                    ]
+                    if cell["outcome"] == "error" else
+                    [
+                        cell["family"], cell["motion"], cell["seed"],
+                        cell["outcome"], cell["replans"],
+                        cell["cache_hits"], cell["cache_misses"],
+                        cell["c_violations"],
+                        f"{cell['total_distance'] / 1000:.2f}",
+                    ]
+                    for cell in mission_summary["cells"]
+                ],
+            ),
+        ])
     if scaling:
         from repro.experiments.scaling import (
             DEFAULT_SIZES,

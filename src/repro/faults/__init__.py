@@ -35,6 +35,7 @@ from repro.faults.schedule import (
     StuckFault,
     build_archetype_schedule,
     random_schedule,
+    schedule_from_dict,
 )
 
 __all__ = [
@@ -52,4 +53,5 @@ __all__ = [
     "execute_with_faults",
     "random_schedule",
     "rejoin_components",
+    "schedule_from_dict",
 ]

@@ -38,7 +38,11 @@ from repro.errors import PlanningError, ProtocolError, UnrecoverableError
 from repro.faults.schedule import CrashFault, FaultSchedule, SlowFault, StuckFault
 from repro.foi.region import FieldOfInterest
 from repro.marching.planner import MarchingConfig, MarchingPlanner
-from repro.marching.replan import FailureEvent, replan_after_failure
+from repro.marching.replan import (
+    FailureEvent,
+    _remap_event_time,
+    replan_after_failure,
+)
 from repro.marching.result import MarchingResult
 from repro.metrics.connectivity import ConnectivityReport, connectivity_report
 from repro.metrics.recovery import RecoveryMetrics
@@ -321,9 +325,9 @@ class ResilientExecutor:
 
         for fault in schedule.events():
             traj = current.trajectory
-            remaining = 1.0 - window_start
-            frac = 0.0 if remaining <= 0 else (fault.at - window_start) / remaining
-            t_fault = traj.t_start + frac * (traj.t_end - traj.t_start)
+            t_fault = _remap_event_time(
+                fault.at, window_start, 1.0, traj.t_start, traj.t_end
+            )
 
             if isinstance(fault, StuckFault):
                 hold = fault.duration * nominal_duration

@@ -36,6 +36,7 @@ __all__ = [
     "StuckFault",
     "build_archetype_schedule",
     "random_schedule",
+    "schedule_from_dict",
 ]
 
 
@@ -221,6 +222,61 @@ class FaultSchedule:
                 "duplication_rate": self.comms.duplication_rate,
             }
         return doc
+
+
+def schedule_from_dict(data: dict[str, Any]) -> FaultSchedule:
+    """Rebuild a :class:`FaultSchedule` from its :meth:`~FaultSchedule.to_dict`.
+
+    This is the wire direction: mission requests carry their fault
+    schedule as plain JSON, and the service reconstructs (and thereby
+    re-validates) the schedule before running.
+
+    Raises
+    ------
+    PlanningError
+        On a malformed document or invalid fault parameters.
+    """
+    if not isinstance(data, dict):
+        raise PlanningError("fault schedule document must be a JSON object")
+    try:
+        comms_doc = data.get("comms")
+        comms = None if comms_doc is None else LinkFaults(
+            loss_rate=float(comms_doc.get("loss_rate", 0.0)),
+            delay_rate=float(comms_doc.get("delay_rate", 0.0)),
+            max_delay=int(comms_doc.get("max_delay", 0)),
+            duplication_rate=float(comms_doc.get("duplication_rate", 0.0)),
+        )
+        return FaultSchedule(
+            seed=int(data.get("seed", 0)),
+            crashes=tuple(
+                CrashFault(
+                    at=float(c["at"]),
+                    robots=tuple(int(r) for r in c["robots"]),
+                )
+                for c in data.get("crashes", [])
+            ),
+            stucks=tuple(
+                StuckFault(
+                    at=float(s["at"]),
+                    robots=tuple(int(r) for r in s["robots"]),
+                    duration=float(s["duration"]),
+                )
+                for s in data.get("stucks", [])
+            ),
+            slows=tuple(
+                SlowFault(
+                    at=float(s["at"]),
+                    robots=tuple(int(r) for r in s["robots"]),
+                    factor=float(s["factor"]),
+                    duration=float(s["duration"]),
+                )
+                for s in data.get("slows", [])
+            ),
+            name=str(data.get("name", "")),
+            comms=comms,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PlanningError(f"malformed fault schedule document: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

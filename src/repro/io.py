@@ -35,6 +35,7 @@ __all__ = [
     "scenario_run_to_dict",
     "scenario_run_from_dict",
     "plan_document",
+    "mission_document",
 ]
 
 FORMAT_VERSION = 1
@@ -254,4 +255,29 @@ def plan_document(runs: dict[int, Any]) -> dict[str, Any]:
         "format_version": FORMAT_VERSION,
         "kind": "plan_batch",
         "runs": {str(sid): scenario_run_to_dict(run) for sid, run in runs.items()},
+    }
+
+
+def mission_document(
+    spec: dict[str, Any],
+    config: dict[str, Any],
+    faults: dict[str, Any] | None,
+    epochs: list[dict[str, Any]],
+    summary: dict[str, Any],
+) -> dict[str, Any]:
+    """The versioned wire document for one completed mission.
+
+    Every field is deterministic (no wall-clock content), so the
+    document is byte-stable under :func:`dumps_canonical` across
+    processes, worker counts, and service shards - the property the
+    mission byte-identity contract rests on.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "mission",
+        "spec": spec,
+        "config": config,
+        "faults": faults,
+        "epochs": list(epochs),
+        "summary": summary,
     }

@@ -248,6 +248,38 @@ def replan_after_failure(
     )
 
 
+def _remap_event_time(
+    event_time: float,
+    window_start: float,
+    window_end: float,
+    span_start: float,
+    span_end: float,
+) -> float:
+    """Map an original-timeline instant onto the current plan's span.
+
+    The remaining window ``[window_start, window_end]`` of the original
+    timeline stretches proportionally over the fresh plan's full span.
+    Two degenerate shapes need explicit handling:
+
+    * a *zero-length remaining window* (``window_end <= window_start``,
+      e.g. a cascade whose previous failure froze the plan exactly at
+      ``T``, or a zero-duration trajectory): the march is over, so the
+      event observes the plan's *final* positions - the fraction is 1,
+      not 0 (mapping to the fresh plan's start would rewind survivors
+      to positions they already left);
+    * an event *exactly at* the window end (mission fraction 1.0):
+      the proportional fraction is clamped into ``[0, 1]`` so float
+      round-off can never push the local instant outside the span.
+    """
+    remaining = window_end - window_start
+    if remaining <= 0.0:
+        frac = 1.0
+    else:
+        frac = (event_time - window_start) / remaining
+        frac = min(1.0, max(0.0, frac))
+    return span_start + frac * (span_end - span_start)
+
+
 def _replan_cascade(
     original: MarchingResult,
     events: Sequence[FailureEvent],
@@ -271,9 +303,9 @@ def _replan_cascade(
     # current plan's t_start (the previous failure time after a replan)
     for ev in events:
         span = current.trajectory
-        remaining = traj.t_end - window_start
-        frac = 0.0 if remaining <= 0 else (ev.time - window_start) / remaining
-        local_time = span.t_start + frac * (span.t_end - span.t_start)
+        local_time = _remap_event_time(
+            ev.time, window_start, traj.t_end, span.t_start, span.t_end
+        )
         id_to_local = {int(orig): k for k, orig in enumerate(alive)}
         local_failed = tuple(
             sorted(id_to_local[int(i)] for i in ev.failed if int(i) in id_to_local)

@@ -1,0 +1,26 @@
+"""Streaming missions: online replanning against moving targets.
+
+A mission is a seeded sequence of target FoIs - the base zoo scenario
+plus per-epoch drift/deform motion - executed as one long-running job.
+:class:`MissionRunner` marches the swarm, replans at every epoch
+boundary (translated targets are disk-map cache hits, deformed targets
+genuine re-solves), composes optional crash faults, and produces a
+canonical byte-stable mission document plus streamed
+``epoch``/``plan_diff``/``recovery`` progress events.
+"""
+
+from repro.missions.diff import PlanDiff, plan_diff
+from repro.missions.spec import MOTIONS, MissionConfig, MissionSpec
+from repro.missions.targets import mission_targets
+from repro.missions.runner import MissionRunner, run_mission
+
+__all__ = [
+    "MOTIONS",
+    "MissionConfig",
+    "MissionRunner",
+    "MissionSpec",
+    "PlanDiff",
+    "mission_targets",
+    "plan_diff",
+    "run_mission",
+]

@@ -1,0 +1,118 @@
+"""Typed plan diffs: what changed between consecutive mission legs.
+
+Every epoch of a mission emits one :class:`PlanDiff` - the structured
+"what just happened" record the service streams to clients and the
+canonical mission document persists.  The diff compares the epoch's
+fresh plan against the previous leg: how far the target moved, how the
+plan's cost metrics shifted, and whether the harmonic solve was served
+from the translation-canonical disk-map cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.foi.region import FieldOfInterest
+from repro.marching.result import MarchingResult
+
+__all__ = ["PlanDiff", "plan_diff"]
+
+
+@dataclass(frozen=True)
+class PlanDiff:
+    """The delta one replan epoch introduced.
+
+    Attributes
+    ----------
+    epoch : int
+    target_shift : float
+        Distance the target centroid moved since the previous epoch
+        (0 for epoch 0).
+    target_area_ratio : float
+        New target area over previous target area (1 for epoch 0).
+    target_deformed : bool
+        Whether the target shape was redrawn (vs. rigidly translated).
+    cache_hits, cache_misses : int
+        Disk-map cache traffic of this epoch's replan; a pure
+        translation shows up here as hits with zero misses.
+    plan_distance : float
+        Total travel distance of the fresh plan (the paper's ``D``).
+    delta_distance : float
+        ``plan_distance`` minus the previous leg's plan distance.
+    stable_ratio : float
+        Stable-link ratio ``L`` of the fresh plan.
+    delta_stable_ratio : float
+        ``stable_ratio`` minus the previous leg's ratio (0 for epoch 0).
+    robots : int
+        Robots marching in this leg (drops when faults fire).
+    """
+
+    epoch: int
+    target_shift: float
+    target_area_ratio: float
+    target_deformed: bool
+    cache_hits: int
+    cache_misses: int
+    plan_distance: float
+    delta_distance: float
+    stable_ratio: float
+    delta_stable_ratio: float
+    robots: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "epoch": int(self.epoch),
+            "target_shift": float(self.target_shift),
+            "target_area_ratio": float(self.target_area_ratio),
+            "target_deformed": bool(self.target_deformed),
+            "cache_hits": int(self.cache_hits),
+            "cache_misses": int(self.cache_misses),
+            "plan_distance": float(self.plan_distance),
+            "delta_distance": float(self.delta_distance),
+            "stable_ratio": float(self.stable_ratio),
+            "delta_stable_ratio": float(self.delta_stable_ratio),
+            "robots": int(self.robots),
+        }
+
+
+def plan_diff(
+    epoch: int,
+    target: FieldOfInterest,
+    result: MarchingResult,
+    stable_ratio: float,
+    cache_hits: int,
+    cache_misses: int,
+    previous_target: FieldOfInterest | None = None,
+    previous_distance: float | None = None,
+    previous_stable_ratio: float | None = None,
+    target_deformed: bool = False,
+) -> PlanDiff:
+    """Build the :class:`PlanDiff` for one epoch's fresh plan."""
+    if previous_target is None:
+        shift, area_ratio = 0.0, 1.0
+    else:
+        shift = float(
+            np.linalg.norm(target.centroid - previous_target.centroid)
+        )
+        area_ratio = float(target.area / previous_target.area)
+    distance = float(result.total_distance)
+    return PlanDiff(
+        epoch=epoch,
+        target_shift=shift,
+        target_area_ratio=area_ratio,
+        target_deformed=target_deformed,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        plan_distance=distance,
+        delta_distance=distance - float(previous_distance or 0.0),
+        stable_ratio=float(stable_ratio),
+        delta_stable_ratio=(
+            0.0
+            if previous_stable_ratio is None
+            else float(stable_ratio) - float(previous_stable_ratio)
+        ),
+        robots=result.robot_count,
+    )

@@ -1,0 +1,407 @@
+"""The mission executor: march, detect target motion, replan, repeat.
+
+:class:`MissionRunner` drives one mission end to end.  Each epoch it
+plans from the swarm's current positions to the epoch's target, lets
+the swarm execute a configurable fraction of that plan (the remainder
+is abandoned when the next target update arrives), and measures the
+leg: disk-map cache traffic, executed distance, stable-link ratio, and
+connectivity at every sampled instant *including* left-sided limits at
+jump discontinuities.  Crash faults from an optional
+:class:`~repro.faults.schedule.FaultSchedule` are composed in: a crash
+whose mission fraction lands inside an epoch removes its robots at the
+remapped instant of the executed window, and the surviving swarm
+replans the next leg without them.
+
+Determinism contract: :meth:`MissionRunner.run` scopes a *private*
+cache and metrics registry, so the produced mission document is a pure
+function of ``(spec, config, faults)`` - byte-identical whether the
+mission runs in-process, in a service worker, or behind a sharded
+fleet.  Wall-clock measurements (replan latency) are therefore *not*
+part of the document; they are emitted through the ``progress``
+callback only.  Every epoch ends in a metrics record or a typed
+:class:`~repro.errors.MissionError` - never a silently degraded plan.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import MissionError, ReproError
+from repro.exec.cache import ContentCache, activate_cache
+from repro.faults.schedule import CrashFault, FaultSchedule
+from repro.io import canonical_digest, mission_document, result_to_dict
+from repro.marching.planner import MarchingPlanner
+from repro.marching.replan import _remap_event_time
+from repro.metrics.stable_links import stable_link_ratio
+from repro.missions.diff import plan_diff
+from repro.missions.spec import MissionConfig, MissionSpec
+from repro.missions.targets import mission_targets
+from repro.network.udg import UnitDiskGraph
+from repro.obs import Metrics, activate_metrics, span
+from repro.robots.robot import RadioSpec
+from repro.robots.swarm import Swarm
+
+__all__ = ["MissionRunner", "run_mission"]
+
+#: Disk-map cache counters sampled per epoch.
+_HITS = "cache.harmonic.diskmap.hits"
+_MISSES = "cache.harmonic.diskmap.misses"
+
+#: ``progress(kind, data)`` callback type: mirrors the service's SSE
+#: event shape (kind plus a JSON-safe payload).
+ProgressFn = Callable[[str, dict[str, Any]], None]
+
+
+def _validated_schedule(faults: FaultSchedule | None) -> FaultSchedule | None:
+    """Missions compose with crash faults only - refuse the rest loudly."""
+    if faults is None:
+        return None
+    unsupported = []
+    if faults.stucks:
+        unsupported.append("stuck")
+    if faults.slows:
+        unsupported.append("slow")
+    if faults.comms is not None:
+        unsupported.append("comms")
+    if unsupported:
+        raise MissionError(
+            "mission fault schedules support crash faults only; "
+            f"schedule {faults.name!r} also carries: {unsupported} "
+            "(run those through the resilient executor instead)"
+        )
+    return faults
+
+
+class MissionRunner:
+    """Execute one mission: a seeded target sequence with replanning.
+
+    Parameters
+    ----------
+    spec : MissionSpec
+    config : MissionConfig, optional
+    faults : FaultSchedule, optional
+        Crash-only schedule; ``at`` instants are mission fractions over
+        the *whole* mission (epoch ``k`` of ``E`` owns the fraction
+        window ``[k/E, (k+1)/E)``).
+    """
+
+    def __init__(
+        self,
+        spec: MissionSpec,
+        config: MissionConfig | None = None,
+        faults: FaultSchedule | None = None,
+    ) -> None:
+        self.spec = spec
+        self.config = config or MissionConfig()
+        self.faults = _validated_schedule(faults)
+
+    # ------------------------------------------------------------------
+
+    def _crashes_for_epoch(self, epoch: int) -> list[CrashFault]:
+        if self.faults is None:
+            return []
+        lo = epoch / self.spec.epochs
+        hi = (epoch + 1) / self.spec.epochs
+        last = epoch == self.spec.epochs - 1
+        return [
+            c
+            for c in self.faults.crashes
+            if lo <= c.at < hi or (last and c.at >= hi)
+        ]
+
+    def run(self, progress: ProgressFn | None = None) -> dict[str, Any]:
+        """Run the mission; returns the canonical mission document.
+
+        Raises
+        ------
+        MissionError
+            When a leg cannot be planned, or a crash leaves too few /
+            disconnected survivors.
+        """
+        emit = progress or (lambda kind, data: None)
+        with activate_metrics(Metrics()) as metrics, activate_cache(
+            ContentCache(self.config.cache_capacity)
+        ), span("mission.run", family=self.spec.family, seed=self.spec.seed):
+            return self._run(emit, metrics)
+
+    # ------------------------------------------------------------------
+
+    def _run(self, emit: ProgressFn, metrics: Metrics) -> dict[str, Any]:
+        spec, config = self.spec, self.config
+        scenario, targets = mission_targets(spec, config)
+        planner = MarchingPlanner(config.marching_config())
+        radio = RadioSpec.from_comm_range(config.comm_range)
+
+        alive = np.arange(scenario.swarm.size)  # original robot ids
+        positions = scenario.swarm.positions
+        epochs: list[dict[str, Any]] = []
+        previous: dict[str, Any] = {}
+        totals = {"hits": 0, "misses": 0, "distance": 0.0, "violations": 0}
+        fault_replans = 0
+
+        for epoch, target in enumerate(targets):
+            hits0 = metrics.counter(_HITS).value
+            misses0 = metrics.counter(_MISSES).value
+            t0 = time.perf_counter()
+            try:
+                result = planner.plan(Swarm(positions, radio), target)
+            except ReproError as exc:
+                raise MissionError(
+                    f"epoch {epoch} replan failed: {exc}", epoch=epoch
+                ) from exc
+            latency = time.perf_counter() - t0
+            hits = int(metrics.counter(_HITS).value - hits0)
+            misses = int(metrics.counter(_MISSES).value - misses0)
+
+            traj = result.trajectory
+            if epoch == len(targets) - 1:
+                t_cut = traj.t_end
+            else:
+                t_cut = _cut_time(
+                    traj, config.advance_fraction, config.comm_range, epoch
+                )
+            span_len = traj.t_end - traj.t_start
+            frac = 1.0 if span_len <= 0 else (t_cut - traj.t_start) / span_len
+
+            # -- crash faults landing in this epoch's fraction window --
+            death_time: dict[int, float] = {}  # local robot id -> instant
+            recoveries: list[dict[str, Any]] = []
+            lo = epoch / spec.epochs
+            hi = (epoch + 1) / spec.epochs
+            for crash in self._crashes_for_epoch(epoch):
+                t_fault = _remap_event_time(
+                    crash.at, lo, hi, traj.t_start, t_cut
+                )
+                id_to_local = {int(o): j for j, o in enumerate(alive)}
+                failed_local = sorted(
+                    id_to_local[int(r)]
+                    for r in crash.robots
+                    if int(r) in id_to_local
+                )
+                if not failed_local:
+                    continue  # every listed robot already died earlier
+                for j in failed_local:
+                    death_time[j] = t_fault
+                present = [
+                    j for j in range(len(alive)) if j not in death_time
+                ]
+                snapshot = traj.positions_at(t_fault)[present]
+                if len(present) < 4:
+                    raise MissionError(
+                        f"epoch {epoch}: crash at fraction {crash.at} "
+                        f"leaves {len(present)} survivors - too few to "
+                        "march on",
+                        epoch=epoch,
+                    )
+                connected = UnitDiskGraph(
+                    snapshot, config.comm_range
+                ).is_connected()
+                if not connected:
+                    raise MissionError(
+                        f"epoch {epoch}: crash at fraction {crash.at} "
+                        "disconnected the surviving network",
+                        epoch=epoch,
+                    )
+                fault_replans += 1
+                recovery = {
+                    "epoch": epoch,
+                    "at": float(crash.at),
+                    "failed": [int(alive[j]) for j in failed_local],
+                    "survivors": len(present),
+                    "connected": True,
+                }
+                recoveries.append(recovery)
+                emit("recovery", dict(recovery))
+
+            # -- measure the executed window ---------------------------
+            violations, samples = _connectivity_violations(
+                traj, result.boundary_anchors, death_time, config, t_cut
+            )
+            distances = traj.distances_between(traj.t_start, t_cut)
+            for j, t_fault in death_time.items():
+                distances[j] = traj.distances_between(traj.t_start, t_fault)[j]
+            executed = float(distances.sum())
+            ratio = float(
+                stable_link_ratio(result.links, traj, config.resolution)
+            )
+
+            diff = plan_diff(
+                epoch,
+                target,
+                result,
+                stable_ratio=ratio,
+                cache_hits=hits,
+                cache_misses=misses,
+                previous_target=previous.get("target"),
+                previous_distance=previous.get("distance"),
+                previous_stable_ratio=previous.get("ratio"),
+                target_deformed=_deformed_epoch(spec, epoch),
+            )
+            record = {
+                "epoch": epoch,
+                "target": {
+                    "name": target.name,
+                    "centroid": [float(c) for c in target.centroid],
+                    "area": float(target.area),
+                },
+                "robots": int(len(alive)),
+                "plan_diff": diff.to_dict(),
+                "executed_distance": executed,
+                "executed_fraction": float(frac),
+                "stable_ratio": ratio,
+                "c_violations": int(violations),
+                "samples": int(samples),
+                "recoveries": recoveries,
+                "plan_digest": canonical_digest(result_to_dict(result)),
+            }
+            epochs.append(record)
+            emit("plan_diff", diff.to_dict())
+            emit(
+                "epoch",
+                {
+                    "epoch": epoch,
+                    "robots": int(len(alive)),
+                    "cache_hits": hits,
+                    "cache_misses": misses,
+                    "c_violations": int(violations),
+                    "replan_latency_s": latency,
+                },
+            )
+
+            totals["hits"] += hits
+            totals["misses"] += misses
+            totals["distance"] += executed
+            totals["violations"] += violations
+            previous = {"target": target, "distance": diff.plan_distance,
+                        "ratio": ratio}
+
+            # -- advance to the epoch boundary -------------------------
+            survivors_local = [
+                j for j in range(len(alive)) if j not in death_time
+            ]
+            positions = traj.positions_at(t_cut)[survivors_local]
+            alive = alive[survivors_local]
+
+        final_target = targets[-1]
+        summary = {
+            "epochs": len(epochs),
+            "replans": len(epochs),
+            "fault_replans": fault_replans,
+            "survivors": int(len(alive)),
+            "cache_hits": totals["hits"],
+            "cache_misses": totals["misses"],
+            "total_distance": float(totals["distance"]),
+            "c_violations": int(totals["violations"]),
+            "connected_all": totals["violations"] == 0,
+            "in_target": int(np.sum(final_target.contains(positions))),
+            "completed": True,
+        }
+        return mission_document(
+            spec.to_dict(),
+            config.to_dict(),
+            self.faults.to_dict() if self.faults is not None else None,
+            epochs,
+            summary,
+        )
+
+
+def _deformed_epoch(spec: MissionSpec, epoch: int) -> bool:
+    if epoch == 0:
+        return False
+    if spec.motion == "deform":
+        return True
+    return spec.motion == "drift+deform" and epoch % 2 == 0
+
+
+def _cut_time(
+    traj, advance_fraction: float, comm_range: float, epoch: int
+) -> float:
+    """The instant where this leg hands over to the next target.
+
+    The next leg replans from the swarm's frozen snapshot, and the
+    planner requires a *connected* start - mid-march the formation can
+    satisfy Definition 2 (every robot reaches the boundary anchors)
+    while momentarily split as a plain graph.  So the handover happens
+    at the whole-graph-connected instant nearest the requested
+    fraction, scanned deterministically outward in 1/64-span steps:
+    the fleet regroups before accepting a new target.
+    """
+    span_len = traj.t_end - traj.t_start
+    base = traj.t_start + advance_fraction * span_len
+    if span_len <= 0:
+        return traj.t_end
+    step = span_len / 64.0
+    for k in range(129):
+        offset = ((k + 1) // 2) * step * (1 if k % 2 else -1)
+        t = min(traj.t_end, max(traj.t_start, base + offset))
+        if UnitDiskGraph(traj.positions_at(t), comm_range).is_connected():
+            return float(t)
+    raise MissionError(
+        f"epoch {epoch}: no connected handover instant found near "
+        f"fraction {advance_fraction}",
+        epoch=epoch,
+    )
+
+
+def _connectivity_violations(
+    traj,
+    boundary_anchors,
+    death_time: dict[int, float],
+    config: MissionConfig,
+    t_cut: float,
+) -> tuple[int, int]:
+    """Count Definition-2 violations over the executed window.
+
+    Samples uniformly over ``[t_start, t_cut]`` plus the left-sided
+    limits at every jump discontinuity inside the window (``C = 1``
+    must hold through the jumps too).  An instant violates when some
+    living robot has no multi-hop path to the network boundary (the
+    plan's anchor set); robots dead at the instant are excluded, and
+    when every anchor has died the check degrades to plain
+    connectivity of the survivors.
+    """
+    ts = np.linspace(traj.t_start, t_cut, max(2, config.resolution))
+    disc = traj.discontinuity_times()
+    disc = disc[(disc > traj.t_start) & (disc <= t_cut)]
+    checks: list[tuple[float, str]] = [(float(t), "right") for t in ts]
+    checks += [(float(t), "left") for t in disc]
+    anchors = [int(a) for a in boundary_anchors]
+
+    violations = 0
+    n = traj.robot_count
+    for t, side in checks:
+        present = [
+            j
+            for j in range(n)
+            if j not in death_time or t < death_time[j]
+        ]
+        if not present:
+            continue
+        pts = traj.positions_over(np.array([t]), side=side)[0][present]
+        graph = UnitDiskGraph(pts, config.comm_range)
+        compact = {j: k for k, j in enumerate(present)}
+        local_anchors = [compact[a] for a in anchors if a in compact]
+        if local_anchors:
+            ok = bool(graph.nodes_connected_to(local_anchors).all())
+        else:
+            ok = graph.is_connected()
+        if not ok:
+            violations += 1
+    return violations, len(checks)
+
+
+def run_mission(
+    spec: MissionSpec | dict[str, Any],
+    config: MissionConfig | dict[str, Any] | None = None,
+    faults: FaultSchedule | None = None,
+    progress: ProgressFn | None = None,
+) -> dict[str, Any]:
+    """Convenience wrapper: build a runner and run it once."""
+    if isinstance(spec, dict):
+        spec = MissionSpec.from_dict(spec)
+    if isinstance(config, dict):
+        config = MissionConfig.from_dict(config)
+    return MissionRunner(spec, config=config, faults=faults).run(progress)

@@ -1,0 +1,86 @@
+"""Seeded target-motion generators layered on the scenario zoo.
+
+:func:`mission_targets` turns a :class:`MissionSpec` into the base
+marching scenario plus one target FoI per epoch.  Drift is a rigid
+translation of the previous target - by construction the translated
+region triangulates identically in the mesh layer's canonical frame,
+so the replan's harmonic solve is a disk-map cache *hit*.  Deform
+redraws the shape from the zoo family (area- and centroid-preserving),
+which is a genuine re-solve and a cache *miss*.  Both draws come from
+a dedicated seed stream, so the whole sequence is a pure function of
+``(spec, config)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.zoo.campaign import ZooConfig, ZooScenario, build_zoo_scenario
+from repro.experiments.zoo.families import build_foi, family_rng
+from repro.foi.region import FieldOfInterest
+from repro.missions.spec import MissionConfig, MissionSpec
+
+__all__ = ["mission_targets"]
+
+#: ``family_rng`` stream for target motion (0/1 draw params and build
+#: the shape, 2 places the zoo scenario - motion gets its own stream).
+_STREAM_MOTION = 7
+
+
+def _zoo_config(config: MissionConfig) -> ZooConfig:
+    method = "ours (a)" if config.method == "a" else "ours (b)"
+    return ZooConfig(
+        robot_count=config.robot_count,
+        separation_factor=config.separation_factor,
+        comm_range=config.comm_range,
+        foi_target_points=config.foi_target_points,
+        grid_target=config.grid_target,
+        lloyd_max_iterations=config.lloyd_max_iterations,
+        resolution=config.resolution,
+        methods=(method,),
+    )
+
+
+def _drift_offset(rng: np.random.Generator, step: float) -> np.ndarray:
+    bearing = float(rng.uniform(0.0, 2.0 * np.pi))
+    return step * np.array([np.cos(bearing), np.sin(bearing)])
+
+
+def _deformed(
+    spec: MissionSpec, epoch: int, previous: FieldOfInterest
+) -> FieldOfInterest:
+    """Redraw the target shape, keeping area and centroid."""
+    fresh, _ = build_foi(spec.family, spec.seed + 1000 * epoch)
+    fresh = fresh.scaled_to_area(previous.area)
+    shape = fresh.translated(previous.centroid - fresh.centroid)
+    return FieldOfInterest(
+        shape.outer, shape.holes,
+        name=f"mission-{spec.family}[{spec.seed}]e{epoch}",
+    )
+
+
+def mission_targets(
+    spec: MissionSpec, config: MissionConfig | None = None
+) -> tuple[ZooScenario, tuple[FieldOfInterest, ...]]:
+    """Build the base scenario and the per-epoch target sequence.
+
+    Returns ``(scenario, targets)`` with ``len(targets) ==
+    spec.epochs``; ``targets[0]`` is the base zoo target, and each
+    later entry applies the spec's motion to its predecessor.
+    """
+    config = config or MissionConfig()
+    scenario = build_zoo_scenario(spec.family, spec.seed, _zoo_config(config))
+    rng = family_rng(spec.family, spec.seed, stream=_STREAM_MOTION)
+    step = spec.drift_step * config.comm_range
+
+    targets: list[FieldOfInterest] = [scenario.m2]
+    for epoch in range(1, spec.epochs):
+        current = targets[-1]
+        if spec.motion in ("deform", "drift+deform") and (
+            spec.motion == "deform" or epoch % 2 == 0
+        ):
+            current = _deformed(spec, epoch, current)
+        if spec.motion in ("drift", "drift+deform"):
+            current = current.translated(_drift_offset(rng, step))
+        targets.append(current)
+    return scenario, tuple(targets)

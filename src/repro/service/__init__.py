@@ -13,12 +13,15 @@ and :mod:`repro.obs` for per-request span trees and live metrics:
 * :class:`ShardRouter` - consistent-hash routing of content addresses
   onto shard workers, so a fleet deduplicates exactly like one queue.
 * :class:`PlanningService` - the asyncio HTTP frontend
-  (``POST /v1/plan``, job polling, SSE progress streaming at
-  ``GET /v1/jobs/{id}/events``, ``/healthz``, ``/metrics``,
-  ``/tracez``) over ``service_workers`` shard workers, with
-  429-with-``Retry-After`` backpressure and graceful draining.
+  (``POST /v1/plan``, ``POST /v1/mission`` streaming mission jobs, job
+  polling, SSE progress streaming at ``GET /v1/jobs/{id}/events`` with
+  ``?since=`` resume cursors, ``/healthz``, ``/metrics``, ``/tracez``)
+  over ``service_workers`` shard workers, with 429-with-``Retry-After``
+  backpressure and graceful draining.
 * :class:`ServiceClient` - the blocking stdlib client used by tests,
-  examples, the load generator and ``repro submit``.
+  examples, the load generator and ``repro submit``; its
+  ``run_mission``/``iter_events`` follow mission event streams and
+  resume dropped SSE connections from the last-seen sequence number.
 
 Quickstart::
 
@@ -40,9 +43,16 @@ from repro.service.jobs import (
     QueueClosed,
     QueueFull,
     job_id_for,
+    normalize_mission_request,
     normalize_plan_request,
 )
-from repro.service.server import PlanningService, ShardWorker, run_plan_request
+from repro.service.server import (
+    PlanningService,
+    ShardWorker,
+    default_runner,
+    run_mission_request,
+    run_plan_request,
+)
 from repro.service.sharding import ShardRouter
 
 __all__ = [
@@ -56,7 +66,10 @@ __all__ = [
     "ServiceClient",
     "ShardRouter",
     "ShardWorker",
+    "default_runner",
     "job_id_for",
+    "normalize_mission_request",
     "normalize_plan_request",
+    "run_mission_request",
     "run_plan_request",
 ]

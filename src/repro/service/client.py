@@ -222,6 +222,62 @@ class ServiceClient:
             doc["methods"] = list(methods)
         return self.submit_request(doc)
 
+    def submit_mission(
+        self,
+        spec: Any,
+        config: Any = None,
+        faults: Any = None,
+        priority: int = 0,
+    ) -> dict[str, Any]:
+        """Submit a mission (``POST /v1/mission``); returns the admission doc.
+
+        ``spec``/``config``/``faults`` may be the typed objects
+        (:class:`~repro.missions.MissionSpec` etc.) or their plain-dict
+        forms - anything with a ``to_dict`` is serialised.
+        """
+        def plain(obj: Any) -> Any:
+            return obj.to_dict() if hasattr(obj, "to_dict") else obj
+
+        doc: dict[str, Any] = {"spec": plain(spec), "priority": priority}
+        if config is not None:
+            doc["config"] = plain(config)
+        if faults is not None:
+            doc["faults"] = plain(faults)
+        status, headers, data = self._request("POST", "/v1/mission", doc)
+        if status != 202:
+            self._raise_for(status, headers, data)
+        return self._json(data)
+
+    def run_mission(
+        self,
+        spec: Any,
+        config: Any = None,
+        faults: Any = None,
+        priority: int = 0,
+        timeout: float = 600.0,
+        on_event: Any = None,
+    ) -> dict[str, Any]:
+        """Submit a mission, follow its event stream, return the document.
+
+        ``on_event`` (optional) receives every streamed event dict as it
+        arrives - ``claimed``, ``recovery``, ``plan_diff``, ``epoch``,
+        ``phase``, ``end`` - so callers can render live progress.  After
+        the stream ends the job's terminal state is checked: a failed or
+        cancelled mission raises :class:`ServiceError`.
+        """
+        submitted = self.submit_mission(spec, config, faults, priority)
+        job_id = submitted["job_id"]
+        for event in self.iter_events(job_id, timeout=self.timeout):
+            if on_event is not None:
+                on_event(event)
+        final = self.wait(job_id, timeout=timeout)
+        if final.get("state") != "done":
+            raise ServiceError(
+                f"mission job {job_id} ended {final.get('state')!r}: "
+                f"{final.get('error')}"
+            )
+        return self.result(job_id)
+
     # -- polling and results --------------------------------------------
 
     def status(self, job_id: str) -> dict[str, Any]:
@@ -260,62 +316,102 @@ class ServiceClient:
         """The plan document, JSON-decoded."""
         return self._json(self.result_bytes(job_id))
 
-    def iter_events(self, job_id: str, timeout: float | None = None):
-        """Stream the job's progress events (``GET /v1/jobs/{id}/events``).
-
-        Yields each server-sent event as a dict (``seq``, ``kind``,
-        kind-specific fields) and returns after the final ``end``
-        frame - or when the server closes the stream, whichever comes
-        first.  Keepalive comments are filtered out.  Never retried:
-        events carry sequence numbers, so a caller that loses the
-        stream can reattach and skip what it already saw.
-
-        ``timeout`` bounds each read (defaults to the client timeout);
-        a stall longer than that raises :class:`ServiceError`.
-        """
+    def _open_events(
+        self, job_id: str, since: int, timeout: float | None
+    ) -> tuple[http.client.HTTPConnection, http.client.HTTPResponse]:
+        """One SSE connection, replaying the log from cursor ``since``."""
         conn = http.client.HTTPConnection(
             self.host,
             self.port,
             timeout=self.timeout if timeout is None else timeout,
         )
+        path = f"/v1/jobs/{job_id}/events"
+        if since > 0:
+            path += f"?since={since}"
         try:
-            conn.request("GET", f"/v1/jobs/{job_id}/events")
-            response = conn.getresponse()
-            if response.status != 200:
-                data = response.read()
-                headers = {k.lower(): v for k, v in response.getheaders()}
-                self._raise_for(response.status, headers, data)
-            data_lines: list[bytes] = []
-            while True:
-                try:
-                    line = response.readline()
-                except OSError as exc:
-                    raise ServiceError(
-                        f"event stream for job {job_id} stalled: {exc}"
-                    ) from exc
-                if not line:
-                    return  # server closed the stream
-                line = line.strip()
-                if line.startswith(b":"):
-                    continue  # keepalive comment frame
-                if not line:  # blank line terminates one event
-                    if data_lines:
-                        try:
-                            event = json.loads(b"\n".join(data_lines))
-                        except json.JSONDecodeError as exc:
-                            raise ServiceError(
-                                f"invalid event frame: {exc}"
-                            ) from exc
-                        data_lines = []
-                        yield event
-                        if event.get("kind") == "end":
-                            return
-                    continue
-                field, _, value = line.partition(b":")
-                if field == b"data":
-                    data_lines.append(value.strip())
-        finally:
+            conn.request("GET", path)
+            return conn, conn.getresponse()
+        except BaseException:
             conn.close()
+            raise
+
+    def iter_events(self, job_id: str, timeout: float | None = None):
+        """Stream the job's progress events (``GET /v1/jobs/{id}/events``).
+
+        Yields each server-sent event as a dict (``seq``, ``kind``,
+        kind-specific fields) until the final ``end`` frame.  Keepalive
+        comments are filtered out.
+
+        A stream lost *mid-flight* (reset connection, stalled read,
+        server close without an ``end`` frame) is resumed: the client
+        reconnects with ``?since=<cursor>`` - the next sequence number
+        it has not yet seen - on the same jittered backoff schedule as
+        request retries, and skips any replayed duplicates by ``seq``.
+        The budget is ``retries`` reconnections per call; once it is
+        exhausted a read error raises :class:`ServiceError` and a clean
+        server close simply ends the iteration (matching the
+        zero-retries behaviour).
+
+        ``timeout`` bounds each read (defaults to the client timeout).
+        """
+        cursor = 0  # next event sequence number we have not yielded
+        attempts = 0
+        while True:
+            conn = None
+            lost: Exception | None = None
+            try:
+                conn, response = self._open_events(job_id, cursor, timeout)
+                if response.status != 200:
+                    data = response.read()
+                    headers = {k.lower(): v for k, v in response.getheaders()}
+                    self._raise_for(response.status, headers, data)
+                data_lines: list[bytes] = []
+                while True:
+                    try:
+                        line = response.readline()
+                    except OSError as exc:
+                        lost = exc
+                        break
+                    if not line:
+                        break  # server closed the stream
+                    line = line.strip()
+                    if line.startswith(b":"):
+                        continue  # keepalive comment frame
+                    if not line:  # blank line terminates one event
+                        if data_lines:
+                            try:
+                                event = json.loads(b"\n".join(data_lines))
+                            except json.JSONDecodeError as exc:
+                                raise ServiceError(
+                                    f"invalid event frame: {exc}"
+                                ) from exc
+                            data_lines = []
+                            seq = event.get("seq")
+                            if isinstance(seq, int):
+                                if seq < cursor and event.get("kind") != "end":
+                                    continue  # replayed duplicate
+                                cursor = max(cursor, seq + 1)
+                            yield event
+                            if event.get("kind") == "end":
+                                return
+                        continue
+                    field, _, value = line.partition(b":")
+                    if field == b"data":
+                        data_lines.append(value.strip())
+            finally:
+                if conn is not None:
+                    conn.close()
+            # The stream died before its 'end' frame: resume from the
+            # cursor while the reconnect budget lasts.
+            if attempts >= self.retries:
+                if lost is not None:
+                    raise ServiceError(
+                        f"event stream for job {job_id} stalled: {lost}"
+                    ) from lost
+                return
+            attempts += 1
+            get_metrics().counter("service.client_retries").inc()
+            self._backoff(attempts - 1)
 
     def cancel(self, job_id: str) -> dict[str, Any]:
         status, headers, data = self._request("POST", f"/v1/jobs/{job_id}/cancel")

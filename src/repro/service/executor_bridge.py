@@ -163,10 +163,22 @@ class ExecutorBridge:
                 seed=0,
                 collect_obs=True,
             )
+            runner = self.runner
+            progress_bound = False
+            if getattr(runner, "supports_progress", False) and (
+                self.task_backend in ("thread", "serial")
+            ):
+                # Live streaming: the runner emits (kind, data) events
+                # straight into the job's event log as the mission
+                # advances.  Only in-process backends can share the
+                # queue; a process backend falls back to the post-hoc
+                # document scan below.
+                runner = _with_progress(runner, self.queue, job.job_id)
+                progress_bound = True
             t0 = time.monotonic()
             try:
                 with span("service.solve", job_id=job.job_id):
-                    (doc,) = engine.map(self.runner, [job.request])
+                    (doc,) = engine.map(runner, [job.request])
                 t_solved = time.monotonic()
                 self.queue.publish(
                     job.job_id, "phase", phase="solve",
@@ -179,6 +191,9 @@ class ExecutorBridge:
                     self.queue.publish(
                         job.job_id, "recovery", **payload_doc
                     )
+                if not progress_bound:
+                    for kind, payload_doc in _mission_events(doc):
+                        self.queue.publish(job.job_id, kind, **payload_doc)
                 with span("service.serialize", job_id=job.job_id):
                     payload = dumps_canonical(doc)
                 self.queue.publish(
@@ -242,3 +257,50 @@ class ExecutorBridge:
                 "attributes": {"job_id": job.job_id, "origin": "service"},
             }
         ])
+
+
+def _with_progress(
+    runner: Callable[..., Any], queue: JobQueue, job_id: str
+) -> Callable[[dict[str, Any]], Any]:
+    """Bind a runner's ``progress`` callback to the job's event log.
+
+    The callback publishes best-effort: a job evicted mid-run (TTL
+    race) must not kill the solve that is producing its result.
+    """
+
+    def progress(kind: str, data: dict[str, Any]) -> None:
+        try:
+            queue.publish(job_id, kind, **data)
+        except Exception:
+            pass
+
+    def run(request: dict[str, Any]) -> Any:
+        return runner(request, progress=progress)
+
+    return run
+
+
+def _mission_events(doc: Any):
+    """Replay a mission document's epoch/plan_diff/recovery events.
+
+    The post-hoc fallback for runners that could not stream live (a
+    process task backend cannot share the queue object).  Latency
+    fields are absent here - they exist only on the live path.
+    """
+    if not isinstance(doc, dict) or doc.get("kind") != "mission":
+        return
+    for record in doc.get("epochs") or []:
+        if not isinstance(record, dict):
+            continue
+        for recovery in record.get("recoveries") or []:
+            yield "recovery", dict(recovery)
+        diff = record.get("plan_diff")
+        if isinstance(diff, dict):
+            yield "plan_diff", dict(diff)
+        yield "epoch", {
+            "epoch": record.get("epoch"),
+            "robots": record.get("robots"),
+            "cache_hits": (diff or {}).get("cache_hits"),
+            "cache_misses": (diff or {}).get("cache_misses"),
+            "c_violations": record.get("c_violations"),
+        }

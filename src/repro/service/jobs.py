@@ -48,6 +48,7 @@ __all__ = [
     "QueueClosed",
     "QueueFull",
     "job_id_for",
+    "normalize_mission_request",
     "normalize_plan_request",
 ]
 
@@ -155,6 +156,65 @@ def normalize_plan_request(doc: Any) -> tuple[dict[str, Any], int]:
             f"unknown plan request fields {sorted(body)}; accepted fields are "
             f"{sorted(['scenario_ids', 'scenario_id', 'priority', *_REQUEST_FIELDS])}"
         )
+    return request, priority
+
+
+def normalize_mission_request(doc: Any) -> tuple[dict[str, Any], int]:
+    """Validate a ``POST /v1/mission`` body into its canonical dict form.
+
+    The body carries ``spec`` (required), ``config`` and ``faults``
+    (optional), and ``priority`` (admission metadata).  Spec and config
+    are round-tripped through :class:`~repro.missions.MissionSpec` /
+    :class:`~repro.missions.MissionConfig` so every knob is present
+    with its default filled in, and the fault schedule is rebuilt via
+    :func:`~repro.faults.schedule_from_dict` - any two submissions
+    meaning the same mission hash to the same job id.  The canonical
+    dict carries ``"kind": "mission"`` so mission job ids can never
+    collide with plan-batch ids.
+
+    Raises
+    ------
+    ServiceError
+        On missing/unknown fields or an invalid spec/config/schedule.
+    """
+    from repro.errors import MissionError, PlanningError
+    from repro.faults import schedule_from_dict
+    from repro.missions import MissionConfig, MissionSpec
+
+    if not isinstance(doc, dict):
+        raise ServiceError("mission request must be a JSON object")
+    body = dict(doc)
+    priority_raw = body.pop("priority", 0)
+    try:
+        priority = int(priority_raw)
+    except (TypeError, ValueError):
+        raise ServiceError(f"priority must be an integer, got {priority_raw!r}")
+
+    spec_doc = body.pop("spec", None)
+    if not isinstance(spec_doc, dict):
+        raise ServiceError("mission request needs a 'spec' object")
+    config_doc = body.pop("config", None) or {}
+    if not isinstance(config_doc, dict):
+        raise ServiceError("mission 'config' must be a JSON object")
+    faults_doc = body.pop("faults", None)
+    if body:
+        raise ServiceError(
+            f"unknown mission request fields {sorted(body)}; accepted "
+            "fields are ['config', 'faults', 'priority', 'spec']"
+        )
+    try:
+        spec = MissionSpec.from_dict(spec_doc)
+        config = MissionConfig.from_dict(config_doc)
+        faults = None if faults_doc is None else schedule_from_dict(faults_doc)
+    except (MissionError, PlanningError, TypeError) as exc:
+        raise ServiceError(f"invalid mission request: {exc}") from exc
+
+    request: dict[str, Any] = {
+        "kind": "mission",
+        "spec": spec.to_dict(),
+        "config": config.to_dict(),
+        "faults": None if faults is None else faults.to_dict(),
+    }
     return request, priority
 
 

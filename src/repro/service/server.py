@@ -85,12 +85,19 @@ from repro.service.jobs import (
     QueueClosed,
     QueueFull,
     job_id_for,
+    normalize_mission_request,
     normalize_plan_request,
 )
 from repro.service.executor_bridge import ExecutorBridge
 from repro.service.sharding import ShardRouter
 
-__all__ = ["PlanningService", "ShardWorker", "run_plan_request"]
+__all__ = [
+    "PlanningService",
+    "ShardWorker",
+    "default_runner",
+    "run_mission_request",
+    "run_plan_request",
+]
 
 _REASONS = {
     200: "OK",
@@ -134,6 +141,46 @@ def run_plan_request(request: dict[str, Any], cache: ContentCache | None = None)
             resolution=request["resolution"],
         )
     return plan_document(runs)
+
+
+def run_mission_request(
+    request: dict[str, Any], progress: Any = None
+) -> dict[str, Any]:
+    """Mission job body: run the mission executor for a normalised request.
+
+    The mission runner scopes a *private* cache and metrics registry
+    internally (its document must be byte-identical across worker
+    counts and shards), so unlike :func:`run_plan_request` the service
+    cache is deliberately not bound in.  ``progress`` is the
+    ``(kind, data)`` callback the executor bridge wires to the job's
+    SSE event log.
+    """
+    from repro.faults import schedule_from_dict
+    from repro.missions import run_mission
+
+    faults_doc = request.get("faults")
+    faults = None if faults_doc is None else schedule_from_dict(faults_doc)
+    return run_mission(
+        request["spec"], request["config"], faults=faults, progress=progress
+    )
+
+
+def default_runner(cache: ContentCache) -> Callable[..., Any]:
+    """The service's job body: dispatch on the request's ``kind``.
+
+    Plan batches run under the shared service cache; missions run the
+    streaming mission executor.  The returned callable advertises
+    ``supports_progress`` so the executor bridge knows it may pass a
+    ``progress`` callback.
+    """
+
+    def run(request: dict[str, Any], progress: Any = None) -> Any:
+        if isinstance(request, dict) and request.get("kind") == "mission":
+            return run_mission_request(request, progress=progress)
+        return run_plan_request(request, cache=cache)
+
+    run.supports_progress = True
+    return run
 
 
 class ShardWorker:
@@ -204,11 +251,7 @@ class PlanningService:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else Metrics()
         self.cache = cache if cache is not None else ContentCache()
-        self.runner = (
-            runner
-            if runner is not None
-            else functools.partial(run_plan_request, cache=self.cache)
-        )
+        self.runner = runner if runner is not None else default_runner(self.cache)
         self._router = ShardRouter(service_workers)
         shard_capacity = max(1, capacity // service_workers)
         self.shards: list[ShardWorker] = []
@@ -388,13 +431,15 @@ class PlanningService:
             parsed = await self._read_request(reader)
             if parsed is None:
                 return
-            method, path, body = parsed
+            method, path, query, body = parsed
             if body is _TOO_LARGE:
                 status, payload, extra = 413, {"error": "request body too large"}, {}
             else:
                 events_job = self._events_job_id(method, path)
                 if events_job is not None:
-                    await self._stream_events(writer, events_job)
+                    await self._stream_events(
+                        writer, events_job, since=_since_param(query)
+                    )
                     return
                 status, payload, extra = self._route(method, path, body)
             await self._respond(writer, status, payload, extra)
@@ -410,7 +455,7 @@ class PlanningService:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, Any] | None:
+    ) -> tuple[str, str, str, Any] | None:
         request_line = await asyncio.wait_for(
             reader.readline(), timeout=_HEADER_TIMEOUT_S
         )
@@ -419,7 +464,7 @@ class PlanningService:
         try:
             method, target, _version = request_line.decode("latin-1").split()
         except ValueError:
-            return "GET", "/__malformed__", None
+            return "GET", "/__malformed__", "", None
         headers: dict[str, str] = {}
         while True:
             line = await asyncio.wait_for(
@@ -433,15 +478,15 @@ class PlanningService:
             length = int(headers.get("content-length", "0"))
         except ValueError:
             length = 0
+        path, _, query = target.partition("?")
         if length > _MAX_BODY_BYTES:
-            return method.upper(), target, _TOO_LARGE
+            return method.upper(), path, query, _TOO_LARGE
         body = b""
         if length > 0:
             body = await asyncio.wait_for(
                 reader.readexactly(length), timeout=_HEADER_TIMEOUT_S
             )
-        path = target.split("?", 1)[0]
-        return method.upper(), path, body
+        return method.upper(), path, query, body
 
     async def _respond(
         self,
@@ -486,13 +531,14 @@ class PlanningService:
         )
 
     async def _stream_events(
-        self, writer: asyncio.StreamWriter, job_id: str
+        self, writer: asyncio.StreamWriter, job_id: str, since: int = 0
     ) -> None:
         """Serve one ``text/event-stream`` connection for a job.
 
-        Replays the job's event log from the beginning, then follows it
-        until the job is terminal (final ``end`` frame) or the consumer
-        goes away.  Keepalive comment frames flush out silently-closed
+        Replays the job's event log from ``since`` (a resume cursor: the
+        ``?since=N`` query parameter carries the next sequence number a
+        reconnecting client wants), then follows it until the job is
+        terminal (final ``end`` frame) or the consumer goes away.  Keepalive comment frames flush out silently-closed
         connections; a drain announcement is sent once when the service
         starts shutting down mid-stream.  Every exit path detaches the
         task from ``_streams`` and records a ``service.events`` span
@@ -522,7 +568,7 @@ class PlanningService:
                 b"Connection: close\r\n\r\n"
             )
             await self._drain_stream(writer)
-            cursor = 0
+            cursor = max(0, since)
             announced_drain = False
             last_write = time.monotonic()
             while True:
@@ -625,6 +671,10 @@ class PlanningService:
             if method != "POST":
                 return "plan", self._method_not_allowed("POST")
             return "plan", self._post_plan
+        if path == "/v1/mission":
+            if method != "POST":
+                return "mission", self._method_not_allowed("POST")
+            return "mission", self._post_mission
         if path == "/healthz" and method == "GET":
             return "healthz", self._get_healthz
         if path == "/metrics" and method == "GET":
@@ -672,6 +722,39 @@ class PlanningService:
             return 400, {"error": f"request body is not valid JSON: {exc}"}, {}
         with span("service.admission"):
             request, priority = normalize_plan_request(doc)
+            shard = self._shard_for(job_id_for(request))
+            try:
+                job, created = shard.queue.submit(request, priority)
+            except QueueFull as exc:
+                retry_after = self._retry_after_s()
+                return (
+                    429,
+                    {"error": str(exc), "retry_after_s": retry_after},
+                    {"Retry-After": str(retry_after)},
+                )
+            except QueueClosed as exc:
+                return 503, {"error": str(exc)}, {}
+        self._observe_depths()
+        return (
+            202,
+            {
+                "job_id": job.job_id,
+                "state": job.state,
+                "deduplicated": not created,
+                "shard": shard.index,
+            },
+            {},
+        )
+
+    def _post_mission(self, body: bytes | None) -> tuple[int, Any, dict[str, str]]:
+        if self._draining:
+            return 503, {"error": "service is draining; try another replica"}, {}
+        try:
+            doc = json.loads(body or b"")
+        except json.JSONDecodeError as exc:
+            return 400, {"error": f"request body is not valid JSON: {exc}"}, {}
+        with span("service.admission"):
+            request, priority = normalize_mission_request(doc)
             shard = self._shard_for(job_id_for(request))
             try:
                 job, created = shard.queue.submit(request, priority)
@@ -814,6 +897,22 @@ class PlanningService:
             {"error": f"job is {job.state}; only queued jobs can be cancelled"},
             {},
         )
+
+
+def _since_param(query: str) -> int:
+    """The ``since=N`` resume cursor of an event-stream URL (0 default).
+
+    Malformed or negative values fall back to a full replay - resuming
+    too early is always safe (the client skips duplicates by seq).
+    """
+    for part in query.split("&"):
+        name, _, value = part.partition("=")
+        if name == "since":
+            try:
+                return max(0, int(value))
+            except ValueError:
+                return 0
+    return 0
 
 
 def _sse_frame(event: dict[str, Any]) -> bytes:

@@ -24,6 +24,37 @@ class TestParser:
         assert args.separations == [10.0, 40.0, 70.0, 100.0]
         assert args.figures is None
 
+    def test_mission_defaults(self):
+        args = build_parser().parse_args(["mission"])
+        assert args.families is None
+        assert args.motions is None
+        assert args.epochs == 3
+        assert args.seeds == 1
+        assert args.method == "a"
+        assert args.advance_fraction == 0.5
+
+    def test_mission_args(self):
+        args = build_parser().parse_args([
+            "mission", "--families", "corridor", "annulus",
+            "--motions", "drift", "--seed-list", "3", "7",
+            "--epochs", "2", "--workers", "2", "--output", "m.json",
+        ])
+        assert args.families == ["corridor", "annulus"]
+        assert args.motions == ["drift"]
+        assert args.seed_list == [3, 7]
+        assert args.epochs == 2
+        assert args.workers == 2
+        assert args.output == "m.json"
+
+    def test_report_missions_flags(self):
+        args = build_parser().parse_args([
+            "report", "--missions", "--mission-seeds", "2",
+            "--mission-epochs", "4",
+        ])
+        assert args.missions
+        assert args.mission_seeds == 2
+        assert args.mission_epochs == 4
+
 
 class TestCommands:
     def test_lemmas_command(self, capsys):

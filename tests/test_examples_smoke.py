@@ -22,6 +22,7 @@ EXAMPLES = [
     "failure_recovery.py",
     "transition_trace.py",
     "serve_and_submit.py",
+    "mission_stream.py",
 ]
 
 EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"

@@ -1,5 +1,7 @@
 """Tests for cascading (multi-event) replan_after_failure."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -14,8 +16,10 @@ from repro.marching import (
     replan_after_failure,
     validate_failure_sequence,
 )
+from repro.marching.replan import _remap_event_time
 from repro.metrics import connectivity_report
 from repro.robots import RadioSpec, Swarm
+from repro.robots.motion import SwarmTrajectory, TimedPath
 
 FAST = MarchingConfig(
     foi_target_points=150,
@@ -169,3 +173,80 @@ class TestCascade:
         # Step chaining: each step starts where the previous plan stood.
         assert len(outcome.steps) == 3
         assert outcome.result is outcome.steps[-1].result
+
+
+class TestEdgeWindows:
+    """Failures at the very end of a plan and degenerate windows."""
+
+    def test_remap_proportional_midpoint(self):
+        assert _remap_event_time(0.5, 0.0, 1.0, 10.0, 20.0) == 15.0
+
+    def test_remap_zero_length_window_maps_to_span_end(self):
+        # The march is over: the event observes final positions, it
+        # must not rewind the survivors to the fresh plan's start.
+        assert _remap_event_time(0.7, 0.7, 0.7, 10.0, 20.0) == 20.0
+        assert _remap_event_time(0.7, 0.9, 0.7, 10.0, 20.0) == 20.0
+
+    def test_remap_clamps_float_roundoff(self):
+        assert _remap_event_time(1.0 + 1e-12, 0.0, 1.0, 10.0, 20.0) == 20.0
+        assert _remap_event_time(-1e-12, 0.0, 1.0, 10.0, 20.0) == 10.0
+
+    def test_single_event_exactly_at_T(self, mission):
+        swarm, m2, original = mission
+        t_end = original.trajectory.t_end
+        outcome = replan_after_failure(
+            original,
+            FailureEvent(time=t_end, failed=(7,)),
+            m2,
+            swarm.radio.comm_range,
+            config=FAST,
+        )
+        # The survivors replan from the original plan's final positions.
+        final = original.trajectory.positions_at(t_end)
+        survivors = np.array([i for i in range(swarm.size) if i != 7])
+        assert np.allclose(outcome.positions_at_failure, final[survivors])
+        assert outcome.survivors_connected
+
+    def test_cascade_event_exactly_at_T(self, mission):
+        swarm, m2, original = mission
+        t_end = original.trajectory.t_end
+        events = [
+            FailureEvent(time=0.5 * t_end, failed=(3,)),
+            FailureEvent(time=t_end, failed=(4,)),
+        ]
+        outcome = replan_after_failure(
+            original, events, m2, swarm.radio.comm_range, config=FAST
+        )
+        assert outcome.replan_count == 2
+        # The second event lands exactly at the end of the first fresh
+        # plan's span - never beyond it.
+        first_plan = outcome.steps[0].result
+        assert outcome.steps[1].event.time == first_plan.trajectory.t_end
+        assert len(outcome.survivor_ids) == swarm.size - 2
+
+    def test_cascade_on_zero_duration_trajectory(self, mission):
+        swarm, m2, original = mission
+        # A degenerate plan whose whole span is one instant: the
+        # remaining window is zero-length from the start.
+        frozen = dataclasses.replace(
+            original,
+            trajectory=SwarmTrajectory(
+                [TimedPath.stationary(p, 0.0) for p in original.final_positions],
+                0.0,
+                0.0,
+            ),
+        )
+        outcome = replan_after_failure(
+            frozen,
+            [FailureEvent(time=0.0, failed=(5,))],
+            m2,
+            swarm.radio.comm_range,
+            config=FAST,
+        )
+        assert outcome.replan_count == 1
+        step = outcome.steps[0]
+        assert step.event.time == 0.0
+        survivors = np.array([i for i in range(swarm.size) if i != 5])
+        assert np.allclose(
+            step.positions_at_failure, original.final_positions[survivors]
+        )
