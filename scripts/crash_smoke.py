@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""CI crash smoke: kill -9 the service mid-mission and prove recovery.
+
+Runs the :mod:`repro.experiments.crashrec` harness end to end against
+``python -m repro serve --journal-dir``:
+
+1. **SIGKILL at a seeded epoch** - boot a journal-backed server, land
+   plan jobs (acknowledged ``done``), stream a mission, deliver
+   ``SIGKILL`` the instant the seeded ``epoch`` event arrives, restart
+   on the same journal, and assert (a) zero lost acknowledged jobs -
+   every pre-crash ``done`` job is still ``done`` with byte-identical
+   result bytes - and (b) the resumed mission's final document is
+   byte-identical to an uninterrupted in-process oracle run.
+2. **A second seeded instant** - same contract, kill at a later epoch,
+   proving the checkpoint cursor advances.
+3. **SIGTERM graceful drain** - the in-flight mission checkpoints and
+   releases at its epoch boundary (``interrupted`` SSE event), the
+   drain is announced on the stream, the process exits 0, and the
+   restart still finishes byte-identically.
+
+Run:  PYTHONPATH=src python scripts/crash_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from dataclasses import replace
+
+from repro.experiments.crashrec import (
+    CrashRecConfig,
+    crashrec_passed,
+    expected_mission_bytes,
+    render_crashrec,
+    run_crashrec,
+)
+
+BASE = CrashRecConfig(
+    seed=0,
+    epochs=3,
+    kill_epoch=1,
+    plan_jobs=2,
+    robot_count=16,
+    foi_target_points=100,
+    grid_target=300,
+    lloyd_max_iterations=8,
+    resolution=4,
+)
+
+# SIGTERM needs runway: the drain interrupt fires at the *next* epoch
+# boundary after the signal, so leave several epochs outstanding.
+TERM = replace(BASE, epochs=5, kill_epoch=1)
+
+
+def run_case(label: str, config: CrashRecConfig, sig: str, baseline: bytes) -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-crash-smoke-") as journal:
+        summary = run_crashrec(config, journal, sig=sig, baseline=baseline)
+    print(f"--- case {label} ---")
+    print(render_crashrec(summary))
+    assert crashrec_passed(summary), summary
+    canonical = summary["canonical"]
+    assert canonical["zero_lost_acked"], canonical["lost_acked"]
+    assert canonical["mission_byte_identical"]
+    if sig == "SIGKILL":
+        assert summary["timing"]["crash_exit_code"] == -9, summary["timing"]
+        assert canonical["mission_provenance"] == "retried", canonical
+        assert canonical["epochs_streamed_before_crash"] >= config.kill_epoch
+    else:
+        assert summary["timing"]["crash_exit_code"] == 0, summary["timing"]
+
+
+def main() -> int:
+    run_case(
+        "SIGKILL @ epoch 1", BASE, "SIGKILL", expected_mission_bytes(BASE)
+    )
+    # Kill later in a longer mission: the checkpoint cursor must have
+    # advanced past epoch 2, and >= 2 epochs of runway keep the kill
+    # landing while the mission is still running (no completion race).
+    later = replace(BASE, epochs=4, kill_epoch=2)
+    run_case(
+        "SIGKILL @ epoch 2", later, "SIGKILL", expected_mission_bytes(later)
+    )
+    run_case(
+        "SIGTERM drain", TERM, "SIGTERM", expected_mission_bytes(TERM)
+    )
+    print("crash smoke: all cases recovered with zero lost acknowledged "
+          "jobs and byte-identical mission documents")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

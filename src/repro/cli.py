@@ -31,6 +31,7 @@ across invocations).
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import Sequence
 
@@ -276,6 +277,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--ttl", type=float, default=3600.0,
                          metavar="SECONDS",
                          help="retention of finished jobs and results")
+    p_serve.add_argument("--journal-dir", metavar="DIR", default=None,
+                         help="write-ahead job journal directory: every job "
+                              "transition is fsynced there before it is "
+                              "acknowledged, missions checkpoint per epoch, "
+                              "and a restart with the same DIR replays the "
+                              "journal and resumes (default: no journal)")
+    p_serve.add_argument("--no-journal-fsync", action="store_true",
+                         help="skip the per-append fsync (tests only; "
+                              "forfeits the kill -9 durability claim)")
 
     p_loadgen = sub.add_parser(
         "loadgen",
@@ -313,6 +323,10 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="N",
                            help="fleet shards for the self-contained mode "
                                 "(ignored with --port; default: 2)")
+    p_loadgen.add_argument("--no-journal", action="store_true",
+                           help="skip the journal + restart-recovery probe "
+                                "in the self-contained mode (ignored with "
+                                "--port)")
     p_loadgen.add_argument("--output", metavar="FILE", default=None,
                            help="write the canonical summary bytes to FILE")
 
@@ -692,20 +706,42 @@ def _cmd_serve(args) -> int:
         job_timeout_s=args.job_timeout,
         retries=args.retries,
         ttl_s=args.ttl,
+        journal_dir=args.journal_dir,
+        journal_fsync=not args.no_journal_fsync,
         tracer=tracer if tracer.enabled else None,
         metrics=get_metrics(),
         cache=get_cache(),
     )
     service.start()
+    # getattr: CLI tests stub PlanningService with a minimal fake.
+    if getattr(service, "journal", None) is not None:
+        recovered = service.recovery.get("jobs_restored", 0)
+        print(
+            f"journal at {service.journal.directory}: "
+            f"{service.recovery.get('journal_records', 0)} records replayed, "
+            f"{recovered} jobs restored "
+            f"({service.recovery.get('jobs_requeued', 0)} requeued, "
+            f"{service.recovery.get('jobs_retried', 0)} retried) in "
+            f"{service.recovery.get('replay_s', 0.0):.3f}s",
+            flush=True,
+        )
     print(
         f"repro service listening on http://{service.host}:{service.port}",
         flush=True,
     )
+
+    # SIGTERM gets the same graceful path as Ctrl-C: drain (missions
+    # checkpoint-and-release at their epoch boundary), then exit 0.
+    def _on_sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         service.wait()
     except KeyboardInterrupt:
         print("interrupt: draining jobs and shutting down", flush=True)
     finally:
+        signal.signal(signal.SIGTERM, previous)
         service.stop()
     return 0
 
@@ -736,7 +772,9 @@ def _cmd_loadgen(args) -> int:
         summary = run_loadgen(config, port=args.port, host=args.host)
     else:
         summary = run_loadgen_fleet(
-            config, service_workers=max(1, args.service_workers)
+            config,
+            service_workers=max(1, args.service_workers),
+            journal=not args.no_journal,
         )
     print(render_loadgen(summary))
     if args.output:

@@ -104,6 +104,29 @@ class MissionError(ReproError):
         self.epoch = int(epoch)
 
 
+class MissionInterrupted(ReproError):
+    """A mission run was interrupted at an epoch boundary.
+
+    Raised by :class:`repro.missions.MissionRunner` when an ``interrupt``
+    callable (wired by the service drain path) fires between epochs.
+    The runner checkpoints every completed epoch *before* raising, so the
+    mission can later resume from the boundary and still produce a
+    document byte-identical to an uninterrupted run.  This is a control
+    signal, not a failure: the service releases the job back to the
+    queue instead of marking it failed.
+
+    Attributes
+    ----------
+    epochs_completed : int
+        Number of epochs fully executed (and checkpointed) before the
+        interrupt was honoured.
+    """
+
+    def __init__(self, message: str, epochs_completed: int = 0) -> None:
+        super().__init__(message)
+        self.epochs_completed = int(epochs_completed)
+
+
 class ServiceError(ReproError):
     """The planning service rejected or could not complete a request.
 
@@ -112,4 +135,14 @@ class ServiceError(ReproError):
     client when the server answers with an error status.  The admission
     failures (queue full, queue closed) are narrower subclasses defined
     in :mod:`repro.service.jobs`.
+    """
+
+
+class JournalError(ReproError):
+    """The write-ahead job journal is unusable.
+
+    Raised when a journal directory is locked by another live process,
+    or when replay encounters a record written by an unsupported journal
+    format version.  Torn trailing records (the normal signature of a
+    ``kill -9``) are *not* errors - replay skips them and counts them.
     """

@@ -19,6 +19,12 @@ from repro.experiments.chaos import (
     render_chaos,
     run_chaos_case,
 )
+from repro.experiments.crashrec import (
+    CrashRecConfig,
+    crashrec_passed,
+    render_crashrec,
+    run_crashrec,
+)
 from repro.experiments.figures import write_all_sweep_figures, write_sweep_figures
 from repro.experiments.loadgen import (
     LoadgenConfig,
@@ -67,6 +73,7 @@ __all__ = [
     "chaos_sweep",
     "render_chaos",
     "run_chaos_case",
+    "CrashRecConfig",
     "Lemma1Example",
     "Lemma2Example",
     "LoadgenConfig",
@@ -92,6 +99,7 @@ __all__ = [
     "TransitionTrace",
     "build_report",
     "build_schedule",
+    "crashrec_passed",
     "evaluate_trajectory",
     "format_scaling_table",
     "format_table",
@@ -100,8 +108,10 @@ __all__ = [
     "lemma2_example",
     "mission_campaign",
     "missions_passed",
+    "render_crashrec",
     "render_loadgen",
     "render_missions",
+    "run_crashrec",
     "run_mission_cell",
     "render_sweep",
     "render_table1",

@@ -409,6 +409,7 @@ def run_loadgen_fleet(
     capacity: int = 64,
     runner: Any = None,
     drain_probe: bool = True,
+    journal: bool = True,
 ) -> dict[str, Any]:
     """Boot a fresh in-process fleet, load it, drain it, report.
 
@@ -417,35 +418,67 @@ def run_loadgen_fleet(
     is cold, and appends a ``drain`` section verifying that shutdown
     mid-traffic is graceful (healthz flips to 503, every accepted job
     still completes, the fleet stops cleanly).
+
+    With ``journal`` (the default) the fleet runs on a temporary job
+    journal and, after the drained shutdown, a second fleet is booted
+    on the same journal directory - the summary's ``recovery`` section
+    reports how many jobs the restart restored and how long the replay
+    took.  Per-append fsync is off here (this measures replay, not
+    ``kill -9`` durability - the crashrec harness covers that).
     """
+    import contextlib
+    import tempfile
+
     from repro.service import PlanningService
 
-    service = PlanningService(
-        port=0,
-        capacity=capacity,
-        dispatchers=dispatchers,
-        service_workers=service_workers,
-        runner=runner,
+    journal_cm: Any = (
+        tempfile.TemporaryDirectory(prefix="repro-loadgen-journal-")
+        if journal
+        else contextlib.nullcontext()
     )
-    with service:
-        summary = run_loadgen(config, port=service.port)
-        drain: dict[str, Any] = {}
-        if drain_probe:
-            probe = ServiceClient(port=service.port)
-            service.drain()
-            health = probe.healthz()
-            drain = {
-                "draining_healthz_status": health.get("http_status"),
-                "draining_announced": health.get("status") == "draining",
-                "rejects_new_work": False,
-            }
-            try:
-                probe.submit_request(build_schedule(config)[0]["request"])
-            except ServiceError as exc:
-                drain["rejects_new_work"] = (
-                    getattr(exc, "status", None) == 503
-                )
+    with journal_cm as journal_dir:
+        service = PlanningService(
+            port=0,
+            capacity=capacity,
+            dispatchers=dispatchers,
+            service_workers=service_workers,
+            runner=runner,
+            journal_dir=journal_dir,
+            journal_fsync=False,
+        )
+        with service:
+            summary = run_loadgen(config, port=service.port)
+            drain: dict[str, Any] = {}
+            if drain_probe:
+                probe = ServiceClient(port=service.port)
+                service.drain()
+                health = probe.healthz()
+                drain = {
+                    "draining_healthz_status": health.get("http_status"),
+                    "draining_announced": health.get("status") == "draining",
+                    "rejects_new_work": False,
+                }
+                try:
+                    probe.submit_request(build_schedule(config)[0]["request"])
+                except ServiceError as exc:
+                    drain["rejects_new_work"] = (
+                        getattr(exc, "status", None) == 503
+                    )
+        recovery: dict[str, Any] = {}
+        if journal:
+            restarted = PlanningService(
+                port=0,
+                capacity=capacity,
+                dispatchers=dispatchers,
+                service_workers=service_workers,
+                runner=runner,
+                journal_dir=journal_dir,
+                journal_fsync=False,
+            )
+            with restarted:
+                recovery = dict(restarted.recovery)
     summary["drain"] = drain
+    summary["recovery"] = recovery
     summary["service_workers"] = service_workers
     return summary
 
@@ -501,6 +534,13 @@ def render_loadgen(summary: dict[str, Any]) -> str:
                 and drain.get("rejects_new_work")
             ),
         ))
+    recovery = summary.get("recovery") or {}
+    if recovery:
+        checks.append((
+            "restart recovery clean",
+            recovery.get("jobs_requeued", 0) == 0
+            and recovery.get("jobs_restored", 0) >= canonical["uniques"],
+        ))
     check_lines = "\n".join(
         f"  [{'ok' if ok else 'FAIL'}] {name}" for name, ok in checks
     )
@@ -511,6 +551,14 @@ def render_loadgen(summary: dict[str, Any]) -> str:
         f"{timing['rejected_429']} x 429) in {timing['elapsed_s']:.2f}s "
         f"({timing['throughput_rps']:.1f} req/s)"
     )
+    if recovery:
+        header += (
+            f"\nrestart: {recovery.get('jobs_restored', 0)} jobs restored "
+            f"({recovery.get('jobs_requeued', 0)} requeued, "
+            f"{recovery.get('jobs_retried', 0)} retried) from "
+            f"{recovery.get('journal_records', 0)} journal records in "
+            f"{recovery.get('replay_s', 0.0):.3f}s"
+        )
     digest = canonical_digest({
         "format_version": summary["format_version"],
         "config": summary["config"],
@@ -533,5 +581,13 @@ def loadgen_passed(summary: dict[str, Any]) -> bool:
     if drain:
         verdict = verdict and bool(
             drain.get("draining_announced") and drain.get("rejects_new_work")
+        )
+    recovery = summary.get("recovery") or {}
+    if recovery:
+        # A drained fleet's journal restores every unique job terminal
+        # - a requeue here means a completed job's durability was lost.
+        verdict = verdict and (
+            recovery.get("jobs_requeued", 0) == 0
+            and recovery.get("jobs_restored", 0) >= canonical["uniques"]
         )
     return verdict

@@ -320,6 +320,7 @@ def build_report(
         )
         canonical = load_summary["canonical"]
         timing = load_summary["timing"]
+        recovery = load_summary.get("recovery") or {}
         checks = [
             ("all clients completed", canonical["all_clients_completed"]),
             ("zero 5xx", canonical["zero_5xx"]),
@@ -327,6 +328,12 @@ def build_report(
             ("dedup exact", canonical["dedup_exact"]),
             ("results byte-identical", canonical["results_byte_identical"]),
         ]
+        if recovery:
+            checks.append((
+                "restart recovery clean",
+                recovery.get("jobs_requeued", 0) == 0
+                and recovery.get("jobs_restored", 0) >= canonical["uniques"],
+            ))
         digest = canonical_digest({
             "format_version": load_summary["format_version"],
             "config": load_summary["config"],
@@ -367,6 +374,24 @@ def build_report(
                 [[name, "ok" if ok else "FAIL"] for name, ok in checks],
             ),
         ])
+        if recovery:
+            parts.extend([
+                "",
+                "Restart recovery (same journal, fresh fleet): "
+                "jobs resumed and journal replay time.",
+                "",
+                _md_table(
+                    ["jobs restored", "requeued", "retried",
+                     "journal records", "replay (s)"],
+                    [[
+                        recovery.get("jobs_restored", 0),
+                        recovery.get("jobs_requeued", 0),
+                        recovery.get("jobs_retried", 0),
+                        recovery.get("journal_records", 0),
+                        f"{recovery.get('replay_s', 0.0):.3f}",
+                    ]],
+                ),
+            ])
     parts.extend([
         "",
         "## Phase timings",

@@ -36,12 +36,22 @@ __all__ = [
     "scenario_run_from_dict",
     "plan_document",
     "mission_document",
+    "JOURNAL_FORMAT_VERSION",
+    "SUPPORTED_JOURNAL_VERSIONS",
+    "journal_record",
+    "check_journal_version",
 ]
 
 FORMAT_VERSION = 1
 
 #: every document version this build of the library can read back.
 SUPPORTED_FORMAT_VERSIONS = (1,)
+
+#: format version stamped on every write-ahead journal record.
+JOURNAL_FORMAT_VERSION = 1
+
+#: every journal record version this build can replay.
+SUPPORTED_JOURNAL_VERSIONS = (1,)
 
 
 def check_format_version(data: Any, source: Any = None) -> None:
@@ -59,6 +69,38 @@ def check_format_version(data: Any, source: Any = None) -> None:
             f"build reads versions {list(SUPPORTED_FORMAT_VERSIONS)} - "
             "regenerate the document with this library's save_result / "
             "service, or upgrade the library"
+        )
+
+
+def journal_record(rtype: str, **fields: Any) -> dict[str, Any]:
+    """A versioned write-ahead journal record.
+
+    Every record the service journal appends goes through here so the
+    on-disk format has exactly one author: a flat JSON object carrying
+    ``journal_version`` and ``type`` plus the caller's fields, always
+    serialised with :func:`dumps_canonical`.
+    """
+    record = {"journal_version": JOURNAL_FORMAT_VERSION, "type": str(rtype)}
+    record.update(fields)
+    return record
+
+
+def check_journal_version(record: Any, source: Any = None) -> None:
+    """Reject journal records this build cannot replay.
+
+    Recovery correctness depends on interpreting every surviving record;
+    a version this build does not know must stop the replay loudly
+    rather than silently dropping state transitions.
+    """
+    from repro.errors import JournalError
+
+    version = record.get("journal_version") if isinstance(record, dict) else None
+    if version not in SUPPORTED_JOURNAL_VERSIONS:
+        where = f" in {source}" if source is not None else ""
+        raise JournalError(
+            f"unsupported journal_version {version!r}{where}; this build "
+            f"replays versions {list(SUPPORTED_JOURNAL_VERSIONS)} - recover "
+            "with a matching library build or discard the journal directory"
         )
 
 

@@ -7,8 +7,16 @@ boundary (translated targets are disk-map cache hits, deformed targets
 genuine re-solves), composes optional crash faults, and produces a
 canonical byte-stable mission document plus streamed
 ``epoch``/``plan_diff``/``recovery`` progress events.
+
+With a ``checkpoint_dir``, :class:`MissionCheckpoint` commits every
+completed epoch durably, so a killed process resumes from the boundary
+- and the resumed document stays byte-identical to an uninterrupted
+run.  An ``interrupt`` callable turns a service drain into a
+checkpoint-and-release (:class:`~repro.errors.MissionInterrupted`)
+instead of lost work.
 """
 
+from repro.missions.checkpoint import MissionCheckpoint, checkpoint_key
 from repro.missions.diff import PlanDiff, plan_diff
 from repro.missions.spec import MOTIONS, MissionConfig, MissionSpec
 from repro.missions.targets import mission_targets
@@ -16,10 +24,12 @@ from repro.missions.runner import MissionRunner, run_mission
 
 __all__ = [
     "MOTIONS",
+    "MissionCheckpoint",
     "MissionConfig",
     "MissionRunner",
     "MissionSpec",
     "PlanDiff",
+    "checkpoint_key",
     "mission_targets",
     "plan_diff",
     "run_mission",

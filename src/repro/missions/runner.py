@@ -29,13 +29,14 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.errors import MissionError, ReproError
+from repro.errors import MissionError, MissionInterrupted, ReproError
 from repro.exec.cache import ContentCache, activate_cache
 from repro.faults.schedule import CrashFault, FaultSchedule
 from repro.io import canonical_digest, mission_document, result_to_dict
 from repro.marching.planner import MarchingPlanner
 from repro.marching.replan import _remap_event_time
 from repro.metrics.stable_links import stable_link_ratio
+from repro.missions.checkpoint import MissionCheckpoint, checkpoint_key
 from repro.missions.diff import plan_diff
 from repro.missions.spec import MissionConfig, MissionSpec
 from repro.missions.targets import mission_targets
@@ -112,24 +113,64 @@ class MissionRunner:
             if lo <= c.at < hi or (last and c.at >= hi)
         ]
 
-    def run(self, progress: ProgressFn | None = None) -> dict[str, Any]:
+    def run(
+        self,
+        progress: ProgressFn | None = None,
+        checkpoint_dir: str | None = None,
+        interrupt: Callable[[], bool] | None = None,
+    ) -> dict[str, Any]:
         """Run the mission; returns the canonical mission document.
+
+        Parameters
+        ----------
+        progress : callable, optional
+            ``progress(kind, data)`` sink for streaming events.
+        checkpoint_dir : str or Path, optional
+            Durable per-epoch checkpointing: completed epochs (and the
+            mission's private disk-cache manifest) are committed there
+            after every epoch, and a later run against the same
+            directory resumes from the last committed epoch instead of
+            epoch zero - producing a document byte-identical to an
+            uninterrupted run.  The directory is removed on success.
+        interrupt : callable, optional
+            Polled at every epoch boundary; when it returns True the
+            runner checkpoints (if enabled) and raises
+            :class:`MissionInterrupted` - the graceful-drain hook.
 
         Raises
         ------
         MissionError
             When a leg cannot be planned, or a crash leaves too few /
             disconnected survivors.
+        MissionInterrupted
+            When ``interrupt`` fired at an epoch boundary.
         """
         emit = progress or (lambda kind, data: None)
+        checkpoint: MissionCheckpoint | None = None
+        if checkpoint_dir is not None:
+            key = checkpoint_key(
+                self.spec.to_dict(),
+                self.config.to_dict(),
+                self.faults.to_dict() if self.faults is not None else None,
+            )
+            checkpoint = MissionCheckpoint(checkpoint_dir, key=key)
+            cache = checkpoint.cache(self.config.cache_capacity)
+        else:
+            cache = ContentCache(self.config.cache_capacity)
         with activate_metrics(Metrics()) as metrics, activate_cache(
-            ContentCache(self.config.cache_capacity)
+            cache
         ), span("mission.run", family=self.spec.family, seed=self.spec.seed):
-            return self._run(emit, metrics)
+            return self._run(emit, metrics, checkpoint, interrupt)
 
     # ------------------------------------------------------------------
 
-    def _run(self, emit: ProgressFn, metrics: Metrics) -> dict[str, Any]:
+    def _run(
+        self,
+        emit: ProgressFn,
+        metrics: Metrics,
+        checkpoint: MissionCheckpoint | None = None,
+        interrupt: Callable[[], bool] | None = None,
+    ) -> dict[str, Any]:
         spec, config = self.spec, self.config
         scenario, targets = mission_targets(spec, config)
         planner = MarchingPlanner(config.marching_config())
@@ -141,8 +182,40 @@ class MissionRunner:
         previous: dict[str, Any] = {}
         totals = {"hits": 0, "misses": 0, "distance": 0.0, "violations": 0}
         fault_replans = 0
+        start_epoch = 0
 
-        for epoch, target in enumerate(targets):
+        state = checkpoint.load() if checkpoint is not None else None
+        if state is not None:
+            # Resume from the last committed epoch.  Positions/ids come
+            # back bit-exact (JSON floats round-trip through repr), and
+            # the target sequence is regenerated deterministically, so
+            # everything downstream is as if the completed epochs ran
+            # in this process.
+            epochs = [dict(e) for e in state["epochs"]]
+            start_epoch = len(epochs)
+            positions = np.asarray(state["positions"], dtype=float)
+            alive = np.asarray(state["alive"], dtype=int)
+            totals = dict(state["totals"])
+            fault_replans = int(state["fault_replans"])
+            if start_epoch > 0:
+                prev = state["previous"]
+                previous = {
+                    "target": targets[start_epoch - 1],
+                    "distance": prev.get("distance"),
+                    "ratio": prev.get("ratio"),
+                }
+            metrics.counter("mission.checkpoint.resumed").inc()
+            emit("resumed", {"epoch": start_epoch,
+                             "epochs_completed": start_epoch})
+
+        for epoch in range(start_epoch, len(targets)):
+            target = targets[epoch]
+            if interrupt is not None and interrupt():
+                raise MissionInterrupted(
+                    f"mission interrupted at epoch boundary {epoch} "
+                    f"({epoch} epochs completed and checkpointed)",
+                    epochs_completed=epoch,
+                )
             hits0 = metrics.counter(_HITS).value
             misses0 = metrics.counter(_MISSES).value
             t0 = time.perf_counter()
@@ -258,19 +331,6 @@ class MissionRunner:
                 "plan_digest": canonical_digest(result_to_dict(result)),
             }
             epochs.append(record)
-            emit("plan_diff", diff.to_dict())
-            emit(
-                "epoch",
-                {
-                    "epoch": epoch,
-                    "robots": int(len(alive)),
-                    "cache_hits": hits,
-                    "cache_misses": misses,
-                    "c_violations": int(violations),
-                    "replan_latency_s": latency,
-                },
-            )
-
             totals["hits"] += hits
             totals["misses"] += misses
             totals["distance"] += executed
@@ -284,6 +344,33 @@ class MissionRunner:
             ]
             positions = traj.positions_at(t_cut)[survivors_local]
             alive = alive[survivors_local]
+
+            # -- commit, then announce: an observed ``checkpoint`` (or
+            # later) event implies this epoch survives any crash -------
+            if checkpoint is not None:
+                checkpoint.save({
+                    "epochs": epochs,
+                    "positions": positions.tolist(),
+                    "alive": [int(a) for a in alive],
+                    "totals": totals,
+                    "fault_replans": fault_replans,
+                    "previous": {"distance": previous["distance"],
+                                 "ratio": previous["ratio"]},
+                })
+                emit("checkpoint", {"epoch": epoch,
+                                    "plan_digest": record["plan_digest"]})
+            emit("plan_diff", diff.to_dict())
+            emit(
+                "epoch",
+                {
+                    "epoch": epoch,
+                    "robots": record["robots"],
+                    "cache_hits": hits,
+                    "cache_misses": misses,
+                    "c_violations": int(violations),
+                    "replan_latency_s": latency,
+                },
+            )
 
         final_target = targets[-1]
         summary = {
@@ -299,13 +386,16 @@ class MissionRunner:
             "in_target": int(np.sum(final_target.contains(positions))),
             "completed": True,
         }
-        return mission_document(
+        document = mission_document(
             spec.to_dict(),
             config.to_dict(),
             self.faults.to_dict() if self.faults is not None else None,
             epochs,
             summary,
         )
+        if checkpoint is not None:
+            checkpoint.clear()
+        return document
 
 
 def _deformed_epoch(spec: MissionSpec, epoch: int) -> bool:
@@ -398,10 +488,14 @@ def run_mission(
     config: MissionConfig | dict[str, Any] | None = None,
     faults: FaultSchedule | None = None,
     progress: ProgressFn | None = None,
+    checkpoint_dir: str | None = None,
+    interrupt: Callable[[], bool] | None = None,
 ) -> dict[str, Any]:
     """Convenience wrapper: build a runner and run it once."""
     if isinstance(spec, dict):
         spec = MissionSpec.from_dict(spec)
     if isinstance(config, dict):
         config = MissionConfig.from_dict(config)
-    return MissionRunner(spec, config=config, faults=faults).run(progress)
+    return MissionRunner(spec, config=config, faults=faults).run(
+        progress, checkpoint_dir=checkpoint_dir, interrupt=interrupt
+    )

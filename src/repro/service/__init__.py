@@ -12,6 +12,13 @@ and :mod:`repro.obs` for per-request span trees and live metrics:
   retries, obs merge-back).
 * :class:`ShardRouter` - consistent-hash routing of content addresses
   onto shard workers, so a fleet deduplicates exactly like one queue.
+* :class:`JobJournal` - the write-ahead journal (fsynced, versioned,
+  segment-rotated) that makes the queue's state transitions durable;
+  on startup the service replays it, re-enqueues non-terminal jobs
+  (at-least-once, made effectively exactly-once by content-address
+  dedup) and compacts the log.  Missions additionally checkpoint per
+  epoch (:class:`repro.missions.MissionCheckpoint`) so a killed
+  process resumes mid-mission with a byte-identical document.
 * :class:`PlanningService` - the asyncio HTTP frontend
   (``POST /v1/plan``, ``POST /v1/mission`` streaming mission jobs, job
   polling, SSE progress streaming at ``GET /v1/jobs/{id}/events`` with
@@ -39,6 +46,7 @@ from repro.service.executor_bridge import ExecutorBridge
 from repro.service.jobs import (
     JOB_STATES,
     Job,
+    JobExpiredError,
     JobQueue,
     QueueClosed,
     QueueFull,
@@ -46,6 +54,7 @@ from repro.service.jobs import (
     normalize_mission_request,
     normalize_plan_request,
 )
+from repro.service.journal import JobJournal, JournalReplay, replay_records
 from repro.service.server import (
     PlanningService,
     ShardWorker,
@@ -59,7 +68,10 @@ __all__ = [
     "JOB_STATES",
     "ExecutorBridge",
     "Job",
+    "JobExpiredError",
+    "JobJournal",
     "JobQueue",
+    "JournalReplay",
     "PlanningService",
     "QueueClosed",
     "QueueFull",
@@ -70,6 +82,7 @@ __all__ = [
     "job_id_for",
     "normalize_mission_request",
     "normalize_plan_request",
+    "replay_records",
     "run_mission_request",
     "run_plan_request",
 ]

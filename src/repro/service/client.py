@@ -10,8 +10,10 @@ by tests, examples and the ``repro submit`` CLI::
 
 Every non-2xx answer raises :class:`repro.errors.ServiceError` (a
 ``429`` raises :class:`~repro.service.jobs.QueueFull` carrying the
-server's ``Retry-After``), so callers never have to inspect status
-codes unless they want to.
+server's ``Retry-After``; a ``410`` with ``state: expired`` raises
+:class:`~repro.service.jobs.JobExpiredError` carrying the eviction
+time - resubmit, don't retry), so callers never have to inspect
+status codes unless they want to.
 
 With ``retries > 0`` the client absorbs transient failures before
 giving up: connection refused/reset (the service is restarting),
@@ -41,7 +43,7 @@ from typing import Any
 from repro.errors import ServiceError
 from repro.obs import get_metrics
 
-from repro.service.jobs import QueueFull
+from repro.service.jobs import JobExpiredError, QueueFull
 
 __all__ = ["ServiceClient"]
 
@@ -183,6 +185,16 @@ class ServiceClient:
             except ValueError:
                 pass
             exc: ServiceError = QueueFull(message, retry_after_s=retry_after)
+        elif (
+            status == 410
+            and isinstance(doc, dict)
+            and doc.get("state") == "expired"
+        ):
+            # TTL eviction, not cancellation: the caller should
+            # resubmit (dedup gives the same job id), not retry the GET.
+            exc = JobExpiredError(
+                f"HTTP 410: {message}", evicted_at=doc.get("evicted_at")
+            )
         else:
             exc = ServiceError(f"HTTP {status}: {message}")
         # The numeric status rides along so callers (e.g. the load
@@ -386,13 +398,22 @@ class ServiceClient:
                                     f"invalid event frame: {exc}"
                                 ) from exc
                             data_lines = []
+                            kind = event.get("kind")
                             seq = event.get("seq")
+                            if kind == "draining":
+                                # Out-of-band announcement: it borrows
+                                # the current cursor position without
+                                # consuming a log sequence number, so
+                                # it must not advance (or dedupe
+                                # against) the resume cursor.
+                                yield event
+                                continue
                             if isinstance(seq, int):
-                                if seq < cursor and event.get("kind") != "end":
+                                if seq < cursor and kind != "end":
                                     continue  # replayed duplicate
                                 cursor = max(cursor, seq + 1)
                             yield event
-                            if event.get("kind") == "end":
+                            if kind == "end":
                                 return
                         continue
                     field, _, value = line.partition(b":")

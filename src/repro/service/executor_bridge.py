@@ -89,6 +89,10 @@ class ExecutorBridge:
         self.metrics = metrics if metrics is not None else Metrics()
         self._threads: list[threading.Thread] = []
         self._started = False
+        #: set when a drain begins; interrupt-aware runners poll it at
+        #: epoch boundaries and checkpoint-and-release instead of
+        #: finishing (or losing) a long mission.
+        self._drain_event = threading.Event()
 
     # ------------------------------------------------------------------
 
@@ -105,13 +109,29 @@ class ExecutorBridge:
             thread.start()
             self._threads.append(thread)
 
+    def request_drain(self) -> None:
+        """Ask in-flight interrupt-aware jobs to wind down gracefully.
+
+        Missions see this at their next epoch boundary, checkpoint, and
+        are released back to the queue (parked until a restart resumes
+        them); short jobs simply finish.
+        """
+        self._drain_event.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._drain_event.is_set()
+
     def stop(self, drain: bool = True, timeout: float | None = 30.0) -> None:
         """Close the queue and join the dispatchers.
 
         With ``drain`` (the default) dispatchers finish every queued
         job first; without it they exit after their current job and the
-        backlog is cancelled.
+        backlog is cancelled.  Either way in-flight interrupt-aware
+        jobs (missions) are asked to checkpoint-and-release at their
+        next epoch boundary rather than run to the end.
         """
+        self._drain_event.set()
         self.queue.close(drain=drain)
         for thread in self._threads:
             thread.join(timeout)
@@ -165,20 +185,42 @@ class ExecutorBridge:
             )
             runner = self.runner
             progress_bound = False
-            if getattr(runner, "supports_progress", False) and (
-                self.task_backend in ("thread", "serial")
-            ):
+            in_process = self.task_backend in ("thread", "serial")
+            if getattr(runner, "supports_progress", False) and in_process:
                 # Live streaming: the runner emits (kind, data) events
                 # straight into the job's event log as the mission
                 # advances.  Only in-process backends can share the
                 # queue; a process backend falls back to the post-hoc
                 # document scan below.
-                runner = _with_progress(runner, self.queue, job.job_id)
+                interrupt = None
+                if getattr(self.runner, "supports_interrupt", False):
+                    interrupt = self._drain_event.is_set
+                runner = _with_progress(
+                    runner, self.queue, job.job_id, interrupt=interrupt
+                )
                 progress_bound = True
             t0 = time.monotonic()
             try:
                 with span("service.solve", job_id=job.job_id):
                     (doc,) = engine.map(runner, [job.request])
+                if (
+                    isinstance(doc, dict)
+                    and doc.get("kind") == "mission_interrupted"
+                ):
+                    # The mission honoured a drain interrupt: its
+                    # completed epochs are checkpointed, so park the
+                    # job for the next process instead of failing it.
+                    epochs_done = int(doc.get("epochs_completed", 0))
+                    self.queue.publish(
+                        job.job_id, "interrupted",
+                        epochs_completed=epochs_done,
+                    )
+                    self.queue.release(job.job_id)
+                    metrics.counter("service.jobs.interrupted").inc()
+                    job_span.set_attributes(
+                        outcome="interrupted", epochs_completed=epochs_done
+                    )
+                    return
                 t_solved = time.monotonic()
                 self.queue.publish(
                     job.job_id, "phase", phase="solve",
@@ -260,12 +302,18 @@ class ExecutorBridge:
 
 
 def _with_progress(
-    runner: Callable[..., Any], queue: JobQueue, job_id: str
+    runner: Callable[..., Any],
+    queue: JobQueue,
+    job_id: str,
+    interrupt: Callable[[], bool] | None = None,
 ) -> Callable[[dict[str, Any]], Any]:
-    """Bind a runner's ``progress`` callback to the job's event log.
+    """Bind a runner's ``progress`` callback (and drain interrupt) to a job.
 
     The callback publishes best-effort: a job evicted mid-run (TTL
     race) must not kill the solve that is producing its result.
+    ``interrupt`` (the bridge's drain event, when the runner advertises
+    ``supports_interrupt``) lets a mission checkpoint-and-release at an
+    epoch boundary instead of being lost to a shutdown.
     """
 
     def progress(kind: str, data: dict[str, Any]) -> None:
@@ -275,6 +323,8 @@ def _with_progress(
             pass
 
     def run(request: dict[str, Any]) -> Any:
+        if interrupt is not None:
+            return runner(request, progress=progress, interrupt=interrupt)
         return runner(request, progress=progress)
 
     return run

@@ -34,16 +34,22 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import ServiceError
 from repro.exec import stable_hash
 from repro.obs import get_metrics
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.service.journal import JobJournal
+
 __all__ = [
     "JOB_STATES",
+    "PROVENANCES",
     "Job",
+    "JobExpiredError",
     "JobQueue",
     "QueueClosed",
     "QueueFull",
@@ -53,6 +59,14 @@ __all__ = [
 ]
 
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: how a job entered this process: a fresh submission, a journalled job
+#: re-installed by recovery, or a mid-claim job re-queued for another run.
+PROVENANCES = ("new", "recovered", "retried")
+
+#: evicted-job memory bound: enough to answer ``410 expired`` for any
+#: client still polling a recently evicted id, without growing forever.
+_EVICTED_MEMORY = 1024
 
 #: request fields accepted by ``POST /v1/plan`` -> (default, caster)
 _REQUEST_FIELDS = {
@@ -78,6 +92,20 @@ class QueueFull(ServiceError):
 
 class QueueClosed(ServiceError):
     """Admission refused: the service is draining and will not restart."""
+
+
+class JobExpiredError(ServiceError):
+    """The job's result existed but was TTL-evicted before this fetch.
+
+    Distinct from an unknown id (plain 404) so clients stop polling and
+    resubmit instead of retrying: the work is gone, not pending.
+    ``evicted_at`` is the wall-clock eviction time when the server still
+    remembers it.
+    """
+
+    def __init__(self, message: str, evicted_at: float | None = None) -> None:
+        super().__init__(message)
+        self.evicted_at = evicted_at
 
 
 def normalize_plan_request(doc: Any) -> tuple[dict[str, Any], int]:
@@ -253,6 +281,12 @@ class Job:
     #: progress events for the streaming endpoint, in publish order;
     #: reset when a failed/cancelled job is revived for a fresh attempt.
     events: list[dict[str, Any]] = field(default_factory=list)
+    #: one of :data:`PROVENANCES` - how this job entered the process.
+    provenance: str = "new"
+    #: a drain-released job parks until restart; claimers skip it.
+    interrupted: bool = False
+    #: hex SHA-256 of the result payload (set when a result is attached).
+    result_digest: str | None = None
 
     @property
     def terminal(self) -> bool:
@@ -275,6 +309,7 @@ class Job:
             "state": self.state,
             "priority": self.priority,
             "submissions": self.submissions,
+            "provenance": self.provenance,
             "queue_wait_s": queue_wait,
             "run_s": run_s,
             "error": self.error,
@@ -300,6 +335,12 @@ class JobQueue:
         single-queue service).  Purely identity: the executor bridge
         and the ``/metrics`` endpoint use it to label per-shard depth
         and claim-latency instruments.
+    journal : JobJournal, optional
+        Write-ahead journal.  When set, every state transition and
+        progress event is durably appended (under the queue lock, so
+        journal order equals transition order) before the caller
+        returns; :meth:`restore` re-installs journalled jobs after a
+        crash without re-journalling them.
     """
 
     def __init__(
@@ -308,6 +349,7 @@ class JobQueue:
         ttl_s: float = 3600.0,
         clock: Callable[[], float] = time.monotonic,
         shard: int | None = None,
+        journal: "JobJournal | None" = None,
     ) -> None:
         if capacity < 1:
             raise ServiceError("queue capacity must be positive")
@@ -316,8 +358,10 @@ class JobQueue:
         self.capacity = capacity
         self.ttl_s = ttl_s
         self.shard = shard
+        self.journal = journal
         self._clock = clock
         self._jobs: dict[str, Job] = {}
+        self._evicted: OrderedDict[str, float] = OrderedDict()
         self._cond = threading.Condition()
         self._seq = 0
         self._closed = False
@@ -365,10 +409,18 @@ class JobQueue:
                 job.started_at = None
                 job.finished_at = None
                 job.result = None
+                job.result_digest = None
                 job.error = None
                 job.submissions += 1
                 job.seq = self._seq
+                job.provenance = "new"
+                job.interrupted = False
                 job.events = []  # a fresh attempt starts a fresh stream
+                self._journal_locked(
+                    "submitted", job_id=job_id, request=job.request,
+                    priority=priority, provenance="new",
+                    submissions=job.submissions,
+                )
                 self._publish_locked(job, "queued", revived=True)
             else:
                 job = Job(
@@ -379,6 +431,11 @@ class JobQueue:
                     submitted_at=now,
                 )
                 self._jobs[job_id] = job
+                self._evicted.pop(job_id, None)
+                self._journal_locked(
+                    "submitted", job_id=job_id, request=job.request,
+                    priority=priority, provenance="new", submissions=1,
+                )
                 self._publish_locked(job, "queued", revived=False)
             self._seq += 1
             metrics.counter("service.jobs.accepted").inc()
@@ -397,11 +454,15 @@ class JobQueue:
         deadline = None if timeout is None else self._clock() + timeout
         with self._cond:
             while True:
-                candidates = [j for j in self._jobs.values() if j.state == "queued"]
+                candidates = [
+                    j for j in self._jobs.values()
+                    if j.state == "queued" and not j.interrupted
+                ]
                 if candidates:
                     job = min(candidates, key=lambda j: (-j.priority, j.seq))
                     job.state = "running"
                     job.started_at = self._clock()
+                    self._journal_locked("claimed", job_id=job.job_id)
                     return job
                 if self._closed:
                     return None
@@ -435,8 +496,44 @@ class JobQueue:
             job.finished_at = self._clock()
             job.result = result
             job.error = error
+            if state == "done" and result is not None:
+                # Payload first (fsynced side file), then the ``done``
+                # record: a surviving record always has its payload.
+                digest = None
+                if self.journal is not None:
+                    digest = self.journal.put_result(job_id, result)
+                else:
+                    import hashlib
+
+                    digest = hashlib.sha256(result).hexdigest()
+                job.result_digest = digest
+                self._journal_locked("done", job_id=job_id, digest=digest)
+            else:
+                self._journal_locked(state, job_id=job_id, error=error)
             self._publish_locked(job, state, error=error)
             self._cond.notify_all()
+
+    def release(self, job_id: str) -> bool:
+        """Park a *running* job back in the queue for a post-restart run.
+
+        The graceful-drain path for long jobs: the mission runner
+        checkpoints its completed epochs, the bridge releases the job,
+        and the ``released`` journal record makes the next process
+        re-queue it.  Released jobs are invisible to claimers in this
+        process (the drain is already under way), so the job runs again
+        only after a restart - resumed from its checkpoint.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "running":
+                return False
+            job.state = "queued"
+            job.started_at = None
+            job.interrupted = True
+            self._journal_locked("released", job_id=job_id)
+            self._cond.notify_all()
+            get_metrics().counter("service.jobs.released").inc()
+            return True
 
     # -- progress events ------------------------------------------------
 
@@ -454,7 +551,13 @@ class JobQueue:
                 self._cond.notify_all()
 
     def _publish_locked(self, job: Job, kind: str, **data: Any) -> None:
-        job.events.append({"seq": len(job.events), "kind": kind, **data})
+        event = {"seq": len(job.events), "kind": kind, **data}
+        job.events.append(event)
+        self._journal_locked("event", job_id=job.job_id, event=event)
+
+    def _journal_locked(self, rtype: str, **fields: Any) -> None:
+        if self.journal is not None:
+            self.journal.append(rtype, **fields)
 
     def events_since(self, job_id: str, start: int = 0) -> list[dict[str, Any]]:
         """Copies of the job's events with ``seq >= start`` (empty if gone)."""
@@ -474,6 +577,7 @@ class JobQueue:
                 return False
             job.state = "cancelled"
             job.finished_at = self._clock()
+            self._journal_locked("cancelled", job_id=job_id)
             self._publish_locked(job, "cancelled")
             self._cond.notify_all()
             get_metrics().counter("service.jobs.cancelled").inc()
@@ -487,9 +591,13 @@ class JobQueue:
             self._drain = drain
             if not drain:
                 for job in self._jobs.values():
-                    if job.state == "queued":
+                    # Parked (interrupted) jobs survive a non-drain
+                    # close: their epochs are checkpointed and the next
+                    # journal-backed boot resumes them.
+                    if job.state == "queued" and not job.interrupted:
                         job.state = "cancelled"
                         job.finished_at = self._clock()
+                        self._journal_locked("cancelled", job_id=job.job_id)
                         self._publish_locked(job, "cancelled")
             self._cond.notify_all()
 
@@ -536,6 +644,146 @@ class JobQueue:
         ]
         for job_id in stale:
             del self._jobs[job_id]
+            at = time.time()
+            self._evicted[job_id] = at
+            self._evicted.move_to_end(job_id)
+            self._journal_locked("evicted", job_id=job_id, at=at)
+            if self.journal is not None:
+                self.journal.drop_result(job_id)
+        while len(self._evicted) > _EVICTED_MEMORY:
+            self._evicted.popitem(last=False)
         if stale:
             get_metrics().counter("service.jobs.evicted").inc(len(stale))
         return len(stale)
+
+    def evicted_at(self, job_id: str) -> float | None:
+        """Wall-clock eviction time of a TTL-evicted job (None if unknown).
+
+        Unlike the monotonic job timestamps this is ``time.time()``: it
+        crosses process restarts via the journal, so a client polling a
+        job that expired before the crash still gets its ``410``.
+        """
+        with self._cond:
+            return self._evicted.get(job_id)
+
+    # -- crash recovery -------------------------------------------------
+
+    def restore(self, states: list[dict[str, Any]],
+                evicted: dict[str, float] | None = None) -> dict[str, int]:
+        """Re-install journal-replayed jobs; returns per-outcome counts.
+
+        At-least-once semantics, leaning on content-address idempotency:
+
+        - ``queued`` jobs (including drain-``released`` ones) come back
+          claimable with provenance ``recovered``;
+        - ``running`` jobs were mid-claim when the process died - they
+          come back ``queued`` with provenance ``retried`` and a
+          ``retried`` event on their stream;
+        - ``done`` jobs keep their payload when the journalled digest
+          verifies, and are otherwise downgraded to ``recovered`` +
+          re-queued (re-execution produces byte-identical results);
+        - ``failed``/``cancelled`` jobs are restored terminal.
+
+        Nothing is journalled here: the caller compacts the journal from
+        :meth:`snapshot_state` immediately afterwards, so the restored
+        form *is* the new on-disk truth.  Restored terminal jobs get a
+        fresh TTL lease (their monotonic ``finished_at`` did not survive
+        the old process).
+        """
+        stats = {"restored": 0, "requeued": 0, "retried": 0,
+                 "completed": 0, "failed": 0, "cancelled": 0}
+        with self._cond:
+            now = self._clock()
+            for state in states:
+                request = state.get("request")
+                job_id = state.get("job_id")
+                if not isinstance(request, dict) or not isinstance(job_id, str):
+                    continue
+                job = Job(
+                    job_id=job_id,
+                    request=dict(request),
+                    priority=int(state.get("priority", 0)),
+                    seq=self._seq,
+                    submitted_at=now,
+                    submissions=int(state.get("submissions", 1)),
+                    events=[dict(e) for e in state.get("events", [])],
+                )
+                self._seq += 1
+                folded = state.get("state", "queued")
+                if folded == "done":
+                    payload = None
+                    digest = state.get("digest")
+                    if self.journal is not None:
+                        payload = self.journal.get_result(job_id, digest)
+                    if payload is not None:
+                        job.state = "done"
+                        job.provenance = "recovered"
+                        job.result = payload
+                        job.result_digest = digest
+                        job.started_at = now
+                        job.finished_at = now
+                        stats["completed"] += 1
+                    else:
+                        # Torn or missing payload: the ack never left
+                        # this process, so re-running is the contract.
+                        job.state = "queued"
+                        job.provenance = "recovered"
+                        stats["requeued"] += 1
+                elif folded in ("failed", "cancelled"):
+                    job.state = folded
+                    job.provenance = "recovered"
+                    job.error = state.get("error")
+                    job.started_at = now if folded == "failed" else None
+                    job.finished_at = now
+                    stats[folded] += 1
+                elif folded == "running":
+                    job.state = "queued"
+                    job.provenance = "retried"
+                    job.events.append(
+                        {"seq": len(job.events), "kind": "retried"}
+                    )
+                    stats["retried"] += 1
+                else:  # queued (fresh or drain-released)
+                    job.state = "queued"
+                    prior = str(state.get("provenance", "new"))
+                    job.provenance = "retried" if prior == "retried" else "recovered"
+                    stats["retried" if prior == "retried" else "requeued"] += 1
+                stats["restored"] += 1
+                self._jobs[job_id] = job
+            if evicted:
+                for job_id, at in evicted.items():
+                    self._evicted[job_id] = float(at)
+                    self._evicted.move_to_end(job_id)
+                while len(self._evicted) > _EVICTED_MEMORY:
+                    self._evicted.popitem(last=False)
+            self._cond.notify_all()
+        metrics = get_metrics()
+        for key in ("restored", "requeued", "retried"):
+            if stats[key]:
+                metrics.counter(f"service.recovery.jobs_{key}").inc(stats[key])
+        return stats
+
+    def snapshot_state(self) -> tuple[list[dict[str, Any]], dict[str, float]]:
+        """Folded-state snapshot of every live job (for compaction).
+
+        Shape matches what :func:`repro.service.journal.replay_records`
+        produces, so ``compact`` can treat live state and replayed state
+        identically.
+        """
+        with self._cond:
+            jobs = [
+                {
+                    "job_id": job.job_id,
+                    "request": dict(job.request),
+                    "priority": job.priority,
+                    "provenance": job.provenance,
+                    "state": job.state,
+                    "interrupted": job.interrupted,
+                    "events": [dict(e) for e in job.events],
+                    "error": job.error,
+                    "digest": job.result_digest,
+                    "submissions": job.submissions,
+                }
+                for job in sorted(self._jobs.values(), key=lambda j: j.seq)
+            ]
+            return jobs, dict(self._evicted)

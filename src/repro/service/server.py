@@ -20,8 +20,9 @@ Endpoints
     Job listing (all shards merged) / one job's status document.
 ``GET /v1/jobs/{id}/result``
     ``200`` with the canonical-JSON plan document once ``done``;
-    ``202`` while queued/running, ``404`` unknown, ``410`` cancelled,
-    ``500`` with the failure reason when ``failed``.
+    ``202`` while queued/running, ``404`` unknown, ``410`` cancelled
+    (``state: cancelled``) or TTL-expired (``state: expired`` with the
+    eviction time), ``500`` with the failure reason when ``failed``.
 ``GET /v1/jobs/{id}/events`` (alias ``GET /v1/plan/{id}/events``)
     Server-sent-events stream of the job's progress: ``queued``,
     ``claimed`` (with the measured queue wait and owning shard),
@@ -72,11 +73,12 @@ import json
 import math
 import threading
 import time
+from pathlib import Path
 from typing import Any, Callable
 
-from repro.errors import ServiceError
+from repro.errors import MissionInterrupted, ServiceError
 from repro.exec import ContentCache, activate_cache
-from repro.io import dumps_canonical, plan_document
+from repro.io import FORMAT_VERSION, dumps_canonical, plan_document
 from repro.obs import Metrics, Tracer, activate, activate_metrics, span
 
 from repro.service.jobs import (
@@ -89,6 +91,7 @@ from repro.service.jobs import (
     normalize_plan_request,
 )
 from repro.service.executor_bridge import ExecutorBridge
+from repro.service.journal import JobJournal, JournalReplay
 from repro.service.sharding import ShardRouter
 
 __all__ = [
@@ -144,7 +147,10 @@ def run_plan_request(request: dict[str, Any], cache: ContentCache | None = None)
 
 
 def run_mission_request(
-    request: dict[str, Any], progress: Any = None
+    request: dict[str, Any],
+    progress: Any = None,
+    checkpoint_dir: str | None = None,
+    interrupt: Callable[[], bool] | None = None,
 ) -> dict[str, Any]:
     """Mission job body: run the mission executor for a normalised request.
 
@@ -153,33 +159,70 @@ def run_mission_request(
     counts and shards), so unlike :func:`run_plan_request` the service
     cache is deliberately not bound in.  ``progress`` is the
     ``(kind, data)`` callback the executor bridge wires to the job's
-    SSE event log.
+    SSE event log; ``checkpoint_dir`` enables durable per-epoch
+    checkpoints (and resume-from-checkpoint after a crash); a fired
+    ``interrupt`` is reported as a ``mission_interrupted`` sentinel
+    document so the bridge can release the job instead of failing it.
     """
     from repro.faults import schedule_from_dict
     from repro.missions import run_mission
 
     faults_doc = request.get("faults")
     faults = None if faults_doc is None else schedule_from_dict(faults_doc)
-    return run_mission(
-        request["spec"], request["config"], faults=faults, progress=progress
-    )
+    try:
+        return run_mission(
+            request["spec"],
+            request["config"],
+            faults=faults,
+            progress=progress,
+            checkpoint_dir=checkpoint_dir,
+            interrupt=interrupt,
+        )
+    except MissionInterrupted as exc:
+        return {
+            "format_version": FORMAT_VERSION,
+            "kind": "mission_interrupted",
+            "epochs_completed": exc.epochs_completed,
+        }
 
 
-def default_runner(cache: ContentCache) -> Callable[..., Any]:
+def default_runner(
+    cache: ContentCache, checkpoint_root: str | Path | None = None
+) -> Callable[..., Any]:
     """The service's job body: dispatch on the request's ``kind``.
 
     Plan batches run under the shared service cache; missions run the
-    streaming mission executor.  The returned callable advertises
-    ``supports_progress`` so the executor bridge knows it may pass a
-    ``progress`` callback.
+    streaming mission executor, checkpointing per epoch under
+    ``checkpoint_root/<job_id>`` when a root is given (the service
+    passes ``<journal_dir>/missions``).  The returned callable
+    advertises ``supports_progress`` and ``supports_interrupt`` so the
+    executor bridge knows it may pass ``progress`` and ``interrupt``
+    callbacks.
     """
 
-    def run(request: dict[str, Any], progress: Any = None) -> Any:
+    def run(
+        request: dict[str, Any],
+        progress: Any = None,
+        interrupt: Callable[[], bool] | None = None,
+    ) -> Any:
         if isinstance(request, dict) and request.get("kind") == "mission":
-            return run_mission_request(request, progress=progress)
+            checkpoint_dir = None
+            if checkpoint_root is not None:
+                checkpoint_dir = str(Path(checkpoint_root) / job_id_for(request))
+            return run_mission_request(
+                request,
+                progress=progress,
+                checkpoint_dir=checkpoint_dir,
+                interrupt=interrupt,
+            )
         return run_plan_request(request, cache=cache)
 
     run.supports_progress = True
+    # Interrupting is only safe when missions checkpoint durably: a
+    # parked job with no checkpoint (and no journal to restore it)
+    # would simply be lost work.  Without a journal, drains let
+    # missions run to completion as before.
+    run.supports_interrupt = checkpoint_root is not None
     return run
 
 
@@ -221,6 +264,17 @@ class PlanningService:
     runner : callable, optional
         Override the job body (tests inject fast/failing runners);
         defaults to :func:`run_plan_request` bound to the service cache.
+    journal_dir : str or Path, optional
+        Directory for the write-ahead job journal.  When set, every
+        job state transition is journaled durably before it is
+        acknowledged, mission jobs checkpoint per epoch under
+        ``journal_dir/missions``, and :meth:`start` replays the
+        journal to recover jobs from a previous (possibly killed)
+        process.  Without it the service is purely in-memory (the
+        pre-journal behaviour).
+    journal_fsync : bool
+        Fsync every journal append (default).  Tests disable it for
+        speed; production keeps it on - it is the durability claim.
     tracer, metrics, cache
         Observability and cache objects; fresh ones are created when
         omitted.  Pass the ambient tracer to stream spans to a
@@ -239,6 +293,8 @@ class PlanningService:
         ttl_s: float = 3600.0,
         task_backend: str = "thread",
         runner: Callable[[dict[str, Any]], Any] | None = None,
+        journal_dir: str | Path | None = None,
+        journal_fsync: bool = True,
         tracer: Tracer | None = None,
         metrics: Metrics | None = None,
         cache: ContentCache | None = None,
@@ -251,13 +307,26 @@ class PlanningService:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else Metrics()
         self.cache = cache if cache is not None else ContentCache()
-        self.runner = runner if runner is not None else default_runner(self.cache)
+        self.journal: JobJournal | None = None
+        checkpoint_root: Path | None = None
+        if journal_dir is not None:
+            self.journal = JobJournal(journal_dir, fsync=journal_fsync)
+            checkpoint_root = Path(journal_dir) / "missions"
+        #: recovery stats of the last :meth:`start` (empty dict until a
+        #: journal-backed start has replayed; all-zero counts on a cold
+        #: journal).
+        self.recovery: dict[str, Any] = {}
+        if runner is not None:
+            self.runner = runner
+        else:
+            self.runner = default_runner(self.cache, checkpoint_root=checkpoint_root)
         self._router = ShardRouter(service_workers)
         shard_capacity = max(1, capacity // service_workers)
         self.shards: list[ShardWorker] = []
         for index in range(service_workers):
             queue = JobQueue(
-                capacity=shard_capacity, ttl_s=ttl_s, shard=index
+                capacity=shard_capacity, ttl_s=ttl_s, shard=index,
+                journal=self.journal,
             )
             bridge = ExecutorBridge(
                 queue,
@@ -305,9 +374,18 @@ class PlanningService:
     # -- lifecycle ------------------------------------------------------
 
     def start(self) -> "PlanningService":
-        """Bind, boot the event-loop thread and every shard's dispatchers."""
+        """Bind, boot the event-loop thread and every shard's dispatchers.
+
+        With a journal, recovery runs first: the journal is replayed,
+        every non-terminal job from the previous process is re-enqueued
+        (at-least-once; content-address dedup makes re-execution
+        idempotent), and the journal is compacted from the restored
+        state - all *before* any dispatcher can claim work, so the
+        recovered backlog is ordered ahead of new submissions.
+        """
         if self._thread is not None:
             return self
+        self._recover()
         for shard in self.shards:
             shard.bridge.start()
         self._thread = threading.Thread(
@@ -318,6 +396,8 @@ class PlanningService:
         if self._boot_error is not None:
             for shard in self.shards:
                 shard.bridge.stop(drain=False, timeout=5.0)
+            if self.journal is not None:
+                self.journal.close()
             raise ServiceError(
                 f"service failed to start on {self.host}:{self.port}: "
                 f"{self._boot_error!r}"
@@ -325,9 +405,83 @@ class PlanningService:
         self._started_at = time.monotonic()
         return self
 
+    def _recover(self) -> None:
+        """Replay the journal and restore jobs into the shard queues."""
+        if self.journal is None:
+            return
+        t0 = time.perf_counter()
+        with activate_metrics(self.metrics):
+            replay = self.journal.replay()
+            stats = {
+                "restored": 0, "requeued": 0, "retried": 0,
+                "completed": 0, "failed": 0, "cancelled": 0,
+            }
+            if replay.jobs or replay.evicted:
+                owners = self._router.partition(list(replay.jobs))
+                evicted_owners = self._router.partition(list(replay.evicted))
+                for shard in self.shards:
+                    states = [
+                        replay.jobs[job_id]
+                        for job_id in owners.get(shard.index, [])
+                    ]
+                    evicted = {
+                        job_id: replay.evicted[job_id]
+                        for job_id in evicted_owners.get(shard.index, [])
+                    }
+                    shard_stats = shard.queue.restore(states, evicted)
+                    for key, value in shard_stats.items():
+                        stats[key] += value
+            # Compact from the *restored* live state, not the raw
+            # replay: restore appends provenance events ("retried") the
+            # old log never saw, and the snapshot must keep event
+            # sequences contiguous for ``?since=`` resume.
+            states: list[dict[str, Any]] = []
+            evicted_all: dict[str, float] = {}
+            for shard in self.shards:
+                shard_states, shard_evicted = shard.queue.snapshot_state()
+                states.extend(shard_states)
+                evicted_all.update(shard_evicted)
+            self.journal.compact(
+                JournalReplay(
+                    jobs={state["job_id"]: state for state in states},
+                    evicted=evicted_all,
+                    records=replay.records,
+                    torn=replay.torn,
+                    segments=replay.segments,
+                )
+            )
+            replay_s = time.perf_counter() - t0
+            self.recovery = {
+                "replay_s": replay_s,
+                "journal_records": replay.records,
+                "torn_records": replay.torn,
+                "segments": replay.segments,
+                "jobs_restored": stats["restored"],
+                "jobs_requeued": stats["requeued"],
+                "jobs_retried": stats["retried"],
+                "jobs_completed": stats["completed"],
+                "jobs_failed": stats["failed"],
+                "jobs_cancelled": stats["cancelled"],
+            }
+            self.metrics.gauge("service.recovery.replay_s").set(replay_s)
+            self.metrics.gauge("service.recovery.journal_records").set(
+                replay.records
+            )
+            if replay.torn:
+                self.metrics.counter("service.recovery.torn_records").inc(
+                    replay.torn
+                )
+
     def drain(self) -> None:
-        """Stop accepting new plan submissions (existing jobs keep going)."""
+        """Stop accepting new plan submissions (existing jobs keep going).
+
+        In-flight interrupt-aware jobs (missions) are asked to
+        checkpoint-and-release at their next epoch boundary so a
+        drain-then-stop never throws away completed epochs.
+        """
         self._draining = True
+        for shard in self.shards:
+            shard.bridge.request_drain()
 
     def stop(self, drain: bool = True, timeout: float | None = 30.0) -> None:
         """Graceful shutdown: reject new work, drain, then close HTTP.
@@ -337,6 +491,8 @@ class PlanningService:
         cancelled and only in-flight jobs complete.
         """
         if self._thread is None:
+            if self.journal is not None:
+                self.journal.close()
             return
         self.drain()
         for shard in self.shards:
@@ -350,6 +506,8 @@ class PlanningService:
             self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join(timeout=10.0)
         self._thread = None
+        if self.journal is not None:
+            self.journal.close()
         self._stopped.set()
 
     def wait(self) -> None:
@@ -548,10 +706,9 @@ class PlanningService:
         with activate(self.tracer), activate_metrics(self.metrics):
             self.metrics.counter("service.http.events.requests").inc()
             if job is None:
-                self.metrics.counter("service.http.status.404").inc()
-                await self._respond(
-                    writer, 404, {"error": f"unknown job {job_id}"}, {}
-                )
+                status, payload, extra = self._gone_or_unknown(queue, job_id)
+                self.metrics.counter(f"service.http.status.{status}").inc()
+                await self._respond(writer, status, payload, extra)
                 return
             self.metrics.counter("service.http.status.200").inc()
         task = asyncio.current_task()
@@ -610,8 +767,22 @@ class PlanningService:
             outcome = "slow_consumer"
         except asyncio.CancelledError:
             # Shutdown cancelled us; swallow so the connection's finally
-            # block still closes the socket cleanly.
+            # block still closes the socket cleanly.  Best-effort flush
+            # of whatever landed in the log since the last poll tick
+            # (the drain path publishes its `interrupted` event right
+            # before streams are cancelled) - buffered writes only, the
+            # transport flushes them on close.
             outcome = "shutdown"
+            with contextlib.suppress(Exception):
+                for event in queue.events_since(job_id, cursor):
+                    writer.write(_sse_frame(event))
+                    cursor += 1
+                    emitted += 1
+                if self._draining and not announced_drain:
+                    writer.write(_sse_frame({
+                        "seq": cursor, "kind": "draining",
+                    }))
+                    emitted += 1
         finally:
             self._streams.discard(task)
             self.metrics.histogram("service.http.events.latency_s").observe(
@@ -825,6 +996,16 @@ class PlanningService:
             "uptime_s": (
                 time.monotonic() - self._started_at if self._started_at else 0.0
             ),
+            "journal": (
+                None
+                if self.journal is None
+                else {
+                    "directory": str(self.journal.directory),
+                    "segments": self.journal.segment_count,
+                    "fsync": self.journal.fsync,
+                }
+            ),
+            "recovery": self.recovery,
         }
         return (503 if self._draining else 200), doc, {}
 
@@ -862,20 +1043,43 @@ class PlanningService:
             {},
         )
 
+    def _gone_or_unknown(
+        self, queue: JobQueue, job_id: str
+    ) -> tuple[int, Any, dict[str, str]]:
+        """404 for never-seen ids, typed ``410 expired`` for TTL-evicted.
+
+        A client that polls too slowly must be able to distinguish "you
+        never submitted this" from "your result existed but aged out" -
+        retrying the former is useless, resubmitting the latter works
+        (content-address dedup gives it the same job id).
+        """
+        evicted_at = queue.evicted_at(job_id)
+        if evicted_at is not None:
+            return (
+                410,
+                {
+                    "error": f"job {job_id} expired: result evicted by ttl",
+                    "state": "expired",
+                    "evicted_at": evicted_at,
+                },
+                {},
+            )
+        return 404, {"error": f"unknown job {job_id}"}, {}
+
     def _get_job(
         self, body: bytes | None, job_id: str
     ) -> tuple[int, Any, dict[str, str]]:
-        _queue, job = self._find_job(job_id)
+        queue, job = self._find_job(job_id)
         if job is None:
-            return 404, {"error": f"unknown job {job_id}"}, {}
+            return self._gone_or_unknown(queue, job_id)
         return 200, job.to_dict(time.monotonic()), {}
 
     def _get_result(
         self, body: bytes | None, job_id: str
     ) -> tuple[int, Any, dict[str, str]]:
-        _queue, job = self._find_job(job_id)
+        queue, job = self._find_job(job_id)
         if job is None:
-            return 404, {"error": f"unknown job {job_id}"}, {}
+            return self._gone_or_unknown(queue, job_id)
         if job.state == "done":
             return 200, job.result, {}
         if job.state == "failed":
@@ -889,7 +1093,7 @@ class PlanningService:
     ) -> tuple[int, Any, dict[str, str]]:
         queue, job = self._find_job(job_id)
         if job is None:
-            return 404, {"error": f"unknown job {job_id}"}, {}
+            return self._gone_or_unknown(queue, job_id)
         if queue.cancel(job_id):
             return 200, {"job_id": job_id, "state": "cancelled"}, {}
         return (

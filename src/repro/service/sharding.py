@@ -76,3 +76,16 @@ class ShardRouter:
         if index == len(self._points):  # wrap around the ring
             index = 0
         return self._owners[index]
+
+    def partition(self, job_ids: "list[str]") -> dict[int, list[str]]:
+        """Group job ids by owning shard (preserving input order).
+
+        Crash recovery replays one fleet-wide journal and must hand each
+        restored job back to the shard that owns its content address -
+        the same deterministic routing a fresh submission would get, so
+        dedup keeps working against recovered jobs.
+        """
+        out: dict[int, list[str]] = {}
+        for job_id in job_ids:
+            out.setdefault(self.shard_for(job_id), []).append(job_id)
+        return out

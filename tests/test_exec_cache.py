@@ -107,6 +107,30 @@ class TestDiskStore:
         assert store.get(key) is None
         assert not path.exists()
 
+    def test_no_fsync_mode_still_round_trips(self, tmp_path):
+        store = DiskStore(tmp_path, fsync=False)
+        assert store.fsync is False
+        key = stable_hash("entry")
+        store.put(key, {"x": 1})
+        assert store.get(key) == {"x": 1}
+
+    def test_tmp_droppings_swept_on_startup(self, metrics, tmp_path):
+        store = DiskStore(tmp_path)
+        key = stable_hash("entry")
+        store.put(key, 123)
+        # A writer killed between mkstemp and os.replace leaves these.
+        (tmp_path / "dead-writer.tmp").write_text("")
+        (store._path(key).parent / "mid-shard.tmp").write_text("")
+        reopened = DiskStore(tmp_path)
+        assert reopened.swept_tmp == 2
+        assert not list(tmp_path.glob("**/*.tmp"))
+        assert metrics.counter("cache.diskstore.tmp_swept").value == 2
+        # The committed entry is untouched by the sweep.
+        assert reopened.get(key) == 123
+
+    def test_clean_startup_sweeps_nothing(self, tmp_path):
+        assert DiskStore(tmp_path).swept_tmp == 0
+
 
 class TestContentCache:
     def test_memory_hit_and_metrics(self, metrics):

@@ -1,0 +1,172 @@
+"""Per-epoch mission checkpointing: resume must stay byte-identical.
+
+The durability contract for long missions: an interrupt at any epoch
+boundary leaves a committed ``state.json`` + cache manifest, and a
+later run against the same directory resumes from the last completed
+epoch yet produces a final document byte-identical to an uninterrupted
+run - including the per-epoch ``cache_hits``/``cache_misses`` counters,
+which is exactly what the manifest-gated disk store exists to protect.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import MissionInterrupted
+from repro.io import dumps_canonical
+from repro.missions import MissionConfig, MissionSpec, run_mission
+from repro.missions.checkpoint import MissionCheckpoint, checkpoint_key
+
+FAST = MissionConfig(
+    robot_count=16,
+    foi_target_points=100,
+    grid_target=300,
+    lloyd_max_iterations=6,
+    resolution=4,
+)
+
+SPEC = MissionSpec(family="corridor", seed=0, epochs=3, motion="drift")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return dumps_canonical(run_mission(SPEC, FAST))
+
+
+class TestCheckpointKey:
+    def test_deterministic(self):
+        spec, config = SPEC.to_dict(), FAST.to_dict()
+        assert checkpoint_key(spec, config, None) == checkpoint_key(
+            spec, config, None
+        )
+
+    def test_sensitive_to_every_input(self):
+        spec, config = SPEC.to_dict(), FAST.to_dict()
+        base = checkpoint_key(spec, config, None)
+        other_spec = dict(spec, seed=1)
+        other_config = dict(config, resolution=8)
+        assert checkpoint_key(other_spec, config, None) != base
+        assert checkpoint_key(spec, other_config, None) != base
+        assert checkpoint_key(spec, config, {"crash": []}) != base
+
+
+class TestStateFile:
+    def test_save_load_round_trip(self, tmp_path):
+        cp = MissionCheckpoint(tmp_path / "cp", key="k1")
+        cp.save({"epochs": [{"epoch": 0}], "totals": {"hits": 1}})
+        state = cp.load()
+        assert state["epochs"] == [{"epoch": 0}]
+        assert state["totals"] == {"hits": 1}
+        assert state["key"] == "k1"
+        assert state["cache_keys"] == []
+
+    def test_missing_reads_as_none(self, tmp_path):
+        assert MissionCheckpoint(tmp_path / "cp", key="k1").load() is None
+
+    def test_corrupt_json_reads_as_none(self, tmp_path):
+        cp = MissionCheckpoint(tmp_path / "cp", key="k1")
+        cp.save({"epochs": []})
+        (cp.directory / "state.json").write_bytes(b'{"epochs": [')
+        assert cp.load() is None
+
+    def test_key_mismatch_reads_as_none(self, tmp_path):
+        cp = MissionCheckpoint(tmp_path / "cp", key="k1")
+        cp.save({"epochs": []})
+        other = MissionCheckpoint(tmp_path / "cp", key="k2")
+        assert other.load() is None
+
+    def test_unsupported_version_reads_as_none(self, tmp_path):
+        cp = MissionCheckpoint(tmp_path / "cp", key="k1")
+        cp.save({"epochs": []})
+        path = cp.directory / "state.json"
+        doc = json.loads(path.read_text())
+        doc["journal_version"] = 99
+        path.write_bytes(dumps_canonical(doc))
+        assert cp.load() is None
+
+    def test_clear_removes_everything(self, tmp_path):
+        cp = MissionCheckpoint(tmp_path / "cp", key="k1")
+        cp.save({"epochs": []})
+        cp.clear()
+        assert not cp.directory.exists()
+        assert MissionCheckpoint(tmp_path / "cp", key="k1").load() is None
+
+
+class TestManifestGatedCache:
+    def test_uncommitted_entries_invisible_after_reopen(self, tmp_path):
+        cp = MissionCheckpoint(tmp_path / "cp", key="k1")
+        cache = cp.cache(capacity=8)
+        cache.put("maps", "alpha", {"v": 1})
+        # No save(): the entry is on disk but never committed.
+        reopened = MissionCheckpoint(tmp_path / "cp", key="k1")
+        cache2 = reopened.cache(capacity=8)
+        assert cache2.get("maps", "alpha") is None
+
+    def test_committed_entries_survive_reopen(self, tmp_path):
+        cp = MissionCheckpoint(tmp_path / "cp", key="k1")
+        cache = cp.cache(capacity=8)
+        cache.put("maps", "alpha", {"v": 1})
+        cp.save({"epochs": []})  # commit point: manifest persisted
+        reopened = MissionCheckpoint(tmp_path / "cp", key="k1")
+        cache2 = reopened.cache(capacity=8)
+        assert cache2.get("maps", "alpha") == {"v": 1}
+
+    def test_same_run_reads_its_own_writes(self, tmp_path):
+        cp = MissionCheckpoint(tmp_path / "cp", key="k1")
+        cache = cp.cache(capacity=8)
+        cache.put("maps", "alpha", {"v": 1})
+        assert cache.get("maps", "alpha") == {"v": 1}
+
+
+class TestInterruptResume:
+    @pytest.mark.parametrize("stop_epoch", [1, 2])
+    def test_resume_is_byte_identical(self, tmp_path, baseline, stop_epoch):
+        cp_dir = str(tmp_path / "cp")
+        events = []
+
+        with pytest.raises(MissionInterrupted) as exc:
+            run_mission(
+                SPEC,
+                FAST,
+                progress=lambda kind, data: events.append(kind),
+                checkpoint_dir=cp_dir,
+                interrupt=lambda: events.count("epoch") >= stop_epoch,
+            )
+        assert exc.value.epochs_completed == stop_epoch
+        # Every announced epoch was checkpointed first (commit order).
+        assert events.count("checkpoint") == events.count("epoch")
+
+        resumed_events = []
+        document = run_mission(
+            SPEC,
+            FAST,
+            progress=lambda kind, data: resumed_events.append((kind, data)),
+            checkpoint_dir=cp_dir,
+        )
+        assert dumps_canonical(document) == baseline
+        kinds = [kind for kind, _ in resumed_events]
+        assert kinds[0] == "resumed"
+        assert dict(resumed_events[0][1])["epoch"] == stop_epoch
+        assert kinds.count("epoch") == SPEC.epochs - stop_epoch
+
+    def test_completed_mission_clears_checkpoint(self, tmp_path):
+        cp_dir = tmp_path / "cp"
+        document = run_mission(SPEC, FAST, checkpoint_dir=str(cp_dir))
+        assert document["kind"] == "mission"
+        assert not cp_dir.exists()
+
+    def test_checkpointed_run_matches_plain_run(self, tmp_path, baseline):
+        document = run_mission(
+            SPEC, FAST, checkpoint_dir=str(tmp_path / "cp")
+        )
+        assert dumps_canonical(document) == baseline
+
+    def test_interrupt_before_first_epoch(self, tmp_path, baseline):
+        cp_dir = str(tmp_path / "cp")
+        with pytest.raises(MissionInterrupted) as exc:
+            run_mission(
+                SPEC, FAST, checkpoint_dir=cp_dir, interrupt=lambda: True
+            )
+        assert exc.value.epochs_completed == 0
+        document = run_mission(SPEC, FAST, checkpoint_dir=cp_dir)
+        assert dumps_canonical(document) == baseline

@@ -1,0 +1,344 @@
+"""Unit tests for the write-ahead job journal and queue recovery.
+
+The durability layer's contracts: every acknowledged transition is a
+fsynced record that replays to the same folded state, torn tails are
+skipped (never misread), compaction preserves the fold, result
+payloads survive via digest-verified side files, and
+``JobQueue.restore`` re-installs jobs with the provenance the
+at-least-once contract promises (``recovered`` for safe restores,
+``retried`` for mid-claim casualties).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import JournalError
+from repro.io import (
+    JOURNAL_FORMAT_VERSION,
+    check_journal_version,
+    dumps_canonical,
+    journal_record,
+)
+from repro.service import JobQueue, JobJournal, replay_records
+from repro.service.jobs import JobExpiredError, normalize_plan_request
+
+
+def request(sep=20.0):
+    normalized, _ = normalize_plan_request(
+        {"scenario_ids": [1], "separation_factor": sep}
+    )
+    return normalized
+
+
+@pytest.fixture
+def journal(tmp_path):
+    with JobJournal(tmp_path / "j", fsync=False) as j:
+        yield j
+
+
+class TestRecordFormat:
+    def test_journal_record_is_versioned(self):
+        record = journal_record("submitted", job_id="a")
+        assert record["journal_version"] == JOURNAL_FORMAT_VERSION
+        assert record["type"] == "submitted"
+        assert record["job_id"] == "a"
+
+    def test_version_check_rejects_future_versions(self):
+        with pytest.raises(JournalError, match="version"):
+            check_journal_version({"journal_version": 99, "type": "job"})
+
+    def test_version_check_accepts_current(self):
+        check_journal_version(journal_record("event"))
+
+
+class TestAppendReplay:
+    def test_round_trip(self, journal):
+        journal.append("submitted", job_id="a", request=request(),
+                       priority=1, provenance="new", submissions=1)
+        journal.append("claimed", job_id="a")
+        journal.append("done", job_id="a", digest=None)
+        replay = journal.replay()
+        assert replay.records == 3
+        assert replay.torn == 0
+        assert replay.jobs["a"]["state"] == "done"
+        assert replay.jobs["a"]["priority"] == 1
+
+    def test_fresh_segment_per_open(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as j:
+            j.append("submitted", job_id="a", request=request())
+        with JobJournal(tmp_path, fsync=False) as j:
+            j.append("claimed", job_id="a")
+            assert j.segment_count == 2
+            assert j.replay().jobs["a"]["state"] == "running"
+
+    def test_segment_rotation(self, tmp_path):
+        with JobJournal(tmp_path, segment_max_bytes=64, fsync=False) as j:
+            for index in range(5):
+                j.append("event", job_id="a",
+                         event={"seq": index, "kind": "phase"})
+            assert j.segment_count > 1
+            replay = j.replay()
+            assert replay.records == 5
+
+    def test_torn_tail_skipped_and_counted(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as j:
+            j.append("submitted", job_id="a", request=request())
+            j.append("claimed", job_id="a")
+            [segment] = j._segment_paths()
+        raw = segment.read_bytes()
+        torn = raw + dumps_canonical(journal_record("done", job_id="a"))[:-7]
+        segment.write_bytes(torn)
+        with JobJournal(tmp_path, fsync=False) as j:
+            replay = j.replay()
+        assert replay.torn == 1
+        assert replay.jobs["a"]["state"] == "running"  # done never landed
+
+    def test_unterminated_but_canonical_tail_is_kept(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as j:
+            j.append("submitted", job_id="a", request=request())
+            [segment] = j._segment_paths()
+        # Strip only the trailing newline: the record bytes round-trip
+        # canonically, so replay must keep it.
+        segment.write_bytes(segment.read_bytes()[:-1])
+        with JobJournal(tmp_path, fsync=False) as j:
+            replay = j.replay()
+        assert replay.torn == 0
+        assert "a" in replay.jobs
+
+    def test_unsupported_version_raises(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as j:
+            j.append("submitted", job_id="a", request=request())
+            [segment] = j._segment_paths()
+        record = json.loads(segment.read_text())
+        record["journal_version"] = 99
+        segment.write_bytes(dumps_canonical(record) + b"\n")
+        with JobJournal(tmp_path, fsync=False) as j:
+            with pytest.raises(JournalError, match="version"):
+                j.replay()
+
+    def test_compaction_folds_to_one_segment(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as j:
+            j.append("submitted", job_id="a", request=request(), priority=2)
+            j.append("claimed", job_id="a")
+            j.append("failed", job_id="a", error="boom")
+            j.append("evicted", job_id="b", at=123.0)
+            j.compact(j.replay())
+            assert j.segment_count == 1
+            replay = j.replay()
+        assert replay.records == 2  # one job snapshot + one eviction
+        assert replay.jobs["a"]["state"] == "failed"
+        assert replay.jobs["a"]["error"] == "boom"
+        assert replay.evicted == {"b": 123.0}
+
+    def test_append_after_close_raises(self, tmp_path):
+        j = JobJournal(tmp_path, fsync=False)
+        j.close()
+        with pytest.raises(JournalError, match="closed"):
+            j.append("event", job_id="a", event={})
+
+
+class TestLockFile:
+    def test_live_process_lock_refused(self, tmp_path):
+        # Same-pid reopen steals its own lock, so a *different* live
+        # writer has to be simulated: pid 1 is always alive.
+        (tmp_path / "journal.lock").write_text("1\n")
+        with pytest.raises(JournalError, match="locked by live"):
+            JobJournal(tmp_path, fsync=False)
+
+    def test_stale_lock_stolen(self, tmp_path):
+        j = JobJournal(tmp_path, fsync=False)
+        j.close()
+        # Fake a dead writer: a pid that cannot exist.
+        (tmp_path / "journal.lock").write_text("999999999\n")
+        with JobJournal(tmp_path, fsync=False) as j2:
+            assert (tmp_path / "journal.lock").read_text().strip() == str(
+                os.getpid()
+            )
+            j2.append("event", job_id="a", event={})
+
+
+class TestResultSideFiles:
+    def test_digest_verified_round_trip(self, journal):
+        digest = journal.put_result("a", b'{"x":1}')
+        assert journal.get_result("a", digest) == b'{"x":1}'
+
+    def test_mismatched_digest_returns_none(self, journal):
+        journal.put_result("a", b'{"x":1}')
+        assert journal.get_result("a", "0" * 64) is None
+
+    def test_missing_payload_returns_none(self, journal):
+        assert journal.get_result("missing", None) is None
+
+    def test_drop_result(self, journal):
+        digest = journal.put_result("a", b"data")
+        journal.drop_result("a")
+        assert journal.get_result("a", digest) is None
+
+
+class TestFold:
+    def test_released_parks_job(self):
+        replay = replay_records(iter([
+            journal_record("submitted", job_id="a", request=request()),
+            journal_record("claimed", job_id="a"),
+            journal_record("released", job_id="a"),
+        ]))
+        assert replay.jobs["a"]["state"] == "queued"
+        assert replay.jobs["a"]["interrupted"] is True
+
+    def test_resubmission_revives_and_resets_events(self):
+        replay = replay_records(iter([
+            journal_record("submitted", job_id="a", request=request()),
+            journal_record("event", job_id="a",
+                           event={"seq": 0, "kind": "queued"}),
+            journal_record("cancelled", job_id="a"),
+            journal_record("submitted", job_id="a", request=request(),
+                           submissions=2),
+        ]))
+        assert replay.jobs["a"]["state"] == "queued"
+        assert replay.jobs["a"]["events"] == []
+        assert replay.jobs["a"]["submissions"] == 2
+
+    def test_eviction_forgets_job_but_remembers_when(self):
+        replay = replay_records(iter([
+            journal_record("submitted", job_id="a", request=request()),
+            journal_record("evicted", job_id="a", at=7.5),
+        ]))
+        assert "a" not in replay.jobs
+        assert replay.evicted == {"a": 7.5}
+
+    def test_transition_without_submission_ignored(self):
+        replay = replay_records(iter([
+            journal_record("claimed", job_id="ghost"),
+        ]))
+        assert replay.jobs == {}
+
+
+class TestQueueJournalIntegration:
+    def run_queue(self, tmp_path, script):
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, journal=journal)
+            script(queue, journal)
+            return journal.replay()
+
+    def test_submit_claim_complete_replays_done(self, tmp_path):
+        def script(queue, journal):
+            job, _ = queue.submit(request())
+            claimed = queue.claim(timeout=1.0)
+            queue.complete(claimed.job_id, b'{"plan":1}')
+
+        replay = self.run_queue(tmp_path, script)
+        [state] = replay.jobs.values()
+        assert state["state"] == "done"
+        assert state["digest"] is not None
+
+    def test_restore_done_job_keeps_payload(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, journal=journal)
+            job, _ = queue.submit(request())
+            queue.claim(timeout=1.0)
+            queue.complete(job.job_id, b'{"plan":1}')
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, journal=journal)
+            replay = journal.replay()
+            stats = queue.restore(list(replay.jobs.values()), replay.evicted)
+            restored = queue.get(job.job_id)
+        assert stats == {"restored": 1, "requeued": 0, "retried": 0,
+                         "completed": 1, "failed": 0, "cancelled": 0}
+        assert restored.state == "done"
+        assert restored.result == b'{"plan":1}'
+        assert restored.provenance == "recovered"
+
+    def test_restore_running_job_becomes_retried(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, journal=journal)
+            job, _ = queue.submit(request())
+            queue.claim(timeout=1.0)
+            # kill -9 here: no further records.
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, journal=journal)
+            replay = journal.replay()
+            stats = queue.restore(list(replay.jobs.values()), replay.evicted)
+            restored = queue.get(job.job_id)
+            reclaimed = queue.claim(timeout=1.0)
+        assert stats["retried"] == 1
+        assert restored.provenance == "retried"
+        assert restored.events[-1]["kind"] == "retried"
+        assert reclaimed.job_id == job.job_id  # claimable again
+
+    def test_restore_done_with_torn_payload_requeues(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, journal=journal)
+            job, _ = queue.submit(request())
+            queue.claim(timeout=1.0)
+            queue.complete(job.job_id, b'{"plan":1}')
+        (tmp_path / "results" / f"{job.job_id}.json").write_bytes(b'{"pl')
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, journal=journal)
+            replay = journal.replay()
+            stats = queue.restore(list(replay.jobs.values()), replay.evicted)
+            restored = queue.get(job.job_id)
+        assert stats["requeued"] == 1
+        assert restored.state == "queued"
+        assert restored.provenance == "recovered"
+
+    def test_retried_provenance_survives_second_crash(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, journal=journal)
+            job, _ = queue.submit(request())
+            queue.claim(timeout=1.0)
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, journal=journal)
+            replay = journal.replay()
+            queue.restore(list(replay.jobs.values()), replay.evicted)
+            states, evicted = queue.snapshot_state()
+            journal.compact(type(replay)(
+                jobs={s["job_id"]: s for s in states}, evicted=evicted,
+            ))
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, journal=journal)
+            replay = journal.replay()
+            queue.restore(list(replay.jobs.values()), replay.evicted)
+            restored = queue.get(job.job_id)
+        assert restored.provenance == "retried"
+        # Event sequences stay contiguous across the double crash.
+        seqs = [e["seq"] for e in restored.events]
+        assert seqs == list(range(len(seqs)))
+
+    def test_release_parks_until_restore(self, tmp_path):
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, journal=journal)
+            job, _ = queue.submit(request())
+            queue.claim(timeout=1.0)
+            assert queue.release(job.job_id)
+            assert queue.get(job.job_id).interrupted is True
+            assert queue.claim(timeout=0.05) is None  # parked
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, journal=journal)
+            replay = journal.replay()
+            queue.restore(list(replay.jobs.values()), replay.evicted)
+            reclaimed = queue.claim(timeout=1.0)
+        assert reclaimed.job_id == job.job_id
+
+    def test_eviction_memory_round_trips(self, tmp_path):
+        clock = [0.0]
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, ttl_s=10.0,
+                             clock=lambda: clock[0], journal=journal)
+            job, _ = queue.submit(request())
+            queue.claim(timeout=1.0)
+            queue.complete(job.job_id, b"{}")
+            clock[0] = 100.0
+            queue.evict_expired()
+            assert queue.get(job.job_id) is None
+            assert queue.evicted_at(job.job_id) is not None
+        with JobJournal(tmp_path, fsync=False) as journal:
+            queue = JobQueue(capacity=8, journal=journal)
+            replay = journal.replay()
+            queue.restore(list(replay.jobs.values()), replay.evicted)
+            assert queue.evicted_at(job.job_id) is not None
+
+    def test_job_expired_error_carries_eviction_time(self):
+        err = JobExpiredError("gone", evicted_at=42.0)
+        assert err.evicted_at == 42.0
